@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the end-to-end framework: partition, subgraph
+//! compilation, scheduling, and full compiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use epgs_bench::bench_framework;
+use epgs_graph::generators;
+use epgs_partition::{partition_with_lc, PartitionSpec};
+
+fn bench_full_compile(c: &mut Criterion) {
+    let fw = bench_framework();
+    let mut group = c.benchmark_group("framework_compile");
+    for (name, g) in [
+        ("lattice4x4", generators::lattice(4, 4)),
+        ("tree22", generators::tree(22, 2)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| fw.compile(g).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let g = generators::lattice(5, 6);
+    let spec = PartitionSpec { g_max: 7, lc_budget: 4, effort: 8, seed: 1 };
+    c.bench_function("partition_lattice5x6_lc4", |b| {
+        b.iter(|| partition_with_lc(&g, &spec))
+    });
+    let spec0 = PartitionSpec { lc_budget: 0, ..spec };
+    c.bench_function("partition_lattice5x6_lc0", |b| {
+        b.iter(|| partition_with_lc(&g, &spec0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_compile, bench_partition
+}
+criterion_main!(benches);

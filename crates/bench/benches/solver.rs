@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the time-reversed solver and its substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use epgs_graph::{generators, height};
+use epgs_solver::reverse::{solve, SolveOptions};
+use epgs_solver::{solve_baseline, BaselineOptions};
+use epgs_stabilizer::Tableau;
+
+fn bench_reverse_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_solve");
+    let opts = SolveOptions { verify: false, ..SolveOptions::default() };
+    for n in [8usize, 16, 24] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::new("path", n), &g, |b, g| {
+            b.iter(|| solve(g, &opts).expect("solves"))
+        });
+    }
+    for k in [3usize, 5] {
+        let g = generators::lattice(4, k);
+        group.bench_with_input(BenchmarkId::new("lattice4xk", 4 * k), &g, |b, g| {
+            b.iter(|| solve(g, &opts).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let hw = epgs_hardware::HardwareModel::quantum_dot();
+    let opts = BaselineOptions { verify: false, restarts: 4, ..BaselineOptions::default() };
+    let g = generators::lattice(4, 4);
+    c.bench_function("baseline_lattice4x4", |b| {
+        b.iter(|| solve_baseline(&g, &hw, &opts).expect("solves"))
+    });
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let g = generators::lattice(5, 5);
+    c.bench_function("height_function_5x5", |b| {
+        let ordering: Vec<usize> = (0..25).collect();
+        b.iter(|| height::height_function(&g, &ordering))
+    });
+    c.bench_function("tableau_canonicalize_25q", |b| {
+        let t = Tableau::graph_state(&g);
+        b.iter(|| {
+            let mut t2 = t.clone();
+            t2.canonicalize();
+            t2
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reverse_solver, bench_baseline, bench_substrates
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates paper Fig. 10 (d)–(f): circuit duration (in τ_QD) under
+//! emitter budgets Ne_limit ∈ {1.5, 2} × Ne_min, baseline vs framework.
+//!
+//! Run with: `cargo run --release -p epgs-bench --bin fig10_duration`
+
+use epgs_bench::{all_families, bench_baseline, bench_framework, hw, reduction_pct};
+use epgs_circuit::timeline;
+use epgs_solver::{solve_baseline, BaselineOptions};
+
+fn main() {
+    let fw = bench_framework();
+    let hw = hw();
+    for (family, sweep) in all_families() {
+        println!("== Fig 10 circuit duration (×τ_QD) — {family} graphs ==");
+        println!(
+            "{:>7} {:>6} | {:>11} {:>11} {:>10} | {:>11} {:>11} {:>10}",
+            "#qubit", "Ne_min", "base(1.5x)", "ours(1.5x)", "red(1.5x)", "base(2x)", "ours(2x)", "red(2x)"
+        );
+        let mut reds = (Vec::new(), Vec::new());
+        for (n, g) in sweep {
+            let ne_min = fw.ne_min(&g);
+            let mut row = Vec::new();
+            for factor in [1.5f64, 2.0] {
+                let budget = ((ne_min as f64 * factor).ceil() as usize).max(1);
+                let base_opts = BaselineOptions {
+                    emitters: Some(budget),
+                    ..bench_baseline()
+                };
+                let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");
+                let base_dur = timeline(&hw, &base.circuit).duration;
+                let ours = fw.compile_with_budget(&g, budget).expect("framework compiles");
+                row.push((base_dur, ours.metrics.duration));
+            }
+            let r15 = reduction_pct(row[0].0, row[0].1);
+            let r20 = reduction_pct(row[1].0, row[1].1);
+            reds.0.push(r15);
+            reds.1.push(r20);
+            println!(
+                "{n:>7} {ne_min:>6} | {:>11.2} {:>11.2} {r15:>9.1}% | {:>11.2} {:>11.2} {r20:>9.1}%",
+                row[0].0, row[0].1, row[1].0, row[1].1
+            );
+        }
+        let avg15 = reds.0.iter().sum::<f64>() / reds.0.len() as f64;
+        let avg20 = reds.1.iter().sum::<f64>() / reds.1.len() as f64;
+        println!("average reduction: {avg15:.1}% at 1.5×, {avg20:.1}% at 2×\n");
+    }
+    println!("paper reports: avg 33/32/39% at 1.5× and 38/38/43% at 2× (lattice/tree/random)");
+}

@@ -1,0 +1,43 @@
+//! Regenerates paper Fig. 5: the emitter-usage-over-time curve of a graph
+//! state generation circuit, showing utilization before/after scheduling.
+//!
+//! Run with: `cargo run --release -p epgs-bench --bin fig5_usage`
+
+use epgs_bench::{bench_baseline, bench_framework, hw};
+use epgs_circuit::usage_curve;
+use epgs_graph::generators;
+use epgs_solver::{solve_baseline, BaselineOptions};
+
+fn print_curve(label: &str, times: &[f64], counts: &[usize]) {
+    println!("{label}:");
+    println!("{:>10} {:>8}", "time (τ)", "#emitter");
+    for (t, c) in times.iter().zip(counts) {
+        println!("{t:>10.2} {c:>8}");
+    }
+    println!();
+}
+
+fn main() {
+    let g = generators::lattice(3, 5);
+    let hw = hw();
+    let fw = bench_framework();
+    let ne_min = fw.ne_min(&g);
+    let budget = ((ne_min as f64 * 1.5).ceil() as usize).max(1);
+
+    let base = solve_baseline(
+        &g,
+        &hw,
+        &BaselineOptions { emitters: Some(budget), ..bench_baseline() },
+    )
+    .expect("baseline solves");
+    let (bt, bc) = usage_curve(&hw, &base.circuit);
+    print_curve("baseline emitter usage (under-utilized stretches visible)", &bt, &bc);
+
+    let ours = fw.compile_with_budget(&g, budget).expect("framework compiles");
+    let (ot, oc) = usage_curve(&hw, &ours.circuit);
+    print_curve("framework emitter usage (Tetris-packed)", &ot, &oc);
+
+    let base_peak = bc.iter().copied().max().unwrap_or(0);
+    let ours_peak = oc.iter().copied().max().unwrap_or(0);
+    println!("budget {budget}, peak usage: baseline {base_peak}, framework {ours_peak}");
+}

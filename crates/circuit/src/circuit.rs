@@ -1,0 +1,305 @@
+//! The generation-circuit container and its structural validation.
+
+use crate::error::CircuitError;
+use crate::gate::Op;
+use crate::qubit::Qubit;
+
+/// A deterministic graph-state generation circuit over `num_emitters`
+/// emitters and `num_photons` photons.
+///
+/// Ops execute in program order (the timeline module derives actual start
+/// times from qubit dependencies). [`Circuit::validate`] enforces the
+/// hardware constraints of the deterministic scheme.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_circuit::{Circuit, Op, Qubit};
+///
+/// # fn main() -> Result<(), epgs_circuit::CircuitError> {
+/// let mut c = Circuit::new(1, 2);
+/// c.push(Op::H(Qubit::Emitter(0)));
+/// c.push(Op::Emit { emitter: 0, photon: 0 });
+/// c.push(Op::Emit { emitter: 0, photon: 1 });
+/// c.push(Op::H(Qubit::Emitter(0)));
+/// c.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Circuit {
+    num_emitters: usize,
+    num_photons: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given register sizes.
+    pub fn new(num_emitters: usize, num_photons: usize) -> Self {
+        Circuit {
+            num_emitters,
+            num_photons,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Emitter register size.
+    pub fn num_emitters(&self) -> usize {
+        self.num_emitters
+    }
+
+    /// Photon register size.
+    pub fn num_photons(&self) -> usize {
+        self.num_photons
+    }
+
+    /// The operations in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Appends all operations of `other` (registers must be compatible; the
+    /// larger register sizes win).
+    pub fn extend_from(&mut self, other: &Circuit) {
+        self.num_emitters = self.num_emitters.max(other.num_emitters);
+        self.num_photons = self.num_photons.max(other.num_photons);
+        self.ops.extend(other.ops.iter().cloned());
+    }
+
+    /// Number of emitter-emitter two-qubit gates (the paper's #CNOT metric;
+    /// CZ counts too since they are local-Clifford interchangeable).
+    pub fn ee_two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_ee_two_qubit()).count()
+    }
+
+    /// Number of emissions.
+    pub fn emission_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_emission()).count()
+    }
+
+    /// Number of emitter measurements.
+    pub fn measurement_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_measurement()).count()
+    }
+
+    /// Number of single-qubit gates.
+    pub fn single_qubit_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::H(_) | Op::S(_) | Op::Sdg(_) | Op::X(_) | Op::Y(_) | Op::Z(_)))
+            .count()
+    }
+
+    fn check_qubit(&self, q: Qubit) -> Result<(), CircuitError> {
+        let ok = match q {
+            Qubit::Emitter(i) => i < self.num_emitters,
+            Qubit::Photon(i) => i < self.num_photons,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CircuitError::QubitOutOfRange {
+                qubit: q,
+                emitters: self.num_emitters,
+                photons: self.num_photons,
+            })
+        }
+    }
+
+    /// Checks the deterministic-scheme constraints:
+    ///
+    /// 1. every qubit index is in range;
+    /// 2. emission is the first gate on each photon, and unique;
+    /// 3. two-qubit gates connect distinct emitters only;
+    /// 4. every photon in the register is eventually emitted;
+    /// 5. measurement corrections target existing qubits (and only already
+    ///    emitted photons).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in program order.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let mut emitted = vec![false; self.num_photons];
+        for (idx, op) in self.ops.iter().enumerate() {
+            for q in op.timeline_qubits() {
+                self.check_qubit(q)?;
+            }
+            match op {
+                Op::H(q) | Op::S(q) | Op::Sdg(q) | Op::X(q) | Op::Y(q) | Op::Z(q) => {
+                    if let Qubit::Photon(p) = q {
+                        if !emitted[*p] {
+                            return Err(CircuitError::PhotonBeforeEmission {
+                                photon: *p,
+                                op_index: idx,
+                            });
+                        }
+                    }
+                }
+                Op::Cz(a, b) | Op::Cnot(a, b) => {
+                    if a == b {
+                        return Err(CircuitError::IdenticalQubits { emitter: *a });
+                    }
+                }
+                Op::Emit { photon, .. } => {
+                    if emitted[*photon] {
+                        return Err(CircuitError::DoubleEmission { photon: *photon });
+                    }
+                    emitted[*photon] = true;
+                }
+                Op::MeasureZ { corrections, .. } => {
+                    for &(q, _) in corrections {
+                        self.check_qubit(q)?;
+                        if let Qubit::Photon(p) = q {
+                            if !emitted[p] {
+                                return Err(CircuitError::PhotonBeforeEmission {
+                                    photon: p,
+                                    op_index: idx,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(p) = emitted.iter().position(|&e| !e) {
+            return Err(CircuitError::PhotonNeverEmitted { photon: p });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} emitters, {} photons, {} ops",
+            self.num_emitters,
+            self.num_photons,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_stabilizer::Pauli;
+
+    fn linear_pair() -> Circuit {
+        let mut c = Circuit::new(1, 2);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c
+    }
+
+    #[test]
+    fn valid_circuit_passes() {
+        assert_eq!(linear_pair().validate(), Ok(()));
+    }
+
+    #[test]
+    fn photon_gate_before_emission_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::H(Qubit::Photon(0)));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::PhotonBeforeEmission { photon: 0, op_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn double_emission_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::DoubleEmission { photon: 0 })
+        ));
+    }
+
+    #[test]
+    fn unemitted_photon_rejected() {
+        let c = Circuit::new(1, 1);
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::PhotonNeverEmitted { photon: 0 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::Emit { emitter: 3, photon: 0 });
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_emitters_rejected() {
+        let mut c = Circuit::new(1, 0);
+        c.push(Op::Cz(0, 0));
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::IdenticalQubits { emitter: 0 })
+        ));
+    }
+
+    #[test]
+    fn correction_on_unemitted_photon_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![(Qubit::Photon(0), Pauli::Z)],
+        });
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::PhotonBeforeEmission { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut c = linear_pair();
+        c.push(Op::Cz(0, 0)); // not validated here, just counted
+        c.push(Op::MeasureZ { emitter: 0, corrections: vec![] });
+        assert_eq!(c.ee_two_qubit_count(), 1);
+        assert_eq!(c.emission_count(), 2);
+        assert_eq!(c.measurement_count(), 1);
+        assert_eq!(c.single_qubit_count(), 1);
+    }
+
+    #[test]
+    fn extend_from_merges_registers() {
+        let mut a = Circuit::new(1, 1);
+        a.push(Op::Emit { emitter: 0, photon: 0 });
+        let mut b = Circuit::new(2, 3);
+        b.push(Op::Cz(0, 1));
+        a.extend_from(&b);
+        assert_eq!(a.num_emitters(), 2);
+        assert_eq!(a.num_photons(), 3);
+        assert_eq!(a.ops().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let c = linear_pair();
+        let s = c.to_string();
+        assert!(s.contains("EMIT e0 -> p0"));
+        assert!(s.contains("1 emitters, 2 photons"));
+    }
+}

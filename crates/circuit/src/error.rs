@@ -1,0 +1,106 @@
+//! Error types for circuit construction and validation.
+
+use crate::qubit::Qubit;
+
+/// Violations of the deterministic generation constraints (paper §II.B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A qubit index exceeded the declared register size.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// Emitter register size.
+        emitters: usize,
+        /// Photon register size.
+        photons: usize,
+    },
+    /// A gate touched a photon before its emission.
+    PhotonBeforeEmission {
+        /// The photon index.
+        photon: usize,
+        /// Index of the offending op in the circuit.
+        op_index: usize,
+    },
+    /// A photon was emitted twice.
+    DoubleEmission {
+        /// The photon index.
+        photon: usize,
+    },
+    /// A photon never got emitted.
+    PhotonNeverEmitted {
+        /// The photon index.
+        photon: usize,
+    },
+    /// A two-qubit gate was requested with identical endpoints.
+    IdenticalQubits {
+        /// The repeated emitter index.
+        emitter: usize,
+    },
+    /// Simulation needed a measurement outcome that was not supplied.
+    MissingOutcome {
+        /// Index of the measurement among measurements.
+        measurement_index: usize,
+    },
+    /// A forced measurement outcome contradicted a deterministic result.
+    ContradictoryOutcome {
+        /// Index of the measurement among measurements.
+        measurement_index: usize,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange {
+                qubit,
+                emitters,
+                photons,
+            } => write!(
+                f,
+                "qubit {qubit} out of range ({emitters} emitters, {photons} photons)"
+            ),
+            CircuitError::PhotonBeforeEmission { photon, op_index } => write!(
+                f,
+                "op {op_index} touches photon p{photon} before its emission"
+            ),
+            CircuitError::DoubleEmission { photon } => {
+                write!(f, "photon p{photon} emitted more than once")
+            }
+            CircuitError::PhotonNeverEmitted { photon } => {
+                write!(f, "photon p{photon} is never emitted")
+            }
+            CircuitError::IdenticalQubits { emitter } => {
+                write!(f, "two-qubit gate on identical emitter e{emitter}")
+            }
+            CircuitError::MissingOutcome { measurement_index } => {
+                write!(f, "no outcome supplied for measurement {measurement_index}")
+            }
+            CircuitError::ContradictoryOutcome { measurement_index } => write!(
+                f,
+                "forced outcome contradicts deterministic measurement {measurement_index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_qubit() {
+        let e = CircuitError::PhotonBeforeEmission {
+            photon: 2,
+            op_index: 5,
+        };
+        assert!(e.to_string().contains("p2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

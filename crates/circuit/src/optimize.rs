@@ -1,0 +1,180 @@
+//! Peephole optimization of generation circuits.
+//!
+//! The time-reversed solver emits rotation bookkeeping that often cancels
+//! (H·H, S·S†, X·X, …) once the op list is read forward. This pass removes
+//! adjacent inverse pairs of single-qubit gates per qubit wire — it never
+//! touches two-qubit gates, emissions, or measurements, so every metric the
+//! paper optimizes is only improved (fewer gates, never more).
+
+use crate::circuit::Circuit;
+use crate::gate::Op;
+use crate::qubit::Qubit;
+
+fn single_qubit_target(op: &Op) -> Option<Qubit> {
+    match *op {
+        Op::H(q) | Op::S(q) | Op::Sdg(q) | Op::X(q) | Op::Y(q) | Op::Z(q) => Some(q),
+        _ => None,
+    }
+}
+
+fn cancels(a: &Op, b: &Op) -> bool {
+    matches!(
+        (a, b),
+        (Op::H(x), Op::H(y)) if x == y
+    ) || matches!((a, b), (Op::S(x), Op::Sdg(y)) if x == y)
+        || matches!((a, b), (Op::Sdg(x), Op::S(y)) if x == y)
+        || matches!((a, b), (Op::X(x), Op::X(y)) if x == y)
+        || matches!((a, b), (Op::Y(x), Op::Y(y)) if x == y)
+        || matches!((a, b), (Op::Z(x), Op::Z(y)) if x == y)
+}
+
+/// Removes adjacent inverse single-qubit gate pairs (per qubit, across
+/// unrelated interleaved ops). Returns the number of ops removed.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_circuit::{optimize, Circuit, Op, Qubit};
+///
+/// let mut c = Circuit::new(1, 1);
+/// c.push(Op::H(Qubit::Emitter(0)));
+/// c.push(Op::H(Qubit::Emitter(0)));
+/// c.push(Op::Emit { emitter: 0, photon: 0 });
+/// assert_eq!(optimize::cancel_inverse_pairs(&mut c), 2);
+/// assert_eq!(c.ops().len(), 1);
+/// ```
+pub fn cancel_inverse_pairs(circuit: &mut Circuit) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let ops = circuit.ops();
+        let mut keep = vec![true; ops.len()];
+        // Last still-kept single-qubit op index per qubit since the qubit's
+        // last non-single-qubit op.
+        let mut pending: std::collections::BTreeMap<Qubit, usize> = std::collections::BTreeMap::new();
+        let mut removed = 0;
+        for (i, op) in ops.iter().enumerate() {
+            match single_qubit_target(op) {
+                Some(q) => {
+                    if let Some(&j) = pending.get(&q) {
+                        if cancels(&ops[j], op) {
+                            keep[i] = false;
+                            keep[j] = false;
+                            pending.remove(&q);
+                            removed += 2;
+                            continue;
+                        }
+                    }
+                    pending.insert(q, i);
+                }
+                None => {
+                    // Any multi-qubit/measurement op fences its qubits.
+                    for q in op.timeline_qubits() {
+                        pending.remove(&q);
+                    }
+                    if let Op::MeasureZ { corrections, .. } = op {
+                        for &(q, _) in corrections {
+                            pending.remove(&q);
+                        }
+                    }
+                }
+            }
+        }
+        if removed == 0 {
+            break;
+        }
+        removed_total += removed;
+        let kept: Vec<Op> = ops
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(op, _)| op.clone())
+            .collect();
+        let mut next = Circuit::new(circuit.num_emitters(), circuit.num_photons());
+        for op in kept {
+            next.push(op);
+        }
+        *circuit = next;
+    }
+    removed_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+
+    #[test]
+    fn cancels_hh_pair_across_unrelated_ops() {
+        let mut c = Circuit::new(2, 1);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::H(Qubit::Emitter(1))); // unrelated, stays
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Emit { emitter: 1, photon: 0 });
+        assert_eq!(cancel_inverse_pairs(&mut c), 2);
+        assert_eq!(c.ops().len(), 2);
+    }
+
+    #[test]
+    fn s_sdg_cancels_but_s_s_does_not() {
+        let mut c = Circuit::new(1, 0);
+        c.push(Op::S(Qubit::Emitter(0)));
+        c.push(Op::Sdg(Qubit::Emitter(0)));
+        assert_eq!(cancel_inverse_pairs(&mut c), 2);
+        let mut c = Circuit::new(1, 0);
+        c.push(Op::S(Qubit::Emitter(0)));
+        c.push(Op::S(Qubit::Emitter(0)));
+        assert_eq!(cancel_inverse_pairs(&mut c), 0);
+    }
+
+    #[test]
+    fn two_qubit_ops_fence_cancellation() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Cz(0, 1));
+        c.push(Op::H(Qubit::Emitter(0)));
+        assert_eq!(cancel_inverse_pairs(&mut c), 0);
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        // H S S† H collapses entirely (inner pair exposes the outer pair).
+        let mut c = Circuit::new(1, 0);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::S(Qubit::Emitter(0)));
+        c.push(Op::Sdg(Qubit::Emitter(0)));
+        c.push(Op::H(Qubit::Emitter(0)));
+        assert_eq!(cancel_inverse_pairs(&mut c), 4);
+        assert!(c.ops().is_empty());
+    }
+
+    #[test]
+    fn optimized_circuit_still_produces_same_state() {
+        // Hand-built 2-photon path circuit with cancellable decoration.
+        let mut c = Circuit::new(1, 2);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::S(Qubit::Emitter(0)));
+        c.push(Op::Sdg(Qubit::Emitter(0))); // cancels
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::H(Qubit::Photon(0)));
+        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c.push(Op::H(Qubit::Photon(1)));
+        c.push(Op::Z(Qubit::Photon(1)));
+        c.push(Op::Z(Qubit::Photon(1))); // cancels
+        c.push(Op::Sdg(Qubit::Emitter(0)));
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![
+                (Qubit::Photon(0), epgs_stabilizer::Pauli::Z),
+                (Qubit::Photon(1), epgs_stabilizer::Pauli::Z),
+            ],
+        });
+        let mut before0 = simulate::ConstantOutcomes(false);
+        let reference = simulate::run(&c, &mut before0).unwrap();
+        let removed = cancel_inverse_pairs(&mut c);
+        assert_eq!(removed, 4);
+        let mut after0 = simulate::ConstantOutcomes(false);
+        let optimized = simulate::run(&c, &mut after0).unwrap();
+        assert!(reference.same_state_as(&optimized));
+    }
+}

@@ -1,0 +1,100 @@
+//! OpenQASM-3-flavored export of generation circuits.
+//!
+//! Emissions are rendered as CNOTs onto `reset` photon wires and measurements
+//! as `measure` + conditional Pauli corrections, so the output loads into
+//! standard tooling for inspection (the deterministic-scheme constraints are
+//! a semantic layer on top).
+
+use crate::circuit::Circuit;
+use crate::gate::Op;
+use crate::qubit::Qubit;
+
+fn wire(q: Qubit) -> String {
+    match q {
+        Qubit::Emitter(i) => format!("e[{i}]"),
+        Qubit::Photon(i) => format!("p[{i}]"),
+    }
+}
+
+/// Renders the circuit as OpenQASM-3-style text.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_circuit::{qasm, Circuit, Op, Qubit};
+///
+/// let mut c = Circuit::new(1, 1);
+/// c.push(Op::H(Qubit::Emitter(0)));
+/// c.push(Op::Emit { emitter: 0, photon: 0 });
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("cx e[0], p[0];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 3.0;\n");
+    out.push_str(&format!("qubit[{}] e;\n", circuit.num_emitters().max(1)));
+    out.push_str(&format!("qubit[{}] p;\n", circuit.num_photons().max(1)));
+    out.push_str(&format!("bit[{}] m;\n", circuit.measurement_count().max(1)));
+    let mut meas = 0usize;
+    for op in circuit.ops() {
+        match op {
+            Op::H(q) => out.push_str(&format!("h {};\n", wire(*q))),
+            Op::S(q) => out.push_str(&format!("s {};\n", wire(*q))),
+            Op::Sdg(q) => out.push_str(&format!("sdg {};\n", wire(*q))),
+            Op::X(q) => out.push_str(&format!("x {};\n", wire(*q))),
+            Op::Y(q) => out.push_str(&format!("y {};\n", wire(*q))),
+            Op::Z(q) => out.push_str(&format!("z {};\n", wire(*q))),
+            Op::Cz(a, b) => out.push_str(&format!("cz e[{a}], e[{b}];\n")),
+            Op::Cnot(a, b) => out.push_str(&format!("cx e[{a}], e[{b}];\n")),
+            Op::Emit { emitter, photon } => {
+                out.push_str(&format!("// emission of photon {photon}\n"));
+                out.push_str(&format!("cx e[{emitter}], p[{photon}];\n"));
+            }
+            Op::MeasureZ {
+                emitter,
+                corrections,
+            } => {
+                out.push_str(&format!("m[{meas}] = measure e[{emitter}];\n"));
+                for (q, pauli) in corrections {
+                    out.push_str(&format!(
+                        "if (m[{meas}]) {} {};\n",
+                        format!("{pauli}").to_lowercase(),
+                        wire(*q)
+                    ));
+                }
+                out.push_str(&format!("if (m[{meas}]) x e[{emitter}]; // reset\n"));
+                meas += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_stabilizer::Pauli;
+
+    #[test]
+    fn qasm_contains_header_and_ops() {
+        let mut c = Circuit::new(2, 1);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Cz(0, 1));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::MeasureZ {
+            emitter: 1,
+            corrections: vec![(Qubit::Photon(0), Pauli::Z)],
+        });
+        let s = to_qasm(&c);
+        assert!(s.starts_with("OPENQASM 3.0;"));
+        assert!(s.contains("cz e[0], e[1];"));
+        assert!(s.contains("m[0] = measure e[1];"));
+        assert!(s.contains("if (m[0]) z p[0];"));
+    }
+
+    #[test]
+    fn empty_circuit_is_still_valid_text() {
+        let s = to_qasm(&Circuit::new(0, 0));
+        assert!(s.contains("qubit[1] e;"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The two qubit species of deterministic graph-state generation.
+
+/// A qubit in an emitter-photonic generation circuit.
+///
+/// Emitters are matter qubits (quantum dots, color centers, …) that interact
+/// with each other and emit photons; photons exist only after their emission
+/// and afterwards accept single-qubit gates only (paper §II.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Qubit {
+    /// The `i`-th emitter.
+    Emitter(usize),
+    /// The `i`-th photon.
+    Photon(usize),
+}
+
+impl Qubit {
+    /// True for emitter qubits.
+    pub fn is_emitter(self) -> bool {
+        matches!(self, Qubit::Emitter(_))
+    }
+
+    /// True for photon qubits.
+    pub fn is_photon(self) -> bool {
+        matches!(self, Qubit::Photon(_))
+    }
+
+    /// The species-local index.
+    pub fn index(self) -> usize {
+        match self {
+            Qubit::Emitter(i) | Qubit::Photon(i) => i,
+        }
+    }
+}
+
+impl std::fmt::Display for Qubit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Qubit::Emitter(i) => write!(f, "e{i}"),
+            Qubit::Photon(i) => write!(f, "p{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_predicates() {
+        assert!(Qubit::Emitter(0).is_emitter());
+        assert!(!Qubit::Emitter(0).is_photon());
+        assert!(Qubit::Photon(3).is_photon());
+        assert_eq!(Qubit::Photon(3).index(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Qubit::Emitter(1).to_string(), "e1");
+        assert_eq!(Qubit::Photon(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut v = vec![Qubit::Photon(0), Qubit::Emitter(1), Qubit::Emitter(0)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Qubit::Emitter(0), Qubit::Emitter(1), Qubit::Photon(0)]
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Tableau-backed simulation of generation circuits.
+//!
+//! The simulator is the compiler's acceptance test: run the circuit forward
+//! from all-|0⟩ and check that the photons carry the target graph state while
+//! every emitter returns to |0⟩. Measurement outcomes are supplied by the
+//! caller (deterministic verification explores both branches); corrections
+//! recorded in [`Op::MeasureZ`] are applied on outcome 1, and the measured
+//! emitter is reset to |0⟩ so it can be reused.
+
+use epgs_graph::Graph;
+use epgs_stabilizer::{verify, Pauli, Tableau};
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Op;
+use crate::qubit::Qubit;
+
+/// Maps circuit qubits onto tableau wire indices: emitters first, then
+/// photons.
+#[derive(Debug, Clone, Copy)]
+pub struct WireMap {
+    emitters: usize,
+}
+
+impl WireMap {
+    /// Builds the map for a circuit layout.
+    pub fn new(circuit: &Circuit) -> Self {
+        WireMap {
+            emitters: circuit.num_emitters(),
+        }
+    }
+
+    /// Tableau wire of a circuit qubit.
+    pub fn wire(&self, q: Qubit) -> usize {
+        match q {
+            Qubit::Emitter(i) => i,
+            Qubit::Photon(i) => self.emitters + i,
+        }
+    }
+}
+
+/// Chooses forced outcomes for the random measurements of a run.
+pub trait OutcomePolicy {
+    /// Forced outcome for the `k`-th measurement op in program order.
+    fn outcome(&mut self, k: usize) -> bool;
+}
+
+/// Forces every random outcome to a constant.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantOutcomes(pub bool);
+
+impl OutcomePolicy for ConstantOutcomes {
+    fn outcome(&mut self, _k: usize) -> bool {
+        self.0
+    }
+}
+
+/// Forces outcomes from a bit list (missing entries default to false).
+#[derive(Debug, Clone, Default)]
+pub struct ListedOutcomes(pub Vec<bool>);
+
+impl OutcomePolicy for ListedOutcomes {
+    fn outcome(&mut self, k: usize) -> bool {
+        self.0.get(k).copied().unwrap_or(false)
+    }
+}
+
+/// Runs `circuit` from all-|0⟩ and returns the final tableau
+/// (wires: emitters `0..m`, photons `m..m+n`).
+///
+/// # Errors
+///
+/// Propagates structural errors discovered mid-run (the circuit should be
+/// [`Circuit::validate`]d first, so these indicate compiler bugs).
+pub fn run<P: OutcomePolicy>(
+    circuit: &Circuit,
+    outcomes: &mut P,
+) -> Result<Tableau, CircuitError> {
+    let map = WireMap::new(circuit);
+    let total = circuit.num_emitters() + circuit.num_photons();
+    let mut t = Tableau::zero_state(total);
+    let mut measurement_index = 0usize;
+    for op in circuit.ops() {
+        match op {
+            Op::H(q) => t.h(map.wire(*q)),
+            Op::S(q) => t.s(map.wire(*q)),
+            Op::Sdg(q) => t.sdg(map.wire(*q)),
+            Op::X(q) => t.px(map.wire(*q)),
+            Op::Y(q) => t.py(map.wire(*q)),
+            Op::Z(q) => t.pz(map.wire(*q)),
+            Op::Cz(a, b) => t.cz(map.wire(Qubit::Emitter(*a)), map.wire(Qubit::Emitter(*b))),
+            Op::Cnot(a, b) => t.cnot(map.wire(Qubit::Emitter(*a)), map.wire(Qubit::Emitter(*b))),
+            Op::Emit { emitter, photon } => {
+                // Photon wire is in |0⟩ by construction; emission is a CNOT
+                // from the emitter onto it.
+                t.cnot(map.wire(Qubit::Emitter(*emitter)), map.wire(Qubit::Photon(*photon)));
+            }
+            Op::MeasureZ {
+                emitter,
+                corrections,
+            } => {
+                let wire = map.wire(Qubit::Emitter(*emitter));
+                let forced = outcomes.outcome(measurement_index);
+                // The policy is advisory: a deterministic measurement keeps
+                // its true bit regardless of the forced value.
+                let bit = t.measure_z(wire, forced).bit();
+                if bit {
+                    for &(q, p) in corrections {
+                        let w = map.wire(q);
+                        match p {
+                            Pauli::I => {}
+                            Pauli::X => t.px(w),
+                            Pauli::Y => t.py(w),
+                            Pauli::Z => t.pz(w),
+                        }
+                    }
+                    // Reset the emitter |1⟩ → |0⟩ for reuse.
+                    t.px(wire);
+                }
+                measurement_index += 1;
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// True if running `circuit` under `outcomes` produces exactly |target⟩ on
+/// the photon wires with all emitters in |0⟩.
+pub fn produces_graph_state<P: OutcomePolicy>(
+    circuit: &Circuit,
+    target: &Graph,
+    outcomes: &mut P,
+) -> Result<bool, CircuitError> {
+    let t = run(circuit, outcomes)?;
+    let map = WireMap::new(circuit);
+    let photon_wires: Vec<usize> = (0..circuit.num_photons())
+        .map(|p| map.wire(Qubit::Photon(p)))
+        .collect();
+    Ok(verify::is_graph_state_on(&t, target, &photon_wires))
+}
+
+/// Thorough verification: the circuit must produce |target⟩ on the all-zeros
+/// branch, the all-ones branch, and several pseudorandom outcome patterns.
+///
+/// # Errors
+///
+/// Propagates structural circuit errors.
+pub fn verify_circuit(circuit: &Circuit, target: &Graph) -> Result<bool, CircuitError> {
+    circuit.validate().map_err(|e| e.clone())?;
+    for pattern in 0..6u64 {
+        let bits: Vec<bool> = (0..circuit.measurement_count())
+            .map(|k| match pattern {
+                0 => false,
+                1 => true,
+                p => ((k as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(p) >> 17) & 1 == 1,
+            })
+            .collect();
+        let mut policy = ListedOutcomes(bits);
+        if !produces_graph_state(circuit, target, &mut policy)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_photon_circuit() {
+        // H e0; EMIT e0→p0 makes (e0,p0) GHZ₂; H e0; measure e0 with
+        // correction Z p0 gives photon |+⟩ = 1-vertex graph state, emitter |0⟩.
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::H(Qubit::Photon(0)));
+        // state: graph edge (e0, p0). Now Z-measure e0: removes e0 from the
+        // graph; outcome-1 branch needs Z on p0.
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![(Qubit::Photon(0), Pauli::Z)],
+        });
+        let target = Graph::new(1); // single-vertex graph state = |+⟩
+        assert!(verify_circuit(&c, &target).unwrap());
+    }
+
+    #[test]
+    fn y_measurement_fuses_star_into_bell_pair() {
+        // H e0; EMIT p0; H p0 → edge (e0,p0); EMIT p1; H p1 → star centered
+        // at e0 with leaves p0, p1. Measuring e0 in the Y basis applies the
+        // LC(e0)-then-delete rule, fusing p0-p1 into a Bell graph state up to
+        // local Cliffords on the photons. The Y measurement is realized as
+        // S†,H on the emitter followed by MeasureZ.
+        let mut c = Circuit::new(1, 2);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::H(Qubit::Photon(0)));
+        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c.push(Op::H(Qubit::Photon(1)));
+        c.push(Op::Sdg(Qubit::Emitter(0)));
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![(Qubit::Photon(0), Pauli::Z), (Qubit::Photon(1), Pauli::Z)],
+        });
+        let mut pol = ConstantOutcomes(false);
+        let t = run(&c, &mut pol).unwrap();
+        // Expected up to single-qubit Cliffords on the photons: reduce to
+        // graph form and check the photons are connected to each other and
+        // the emitter wire is isolated.
+        let mut reduced = t.clone();
+        let form = epgs_stabilizer::to_graph_form(&mut reduced).unwrap();
+        assert_eq!(form.graph.degree(0), 0, "emitter wire must be free");
+        assert!(form.graph.has_edge(1, 2), "photons must be fused: {:?}", form.graph);
+    }
+
+    #[test]
+    fn emission_creates_pendant_vertex() {
+        // |+⟩ emitter + emission + H photon = edge (e,p): the core identity
+        // the reverse solver relies on.
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::H(Qubit::Photon(0)));
+        let mut pol = ConstantOutcomes(false);
+        let t = run(&c, &mut pol).unwrap();
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1).unwrap();
+        assert!(t.same_state_as(&Tableau::graph_state(&g)));
+    }
+
+    #[test]
+    fn wire_map_layout() {
+        let c = Circuit::new(3, 2);
+        let m = WireMap::new(&c);
+        assert_eq!(m.wire(Qubit::Emitter(2)), 2);
+        assert_eq!(m.wire(Qubit::Photon(0)), 3);
+        assert_eq!(m.wire(Qubit::Photon(1)), 4);
+    }
+
+    #[test]
+    fn constant_and_listed_policies() {
+        let mut c = ConstantOutcomes(true);
+        assert!(c.outcome(0) && c.outcome(7));
+        let mut l = ListedOutcomes(vec![true, false]);
+        assert!(l.outcome(0));
+        assert!(!l.outcome(1));
+        assert!(!l.outcome(9), "missing entries default to false");
+    }
+
+    #[test]
+    fn measured_emitter_is_reset_for_reuse() {
+        // Emitter measured (random outcome forced to 1), then reused: final
+        // state must still be clean.
+        let mut c = Circuit::new(1, 1);
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::MeasureZ { emitter: 0, corrections: vec![] });
+        // After reset the emitter is |0⟩ again; emit a photon normally.
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::H(Qubit::Photon(0)));
+        c.push(Op::Sdg(Qubit::Emitter(0)));
+        c.push(Op::H(Qubit::Emitter(0)));
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![(Qubit::Photon(0), Pauli::X)],
+        });
+        for forced in [false, true] {
+            let mut pol = ConstantOutcomes(forced);
+            let t = run(&c, &mut pol).unwrap();
+            assert!(t.is_valid_state());
+        }
+    }
+
+}

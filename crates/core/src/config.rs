@@ -1,0 +1,81 @@
+//! Framework configuration.
+
+use epgs_hardware::HardwareModel;
+use epgs_partition::PartitionSpec;
+
+/// How many emitters the hardware offers the scheduler (paper §V.B.2 uses
+/// `1.5 × Ne_min` and `2 × Ne_min`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmitterBudget {
+    /// A multiple of the target graph's minimal emitter count.
+    Factor(f64),
+    /// An absolute emitter count.
+    Absolute(usize),
+}
+
+impl EmitterBudget {
+    /// Resolves the budget against a minimal emitter count.
+    pub fn resolve(self, ne_min: usize) -> usize {
+        match self {
+            EmitterBudget::Factor(f) => ((ne_min as f64 * f).ceil() as usize).max(1),
+            EmitterBudget::Absolute(n) => n.max(1),
+        }
+    }
+}
+
+/// Complete configuration of the compilation framework.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// Partitioning parameters (g_max, LC budget l, search effort).
+    pub partition: PartitionSpec,
+    /// Hardware timing/loss model.
+    pub hardware: HardwareModel,
+    /// Emitter budget Ne_limit.
+    pub emitter_budget: EmitterBudget,
+    /// Candidate emission orderings explored per subgraph.
+    pub orderings_per_subgraph: usize,
+    /// Flexible-resource slack: each subgraph is also compiled with
+    /// `ne_min + 1 … ne_min + slack` emitters (paper §IV.B uses 2).
+    pub flexible_slack: usize,
+    /// Verify the final circuit against the target (strongly recommended).
+    pub verify: bool,
+    /// Seed for the randomized phases.
+    pub seed: u64,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            partition: PartitionSpec::default(),
+            hardware: HardwareModel::quantum_dot(),
+            emitter_budget: EmitterBudget::Factor(1.5),
+            orderings_per_subgraph: 8,
+            flexible_slack: 2,
+            verify: true,
+            seed: 0xec05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_resolution() {
+        assert_eq!(EmitterBudget::Factor(1.5).resolve(4), 6);
+        assert_eq!(EmitterBudget::Factor(2.0).resolve(3), 6);
+        assert_eq!(EmitterBudget::Factor(1.5).resolve(1), 2);
+        assert_eq!(EmitterBudget::Absolute(5).resolve(100), 5);
+        assert_eq!(EmitterBudget::Absolute(0).resolve(3), 1, "clamped to 1");
+        assert_eq!(EmitterBudget::Factor(0.1).resolve(2), 1);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let c = FrameworkConfig::default();
+        assert_eq!(c.partition.g_max, 7);
+        assert_eq!(c.partition.lc_budget, 15);
+        assert_eq!(c.flexible_slack, 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types of the compilation framework.
+
+use epgs_solver::SolverError;
+
+/// Errors raised by the end-to-end framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkError {
+    /// A subgraph or the global assembly failed to solve.
+    Solver(SolverError),
+    /// The assembled circuit failed final verification against the target —
+    /// an internal bug by definition.
+    VerificationFailed,
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::Solver(e) => write!(f, "solver failure: {e}"),
+            FrameworkError::VerificationFailed => {
+                write!(f, "assembled circuit failed verification against the target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Solver(e) => Some(e),
+            FrameworkError::VerificationFailed => None,
+        }
+    }
+}
+
+impl From<SolverError> for FrameworkError {
+    fn from(e: SolverError) -> Self {
+        FrameworkError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = FrameworkError::Solver(SolverError::VerificationFailed);
+        assert!(e.to_string().contains("solver failure"));
+        assert!(e.source().is_some());
+        assert!(FrameworkError::VerificationFailed.source().is_none());
+    }
+}

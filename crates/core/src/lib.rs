@@ -1,0 +1,43 @@
+//! # epgs — a scalable compilation framework for emitter-photonic graph states
+//!
+//! Rust reproduction of the DAC 2025 paper *"A Scalable and Robust
+//! Compilation Framework for Emitter-Photonic Graph State"* (Ren, Huang,
+//! Liang, Barbalace). Given a target graph state, the framework produces a
+//! verified generation circuit for the deterministic (emitter-based) scheme:
+//!
+//! 1. partition the graph into subgraphs with depth-limited local
+//!    complementation (minimizing inter-subgraph entanglement);
+//! 2. compile each subgraph near-optimally under a flexible emitter budget;
+//! 3. schedule the subgraph circuits as-late-as-possible under the global
+//!    emitter budget, maximizing emitter utilization;
+//! 4. recombine into one global circuit and verify it with a stabilizer
+//!    simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use epgs::{Framework, FrameworkConfig};
+//! use epgs_graph::generators;
+//!
+//! # fn main() -> Result<(), epgs::FrameworkError> {
+//! // Compile a 3×3 MBQC lattice graph state.
+//! let fw = Framework::new(FrameworkConfig::default());
+//! let compiled = fw.compile(&generators::lattice(3, 3))?;
+//! println!("{}", epgs::report::render(&compiled));
+//! assert_eq!(compiled.circuit.emission_count(), 9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod framework;
+pub mod report;
+pub mod schedule;
+pub mod subgraph;
+
+pub use config::{EmitterBudget, FrameworkConfig};
+pub use error::FrameworkError;
+pub use framework::{compile, Compiled, Framework};
+pub use schedule::{schedule, Placement, Schedule, StepFn};
+pub use subgraph::{compile_subgraph, SubgraphPlan, SubgraphVariant};

@@ -1,0 +1,79 @@
+//! Human-readable compilation reports.
+
+use crate::framework::Compiled;
+
+/// Renders a one-target report: partition, schedule, and circuit metrics.
+///
+/// # Examples
+///
+/// ```
+/// use epgs::{compile, report};
+/// use epgs_graph::generators;
+///
+/// # fn main() -> Result<(), epgs::FrameworkError> {
+/// let compiled = compile(&generators::path(4))?;
+/// let text = report::render(&compiled);
+/// assert!(text.contains("ee-CNOTs"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(c: &Compiled) -> String {
+    let mut out = String::new();
+    out.push_str("=== epgs compilation report ===\n");
+    out.push_str(&format!(
+        "photons: {}   Ne_min: {}   Ne_limit: {}\n",
+        c.circuit.num_photons(),
+        c.ne_min,
+        c.ne_limit
+    ));
+    out.push_str(&format!(
+        "partition: {} blocks, cut {} edges, {} LC ops\n",
+        c.plans.len(),
+        c.partition.cut,
+        c.partition.lc_sequence.len()
+    ));
+    for (i, plan) in c.plans.iter().enumerate() {
+        let v = &plan.variants[0];
+        out.push_str(&format!(
+            "  block {i}: {} photons, {} emitters, {} ee-CNOTs, {:.2} τ\n",
+            plan.photon_count(),
+            v.emitters,
+            v.ee_cnots,
+            v.duration
+        ));
+    }
+    out.push_str(&format!(
+        "schedule: makespan estimate {:.2} τ under {} emitters\n",
+        c.schedule.makespan, c.schedule.ne_limit
+    ));
+    out.push_str(&format!(
+        "final circuit: {} ee-CNOTs, {:.2} τ duration, T_loss {:.2} τ, \
+         {} measurements, {} single-qubit gates\n",
+        c.metrics.ee_two_qubit_count,
+        c.metrics.duration,
+        c.metrics.t_loss,
+        c.metrics.measurements,
+        c.metrics.single_qubit_gates
+    ));
+    out.push_str(&format!(
+        "photon loss: mean {:.4}, any-photon {:.4}\n",
+        c.metrics.loss.mean_photon_loss, c.metrics.loss.any_photon_loss
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::framework::compile;
+    use epgs_graph::generators;
+
+    #[test]
+    fn report_contains_key_lines() {
+        let c = compile(&generators::lattice(2, 3)).unwrap();
+        let text = super::render(&c);
+        assert!(text.contains("partition:"));
+        assert!(text.contains("schedule:"));
+        assert!(text.contains("final circuit:"));
+        assert!(text.contains("photon loss:"));
+    }
+}

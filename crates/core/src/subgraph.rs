@@ -1,0 +1,231 @@
+//! Per-subgraph compilation (paper §IV.B).
+//!
+//! Each leaf subgraph is small (≤ g_max), so near-optimal circuits are found
+//! by explicit search: candidate emission orderings (the low-degree-first DFS
+//! heuristic, BFS, natural, and connectivity-respecting random samples) are
+//! ranked by the height-function cost estimate, the best few are compiled
+//! for real, and among minimal-#CNOT candidates the one with the smallest
+//! photon-loss exposure T_loss wins. The flexible-resource policy compiles
+//! every survivor at `ne_min … ne_min + slack` emitters so the scheduler can
+//! trade emitters for parallelism (§IV.C).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use epgs_circuit::{circuit_metrics, timeline};
+use epgs_graph::Graph;
+use epgs_hardware::HardwareModel;
+use epgs_solver::cost::estimate_ordering;
+use epgs_solver::reverse::{solve_with_ordering, Solved, SolveOptions};
+use epgs_solver::{ordering, SolverError};
+
+/// One compiled variant of a subgraph at a fixed emitter limit.
+#[derive(Debug, Clone)]
+pub struct SubgraphVariant {
+    /// Emitters used by this variant.
+    pub emitters: usize,
+    /// The compiled circuit (local photon indices `0..k`).
+    pub solved: Solved,
+    /// Circuit duration in τ.
+    pub duration: f64,
+    /// Emitter-emitter CNOT count.
+    pub ee_cnots: usize,
+    /// Mean photon storage time.
+    pub t_loss: f64,
+    /// ALAP emission time of each local photon.
+    pub emission_times: Vec<f64>,
+    /// Emitter-usage step curve `(times, counts)`.
+    pub usage: (Vec<f64>, Vec<usize>),
+}
+
+/// The compilation result for one subgraph: the chosen ordering compiled at
+/// several emitter limits (variants sorted by emitter count).
+#[derive(Debug, Clone)]
+pub struct SubgraphPlan {
+    /// Map from local photon index to the parent graph's vertex id.
+    pub vertices: Vec<usize>,
+    /// Variants at `ne_min`, `ne_min+1`, … (at least one).
+    pub variants: Vec<SubgraphVariant>,
+}
+
+impl SubgraphPlan {
+    /// Number of photons in the subgraph.
+    pub fn photon_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Scheduling priority `P_c = n_p / T_c` of the base variant (§IV.C).
+    pub fn priority(&self) -> f64 {
+        let base = &self.variants[0];
+        if base.duration <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.photon_count() as f64 / base.duration
+        }
+    }
+}
+
+/// Compiles one subgraph.
+///
+/// `sub` uses local indices; `vertices[local] = parent vertex id`.
+///
+/// # Errors
+///
+/// Propagates solver failures (which, given automatic pool growth, indicate
+/// an internal bug rather than an input condition).
+pub fn compile_subgraph(
+    sub: &Graph,
+    vertices: &[usize],
+    hw: &HardwareModel,
+    orderings_budget: usize,
+    flexible_slack: usize,
+    seed: u64,
+) -> Result<SubgraphPlan, SolverError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Candidate orderings: deterministic heuristics + random connected.
+    let mut candidates: Vec<Vec<usize>> = vec![
+        ordering::degree_dfs(sub),
+        ordering::bfs(sub),
+        ordering::natural(sub),
+    ];
+    for _ in 0..orderings_budget.saturating_sub(candidates.len()) {
+        candidates.push(ordering::random_connected(sub, &mut rng));
+    }
+    candidates.sort();
+    candidates.dedup();
+    // Rank by the cheap estimate and keep the most promising half (at least
+    // the three deterministic ones).
+    candidates.sort_by_key(|ord| {
+        let e = estimate_ordering(sub, ord);
+        (e.score, e.emitters)
+    });
+    candidates.truncate(orderings_budget.max(3).div_ceil(2).max(3));
+
+    // Compile every candidate at ne_min; keep the best by (#CNOT, T_loss).
+    let solve_opts = SolveOptions {
+        verify: false, // the framework verifies the final global circuit
+        ..SolveOptions::default()
+    };
+    let mut best: Option<(Vec<usize>, SubgraphVariant)> = None;
+    for ord in &candidates {
+        let Ok(solved) = solve_with_ordering(sub, ord, &solve_opts) else {
+            continue;
+        };
+        let variant = make_variant(hw, solved);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => {
+                (variant.ee_cnots, variant.t_loss, variant.duration)
+                    < (b.ee_cnots, b.t_loss, b.duration)
+            }
+        };
+        if better {
+            best = Some((ord.clone(), variant));
+        }
+    }
+    let (chosen_ordering, base) =
+        best.ok_or(SolverError::InsufficientEmitters { pool: 0, photon: 0 })?;
+
+    // Flexible resource constraint: recompile at ne_min+1 … ne_min+slack.
+    let mut variants = vec![base];
+    for extra in 1..=flexible_slack {
+        let opts = SolveOptions {
+            emitters: Some(variants[0].emitters + extra),
+            verify: false,
+            ..SolveOptions::default()
+        };
+        if let Ok(solved) = solve_with_ordering(sub, &chosen_ordering, &opts) {
+            variants.push(make_variant(hw, solved));
+        }
+    }
+    Ok(SubgraphPlan {
+        vertices: vertices.to_vec(),
+        variants,
+    })
+}
+
+fn make_variant(hw: &HardwareModel, solved: Solved) -> SubgraphVariant {
+    let tl = timeline(hw, &solved.circuit);
+    let m = circuit_metrics(hw, &solved.circuit);
+    SubgraphVariant {
+        emitters: solved.emitters,
+        duration: tl.duration,
+        ee_cnots: m.ee_two_qubit_count,
+        t_loss: m.t_loss,
+        emission_times: tl.emission_time.clone(),
+        usage: epgs_circuit::usage_curve(hw, &solved.circuit),
+        solved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::generators;
+
+    fn hw() -> HardwareModel {
+        HardwareModel::quantum_dot()
+    }
+
+    #[test]
+    fn path_subgraph_compiles_optimally() {
+        let sub = generators::path(6);
+        let vertices: Vec<usize> = (10..16).collect();
+        let plan = compile_subgraph(&sub, &vertices, &hw(), 6, 2, 1).unwrap();
+        assert_eq!(plan.photon_count(), 6);
+        assert_eq!(plan.variants[0].ee_cnots, 0, "paths need no ee-CNOTs");
+        assert_eq!(plan.variants[0].emitters, 1);
+        // Flexible variants exist at +1 and +2 emitters.
+        assert!(plan.variants.len() >= 2);
+        assert!(plan.variants[1].emitters > plan.variants[0].emitters);
+    }
+
+    #[test]
+    fn variant_emission_times_cover_all_photons() {
+        let sub = generators::cycle(5);
+        let plan = compile_subgraph(&sub, &[0, 1, 2, 3, 4], &hw(), 6, 1, 2).unwrap();
+        for v in &plan.variants {
+            assert_eq!(v.emission_times.len(), 5);
+            assert!(v.emission_times.iter().all(|&t| t <= v.duration + 1e-9));
+        }
+    }
+
+    #[test]
+    fn priority_favors_many_photons_short_duration() {
+        let short = compile_subgraph(&generators::path(5), &[0, 1, 2, 3, 4], &hw(), 4, 0, 3)
+            .unwrap();
+        let long = compile_subgraph(
+            &generators::complete(5),
+            &[5, 6, 7, 8, 9],
+            &hw(),
+            4,
+            0,
+            3,
+        )
+        .unwrap();
+        // Same photon count; the path compiles to a shorter circuit, so its
+        // priority must be higher.
+        assert!(short.priority() > long.priority());
+    }
+
+    #[test]
+    fn search_beats_or_matches_natural_order_on_star() {
+        let sub = generators::star(6);
+        let plan = compile_subgraph(&sub, &[0, 1, 2, 3, 4, 5], &hw(), 8, 0, 4).unwrap();
+        let natural = solve_with_ordering(
+            &sub,
+            &ordering::natural(&sub),
+            &SolveOptions::default(),
+        )
+        .unwrap();
+        assert!(plan.variants[0].ee_cnots <= natural.circuit.ee_two_qubit_count());
+    }
+
+    #[test]
+    fn single_vertex_subgraph() {
+        let sub = Graph::new(1);
+        let plan = compile_subgraph(&sub, &[3], &hw(), 2, 1, 5).unwrap();
+        assert_eq!(plan.photon_count(), 1);
+        assert_eq!(plan.variants[0].solved.circuit.emission_count(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Graphviz DOT export, for inspecting benchmark graphs and partitions.
+
+use crate::graph::Graph;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// If `block_of` is provided (one block id per vertex), vertices are colored
+/// by block, which visualizes a partition.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::{generators, dot};
+///
+/// let s = dot::to_dot(&generators::path(3), None);
+/// assert!(s.contains("0 -- 1"));
+/// ```
+pub fn to_dot(g: &Graph, block_of: Option<&[usize]>) -> String {
+    const PALETTE: [&str; 8] = [
+        "lightblue", "lightgreen", "lightsalmon", "plum", "khaki", "lightcyan", "pink", "wheat",
+    ];
+    let mut out = String::from("graph G {\n  node [style=filled];\n");
+    for v in 0..g.vertex_count() {
+        let color = block_of
+            .and_then(|b| b.get(v))
+            .map(|&blk| PALETTE[blk % PALETTE.len()])
+            .unwrap_or("white");
+        out.push_str(&format!("  {v} [fillcolor={color}];\n"));
+    }
+    for (a, b) in g.edges() {
+        out.push_str(&format!("  {a} -- {b};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_edges_and_vertices() {
+        let g = generators::cycle(4);
+        let s = to_dot(&g, None);
+        for (a, b) in g.edges() {
+            assert!(s.contains(&format!("{a} -- {b}")));
+        }
+        assert!(s.starts_with("graph G {"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_colors_blocks() {
+        let g = generators::path(2);
+        let s = to_dot(&g, Some(&[0, 1]));
+        assert!(s.contains("lightblue"));
+        assert!(s.contains("lightgreen"));
+    }
+}

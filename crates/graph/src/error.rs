@@ -1,0 +1,70 @@
+//! Error types for graph construction and transformation.
+
+/// Errors raised by graph construction and graph-state transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was not below the graph's vertex count.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The graph's vertex count.
+        count: usize,
+    },
+    /// An edge `(v, v)` was requested; graph states have no self-loops.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// A pivot `(u, v)` was requested on a non-edge.
+    PivotRequiresEdge {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+    },
+    /// An X-measurement rule needed a neighbor but the vertex was isolated.
+    IsolatedVertex {
+        /// The isolated vertex.
+        vertex: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, count } => {
+                write!(f, "vertex {vertex} out of range for graph with {count} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::PivotRequiresEdge { a, b } => {
+                write!(f, "pivot requires an edge between {a} and {b}")
+            }
+            GraphError::IsolatedVertex { vertex } => {
+                write!(f, "operation requires vertex {vertex} to have a neighbor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, count: 3 };
+        assert_eq!(e.to_string(), "vertex 7 out of range for graph with 3 vertices");
+        let e = GraphError::SelfLoop { vertex: 1 };
+        assert!(e.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

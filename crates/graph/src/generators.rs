@@ -1,0 +1,293 @@
+//! Benchmark graph families.
+//!
+//! These cover the paper's Fig. 9 workloads — 2D lattice (MBQC), trees (QRAM
+//! routers / tree codes), and Waxman random graphs (distributed-QC
+//! topologies) — plus the standard families used in unit tests and the
+//! repeater graph state of Azuma et al.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Linear cluster state graph (a path) on `n` vertices.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i))).expect("path edges are in range")
+}
+
+/// Cycle on `n` vertices (`n ≥ 3` gives a ring; smaller n degenerates to a path).
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0).expect("endpoints are in range");
+    }
+    g
+}
+
+/// Complete graph K_n (LC-equivalent to the GHZ-state star).
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(a, b).expect("indices are in range");
+        }
+    }
+    g
+}
+
+/// Star with hub `0` and `n - 1` leaves (the GHZ-state graph).
+pub fn star(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| (0, i))).expect("star edges are in range")
+}
+
+/// 2D square lattice with `rows` × `cols` vertices, the basic MBQC resource.
+///
+/// Vertex `(r, c)` has index `r * cols + c`.
+pub fn lattice(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1).expect("in range");
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols).expect("in range");
+            }
+        }
+    }
+    g
+}
+
+/// Complete `arity`-ary tree truncated to exactly `n` vertices, breadth-first.
+///
+/// This is the QRAM-router / tree-code shape: vertex 0 is the root and vertex
+/// `i > 0` hangs off vertex `(i - 1) / arity`.
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+pub fn tree(n: usize, arity: usize) -> Graph {
+    assert!(arity > 0, "tree arity must be positive");
+    Graph::from_edges(n, (1..n).map(|i| ((i - 1) / arity, i))).expect("tree edges are in range")
+}
+
+/// Uniformly random labelled tree on `n` vertices (random Prüfer sequence).
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    if n <= 1 {
+        return Graph::new(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("in range");
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut g = Graph::new(n);
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        g.add_edge(leaf, v).expect("in range");
+        degree[leaf] -= 1;
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&v| degree[v] == 1).collect();
+    debug_assert_eq!(remaining.len(), 2);
+    g.add_edge(remaining[0], remaining[1]).expect("in range");
+    g
+}
+
+/// Waxman random graph on `n` vertices in the unit square.
+///
+/// Vertices are placed uniformly; an edge `(u, v)` appears with probability
+/// `alpha * exp(-d(u, v) / (beta * L))` where `L` is the maximum distance
+/// (√2 for the unit square). Disconnected results are patched by linking each
+/// later component to the first through its geometrically closest pair, which
+/// preserves the distance-dependent flavor of the model while guaranteeing a
+/// usable benchmark instance (the paper's workloads are connected).
+pub fn waxman<R: Rng + ?Sized>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> Graph {
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let dx = pts[a].0 - pts[b].0;
+        let dy = pts[a].1 - pts[b].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let l = std::f64::consts::SQRT_2;
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = alpha * (-dist(a, b) / (beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge(a, b).expect("in range");
+            }
+        }
+    }
+    // Patch connectivity: join every later component to the first via the
+    // geometrically closest cross pair.
+    loop {
+        let comps = g.connected_components();
+        if comps.len() <= 1 {
+            break;
+        }
+        let base = &comps[0];
+        let other = &comps[1];
+        let (&a, &b) = base
+            .iter()
+            .flat_map(|a| other.iter().map(move |b| (a, b)))
+            .min_by(|(a1, b1), (a2, b2)| {
+                dist(**a1, **b1)
+                    .partial_cmp(&dist(**a2, **b2))
+                    .expect("distances are finite")
+            })
+            .expect("components are non-empty");
+        g.add_edge(a, b).expect("in range");
+    }
+    g
+}
+
+/// Erdős–Rényi G(n, p) random graph.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(a, b).expect("in range");
+            }
+        }
+    }
+    g
+}
+
+/// Repeater graph state of Azuma et al.: a complete core on `2 m` vertices
+/// with one leaf attached to each core vertex (total `4 m` vertices).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn repeater_graph_state(m: usize) -> Graph {
+    assert!(m > 0, "repeater graph state needs m ≥ 1");
+    let core = 2 * m;
+    let mut g = complete(core);
+    for v in 0..core {
+        let leaf = g.add_vertex();
+        g.add_edge(v, leaf).expect("in range");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn path_degenerate_sizes() {
+        assert_eq!(path(0).vertex_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!((0..6).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn cycle_small_degenerates_to_path() {
+        assert_eq!(cycle(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(7).edge_count(), 21);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn lattice_shape() {
+        let g = lattice(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = tree(7, 2);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.is_connected());
+        // Leaves of the complete binary tree on 7 vertices.
+        for v in 3..7 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 3, 8, 20] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.edge_count(), n - 1);
+            assert!(g.is_connected(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn waxman_is_connected_and_seeded() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let g1 = waxman(20, 0.4, 0.2, &mut r1);
+        let g2 = waxman(20, 0.4, 0.2, &mut r2);
+        assert_eq!(g1, g2, "same seed must give the same graph");
+        assert!(g1.is_connected());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(erdos_renyi(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn rgs_shape() {
+        let g = repeater_graph_state(2);
+        assert_eq!(g.vertex_count(), 8);
+        // K4 core (6 edges) + 4 leaves.
+        assert_eq!(g.edge_count(), 10);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 4);
+        }
+        for v in 4..8 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Dense linear algebra over GF(2) backed by 64-bit words.
+//!
+//! The compiler needs small, fast boolean matrix kernels in two places:
+//! the *height function* of a graph state (rank of an off-diagonal adjacency
+//! block, see [`crate::height`]) and the echelon-form manipulations of
+//! stabilizer tableaux in `epgs-stabilizer`. Matrices here are dense and
+//! row-major; all sizes in this workspace are at most a few hundred, so no
+//! sparse representation is warranted.
+//!
+//! # Examples
+//!
+//! ```
+//! use epgs_graph::gf2::BitMatrix;
+//!
+//! let mut m = BitMatrix::zeros(2, 3);
+//! m.set(0, 0, true);
+//! m.set(0, 2, true);
+//! m.set(1, 2, true);
+//! assert_eq!(m.rank(), 2);
+//! ```
+
+/// A dense boolean matrix over GF(2).
+///
+/// Rows are stored as contiguous 64-bit words; XOR of two rows is a word-wise
+/// XOR. All mutating elementary operations (`xor_rows`, `swap_rows`) keep the
+/// matrix dimensions fixed.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates a `rows` × `cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64).max(1);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Creates the `n` × `n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from an iterator of rows, each row an iterator of bools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows<I, R>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = bool>,
+    {
+        let rows: Vec<Vec<bool>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().collect())
+            .collect();
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "all rows must have the same length"
+        );
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                m.set(i, j, b);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> (usize, u64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        (r * self.words_per_row + c / 64, 1u64 << (c % 64))
+    }
+
+    /// Returns the bit at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds (in debug builds).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        let (w, mask) = self.idx(r, c);
+        self.data[w] & mask != 0
+    }
+
+    /// Sets the bit at (`r`, `c`) to `value`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        let (w, mask) = self.idx(r, c);
+        if value {
+            self.data[w] |= mask;
+        } else {
+            self.data[w] &= !mask;
+        }
+    }
+
+    /// Flips the bit at (`r`, `c`).
+    #[inline]
+    pub fn flip(&mut self, r: usize, c: usize) {
+        let (w, mask) = self.idx(r, c);
+        self.data[w] ^= mask;
+    }
+
+    /// XORs row `src` into row `dst` (`dst ^= src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src`.
+    pub fn xor_rows(&mut self, dst: usize, src: usize) {
+        assert_ne!(dst, src, "xor_rows requires distinct rows");
+        let w = self.words_per_row;
+        let (d, s) = (dst * w, src * w);
+        for k in 0..w {
+            let v = self.data[s + k];
+            self.data[d + k] ^= v;
+        }
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let w = self.words_per_row;
+        for k in 0..w {
+            self.data.swap(a * w + k, b * w + k);
+        }
+    }
+
+    /// Returns true if row `r` is all zeros.
+    pub fn row_is_zero(&self, r: usize) -> bool {
+        let w = self.words_per_row;
+        self.data[r * w..(r + 1) * w].iter().all(|&x| x == 0)
+    }
+
+    /// Reduces the matrix in place to reduced row-echelon form and returns the
+    /// pivot columns in order.
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row >= self.rows {
+                break;
+            }
+            // Find a row at or below pivot_row with a 1 in this column.
+            let found = (pivot_row..self.rows).find(|&r| self.get(r, col));
+            let Some(r) = found else { continue };
+            self.swap_rows(pivot_row, r);
+            for other in 0..self.rows {
+                if other != pivot_row && self.get(other, col) {
+                    self.xor_rows(other, pivot_row);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        pivots
+    }
+
+    /// Returns the GF(2) rank without mutating the matrix.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.rref().len()
+    }
+
+    /// Solves `A x = b` over GF(2), returning one solution if any exists.
+    ///
+    /// `b` must have length `self.rows()`. The returned vector has length
+    /// `self.cols()` with free variables set to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[bool]) -> Option<Vec<bool>> {
+        assert_eq!(b.len(), self.rows, "rhs length must match row count");
+        // Augment with b as an extra column, then RREF.
+        let mut aug = BitMatrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for w in 0..self.words_per_row {
+                aug.data[r * aug.words_per_row + w] = self.data[r * self.words_per_row + w];
+            }
+            // Clear any stray bits beyond self.cols (none: zero-padded), set rhs.
+            aug.set(r, self.cols, b[r]);
+        }
+        let pivots = aug.rref();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.last() == Some(&self.cols) {
+            return None;
+        }
+        let mut x = vec![false; self.cols];
+        for (row, &col) in pivots.iter().enumerate() {
+            x[col] = aug.get(row, self.cols);
+        }
+        Some(x)
+    }
+
+    /// Returns a basis of the null space (kernel) of the matrix, each element
+    /// a vector of length `self.cols()`.
+    pub fn null_space(&self) -> Vec<Vec<bool>> {
+        let mut m = self.clone();
+        let pivots = m.rref();
+        let pivot_set: std::collections::BTreeSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_set.contains(&free) {
+                continue;
+            }
+            let mut v = vec![false; self.cols];
+            v[free] = true;
+            for (row, &pc) in pivots.iter().enumerate() {
+                if m.get(row, free) {
+                    v[pc] = true;
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Multiplies `self` by a column vector over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[bool]) -> Vec<bool> {
+        assert_eq!(x.len(), self.cols, "vector length must match column count");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = false;
+                for (c, &xc) in x.iter().enumerate() {
+                    if xc && self.get(r, c) {
+                        acc = !acc;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{}", if self.get(r, c) { '1' } else { '0' })?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_set_bits() {
+        let m = BitMatrix::zeros(3, 70);
+        for r in 0..3 {
+            for c in 0..70 {
+                assert!(!m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_flip_across_word_boundary() {
+        let mut m = BitMatrix::zeros(2, 130);
+        m.set(1, 129, true);
+        assert!(m.get(1, 129));
+        m.flip(1, 129);
+        assert!(!m.get(1, 129));
+        m.flip(0, 63);
+        m.flip(0, 64);
+        assert!(m.get(0, 63) && m.get(0, 64));
+    }
+
+    #[test]
+    fn identity_rank_is_n() {
+        assert_eq!(BitMatrix::identity(17).rank(), 17);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = BitMatrix::from_rows(vec![
+            vec![true, false, true],
+            vec![false, true, true],
+            vec![true, true, false], // row0 ^ row1
+        ]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rref_pivots_are_increasing() {
+        let mut m = BitMatrix::from_rows(vec![
+            vec![false, true, true, false],
+            vec![true, true, false, true],
+            vec![true, false, true, true],
+        ]);
+        let pivots = m.rref();
+        let mut sorted = pivots.clone();
+        sorted.sort_unstable();
+        assert_eq!(pivots, sorted);
+    }
+
+    #[test]
+    fn solve_consistent_system() {
+        // x0 ^ x2 = 1 ; x1 = 1 ; x0 ^ x1 ^ x2 = 0
+        let a = BitMatrix::from_rows(vec![
+            vec![true, false, true],
+            vec![false, true, false],
+            vec![true, true, true],
+        ]);
+        let b = vec![true, true, false];
+        let x = a.solve(&b).expect("system is consistent");
+        assert_eq!(a.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        // x0 = 0 and x0 = 1 cannot both hold.
+        let a = BitMatrix::from_rows(vec![vec![true], vec![true]]);
+        assert!(a.solve(&[false, true]).is_none());
+    }
+
+    #[test]
+    fn null_space_vectors_are_in_kernel() {
+        let a = BitMatrix::from_rows(vec![
+            vec![true, true, false, true],
+            vec![false, true, true, true],
+        ]);
+        let basis = a.null_space();
+        assert_eq!(basis.len(), 2); // 4 cols - rank 2
+        for v in &basis {
+            assert!(a.mul_vec(v).iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn swap_rows_is_involutive() {
+        let mut m = BitMatrix::from_rows(vec![vec![true, false], vec![false, true]]);
+        let orig = m.clone();
+        m.swap_rows(0, 1);
+        m.swap_rows(0, 1);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn xor_rows_twice_restores() {
+        let mut m = BitMatrix::from_rows(vec![vec![true, true, false], vec![false, true, true]]);
+        let orig = m.clone();
+        m.xor_rows(0, 1);
+        m.xor_rows(0, 1);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn xor_rows_same_row_panics() {
+        let mut m = BitMatrix::zeros(2, 2);
+        m.xor_rows(1, 1);
+    }
+
+    #[test]
+    fn row_is_zero_detects() {
+        let mut m = BitMatrix::zeros(2, 100);
+        assert!(m.row_is_zero(0));
+        m.set(0, 99, true);
+        assert!(!m.row_is_zero(0));
+        assert!(m.row_is_zero(1));
+    }
+}

@@ -1,0 +1,356 @@
+//! The simple undirected graph underlying a graph state.
+//!
+//! Vertices are dense indices `0..n`. Self-loops are rejected; parallel edges
+//! cannot be represented. Neighbor sets are ordered (`BTreeSet`) so iteration
+//! is deterministic — determinism matters because compilation search must be
+//! reproducible across runs for the benchmark harness.
+
+use std::collections::BTreeSet;
+
+use crate::error::GraphError;
+use crate::gf2::BitMatrix;
+
+/// An undirected simple graph on vertices `0..n`, the combinatorial skeleton of
+/// a graph state |G⟩.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::Graph;
+///
+/// # fn main() -> Result<(), epgs_graph::GraphError> {
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1)?;
+/// g.add_edge(1, 2)?;
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.has_edge(1, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Graph {
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is ≥ `n`, or
+    /// [`GraphError::SelfLoop`] for an edge `(v, v)`.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = Graph::new(n);
+        for (a, b) in edges {
+            g.add_edge(a, b)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    fn check(&self, v: usize) -> Result<(), GraphError> {
+        if v >= self.adj.len() {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                count: self.adj.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the edge `(a, b)`; idempotent if the edge already exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> Result<(), GraphError> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a });
+        }
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+        Ok(())
+    }
+
+    /// Removes the edge `(a, b)` if present; returns whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range.
+    pub fn remove_edge(&mut self, a: usize, b: usize) -> Result<bool, GraphError> {
+        self.check(a)?;
+        self.check(b)?;
+        let was = self.adj[a].remove(&b);
+        self.adj[b].remove(&a);
+        Ok(was)
+    }
+
+    /// Toggles the edge `(a, b)` (the CZ action on a graph state).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range or `a == b`.
+    pub fn toggle_edge(&mut self, a: usize, b: usize) -> Result<(), GraphError> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a });
+        }
+        if self.adj[a].contains(&b) {
+            self.adj[a].remove(&b);
+            self.adj[b].remove(&a);
+        } else {
+            self.adj[a].insert(b);
+            self.adj[b].insert(a);
+        }
+        Ok(())
+    }
+
+    /// Returns true if the edge `(a, b)` exists. Out-of-range queries are false.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj.get(a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The neighbor set of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &BTreeSet<usize> {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterates over all edges as `(a, b)` with `a < b`, in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, nbrs)| nbrs.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+
+    /// Removes every edge incident to `v` (the graph-state effect of a Z-basis
+    /// measurement of `v`, up to outcome-dependent local corrections).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` is out of range.
+    pub fn isolate(&mut self, v: usize) -> Result<(), GraphError> {
+        self.check(v)?;
+        let nbrs: Vec<usize> = self.adj[v].iter().copied().collect();
+        for b in nbrs {
+            self.adj[b].remove(&v);
+        }
+        self.adj[v].clear();
+        Ok(())
+    }
+
+    /// Appends a fresh isolated vertex and returns its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(BTreeSet::new());
+        self.adj.len() - 1
+    }
+
+    /// The induced subgraph on `vertices`, together with the map from new
+    /// indices to the original ones (`result.1[new] == old`).
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let mut index_of = std::collections::BTreeMap::new();
+        for (new, &old) in vertices.iter().enumerate() {
+            index_of.insert(old, new);
+        }
+        let mut g = Graph::new(vertices.len());
+        for (new, &old) in vertices.iter().enumerate() {
+            for &nb in &self.adj[old] {
+                if let Some(&nb_new) = index_of.get(&nb) {
+                    if new < nb_new {
+                        g.add_edge(new, nb_new).expect("indices are in range");
+                    }
+                }
+            }
+        }
+        (g, vertices.to_vec())
+    }
+
+    /// The adjacency matrix Γ over GF(2).
+    pub fn adjacency_matrix(&self) -> BitMatrix {
+        let n = self.adj.len();
+        let mut m = BitMatrix::zeros(n, n);
+        for (a, b) in self.edges() {
+            m.set(a, b, true);
+            m.set(b, a, true);
+        }
+        m
+    }
+
+    /// Connected components, each a sorted vertex list; components are ordered
+    /// by smallest member.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &nb in &self.adj[v] {
+                    if !seen[nb] {
+                        seen[nb] = true;
+                        stack.push(nb);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Returns true if the graph is connected (the empty graph is connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = Graph::new(4);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_idempotent() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(2, 0).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn toggle_edge_roundtrip() {
+        let mut g = Graph::new(2);
+        g.toggle_edge(0, 1).unwrap();
+        assert!(g.has_edge(0, 1));
+        g.toggle_edge(0, 1).unwrap();
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn remove_edge_reports_presence() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1).unwrap();
+        assert!(g.remove_edge(0, 1).unwrap());
+        assert!(!g.remove_edge(0, 1).unwrap());
+    }
+
+    #[test]
+    fn isolate_clears_incident_edges() {
+        let mut g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        g.isolate(0).unwrap();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_iterates_sorted_unique() {
+        let g = Graph::from_edges(4, [(2, 3), (0, 1), (1, 2)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3); // 1-2, 2-3, 1-3
+        assert_eq!(map, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!g.is_connected());
+        let h = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let m = g.adjacency_matrix();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(m.get(a, b), g.has_edge(a, b));
+                assert_eq!(m.get(a, b), m.get(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn add_vertex_extends() {
+        let mut g = Graph::new(1);
+        let v = g.add_vertex();
+        assert_eq!(v, 1);
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Structural summaries used by partitioning heuristics and reports.
+
+use crate::graph::Graph;
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Smallest degree (0 for the empty graph).
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Computes degree statistics.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::{generators, metrics};
+///
+/// let stats = metrics::degree_stats(&generators::star(5));
+/// assert_eq!(stats.max, 4);
+/// assert_eq!(stats.min, 1);
+/// ```
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.vertex_count();
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    DegreeStats {
+        min: degrees.iter().copied().min().unwrap_or(0),
+        max: degrees.iter().copied().max().unwrap_or(0),
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+    }
+}
+
+/// Edge density: `|E| / (n choose 2)`; zero for graphs with fewer than two
+/// vertices.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.vertex_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let max = n * (n - 1) / 2;
+    g.edge_count() as f64 / max as f64
+}
+
+/// Number of edges crossing a partition, where `block_of[v]` names v's block.
+///
+/// # Panics
+///
+/// Panics if `block_of.len() != g.vertex_count()`.
+pub fn cut_edges(g: &Graph, block_of: &[usize]) -> usize {
+    assert_eq!(
+        block_of.len(),
+        g.vertex_count(),
+        "block assignment must cover every vertex"
+    );
+    g.edges()
+        .filter(|&(a, b)| block_of[a] != block_of[b])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_path() {
+        let s = degree_stats(&generators::path(4));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&Graph::new(0));
+        assert_eq!(s, DegreeStats::default());
+    }
+
+    #[test]
+    fn density_bounds() {
+        assert!((density(&generators::complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&Graph::new(1)), 0.0);
+        assert_eq!(density(&Graph::new(5)), 0.0);
+    }
+
+    #[test]
+    fn cut_edges_counts_crossings() {
+        let g = generators::path(4);
+        // Blocks {0,1} and {2,3}: only edge (1,2) crosses.
+        assert_eq!(cut_edges(&g, &[0, 0, 1, 1]), 1);
+        // Alternating blocks: every edge crosses.
+        assert_eq!(cut_edges(&g, &[0, 1, 0, 1]), 3);
+        // One block: nothing crosses.
+        assert_eq!(cut_edges(&g, &[0, 0, 0, 0]), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Graph-state transformation rules: local complementation, pivot, and the
+//! single-qubit Pauli-measurement update rules.
+//!
+//! These are the combinatorial shadows of local Clifford operations and Pauli
+//! measurements on graph states (Van den Nest et al., Hein et al.). The
+//! time-reversed compiler uses them as a cheap cost model; the stabilizer
+//! tableau in `epgs-stabilizer` is the authoritative semantics, and the two
+//! are cross-checked in integration tests.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Applies local complementation at `v`: every pair of neighbors of `v` has
+/// its edge toggled.
+///
+/// On the state side this is the local Clifford
+/// `U_v = exp(-iπ/4 X_v) ⊗ Π_{w∈N(v)} exp(iπ/4 Z_w)` — single-qubit gates
+/// only, so LC-equivalent graph states are equally easy to consume.
+///
+/// # Errors
+///
+/// Returns an error if `v` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::{Graph, ops};
+///
+/// # fn main() -> Result<(), epgs_graph::GraphError> {
+/// // A star on 0 becomes a complete graph after LC at 0.
+/// let mut g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)])?;
+/// ops::local_complement(&mut g, 0)?;
+/// assert_eq!(g.edge_count(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn local_complement(g: &mut Graph, v: usize) -> Result<(), GraphError> {
+    if v >= g.vertex_count() {
+        return Err(GraphError::VertexOutOfRange {
+            vertex: v,
+            count: g.vertex_count(),
+        });
+    }
+    let nbrs: Vec<usize> = g.neighbors(v).iter().copied().collect();
+    for i in 0..nbrs.len() {
+        for j in (i + 1)..nbrs.len() {
+            g.toggle_edge(nbrs[i], nbrs[j])?;
+        }
+    }
+    Ok(())
+}
+
+/// Applies the pivot (edge local complementation) on edge `(a, b)`:
+/// `pivot(a,b) = LC(a) ∘ LC(b) ∘ LC(a)`.
+///
+/// Pivoting exchanges the roles of `a` and `b` in the graph and complements
+/// edges between the three neighbor classes N(a)∖N(b), N(b)∖N(a), N(a)∩N(b).
+///
+/// # Errors
+///
+/// Returns [`GraphError::PivotRequiresEdge`] if `(a, b)` is not an edge.
+pub fn pivot(g: &mut Graph, a: usize, b: usize) -> Result<(), GraphError> {
+    if !g.has_edge(a, b) {
+        return Err(GraphError::PivotRequiresEdge { a, b });
+    }
+    local_complement(g, a)?;
+    local_complement(g, b)?;
+    local_complement(g, a)?;
+    Ok(())
+}
+
+/// Applies the graph update for a Z-basis measurement of `v`: delete all
+/// edges at `v` (the vertex leaves the entangled state).
+///
+/// # Errors
+///
+/// Returns an error if `v` is out of range.
+pub fn measure_z(g: &mut Graph, v: usize) -> Result<(), GraphError> {
+    g.isolate(v)
+}
+
+/// Applies the graph update for a Y-basis measurement of `v`: local
+/// complementation at `v`, then deletion.
+///
+/// # Errors
+///
+/// Returns an error if `v` is out of range.
+pub fn measure_y(g: &mut Graph, v: usize) -> Result<(), GraphError> {
+    local_complement(g, v)?;
+    g.isolate(v)
+}
+
+/// Applies the graph update for an X-basis measurement of `v`, using
+/// `special` as the designated neighbor b₀:
+/// `LC(b₀)`, then the Y-measurement rule at `v`, then `LC(b₀)` again.
+///
+/// # Errors
+///
+/// Returns [`GraphError::IsolatedVertex`] if `v` has no neighbors, or
+/// [`GraphError::PivotRequiresEdge`] if `special` is not a neighbor of `v`.
+pub fn measure_x(g: &mut Graph, v: usize, special: usize) -> Result<(), GraphError> {
+    if g.degree(v) == 0 {
+        return Err(GraphError::IsolatedVertex { vertex: v });
+    }
+    if !g.has_edge(v, special) {
+        return Err(GraphError::PivotRequiresEdge { a: v, b: special });
+    }
+    local_complement(g, special)?;
+    measure_y(g, v)?;
+    local_complement(g, special)?;
+    Ok(())
+}
+
+/// Applies a sequence of local complementations in order.
+///
+/// # Errors
+///
+/// Returns an error if any vertex is out of range.
+pub fn apply_lc_sequence(g: &mut Graph, seq: &[usize]) -> Result<(), GraphError> {
+    for &v in seq {
+        local_complement(g, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn lc_is_involutive() {
+        let mut g = path4();
+        let orig = g.clone();
+        local_complement(&mut g, 1).unwrap();
+        assert_ne!(g, orig);
+        local_complement(&mut g, 1).unwrap();
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn lc_on_path_center_adds_chord() {
+        let mut g = path4();
+        local_complement(&mut g, 1).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn lc_star_complete_roundtrip() {
+        // LC at the hub of a star gives complete graph; LC again restores.
+        let mut g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        local_complement(&mut g, 0).unwrap();
+        assert_eq!(g.edge_count(), 4 + 6);
+        local_complement(&mut g, 0).unwrap();
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn lc_isolated_vertex_is_noop() {
+        let mut g = Graph::new(3);
+        let orig = g.clone();
+        local_complement(&mut g, 2).unwrap();
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn pivot_requires_edge() {
+        let mut g = path4();
+        assert!(matches!(
+            pivot(&mut g, 0, 3),
+            Err(GraphError::PivotRequiresEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn pivot_is_involutive() {
+        let mut g = Graph::from_edges(5, [(0, 1), (1, 2), (1, 3), (0, 4), (3, 4)]).unwrap();
+        let orig = g.clone();
+        pivot(&mut g, 0, 1).unwrap();
+        pivot(&mut g, 0, 1).unwrap();
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn pivot_swaps_leaf_and_hub() {
+        // Leaf 3 attached to hub 1 of a star: pivot(3,1) makes 3 the hub.
+        let mut g = Graph::from_edges(4, [(1, 0), (1, 2), (1, 3)]).unwrap();
+        pivot(&mut g, 3, 1).unwrap();
+        assert_eq!(g.degree(3), 3, "leaf takes over hub role: {g:?}");
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn measure_z_isolates() {
+        let mut g = path4();
+        measure_z(&mut g, 1).unwrap();
+        assert_eq!(g.degree(1), 0);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn measure_y_on_path_center_connects_neighbors() {
+        let mut g = path4();
+        measure_y(&mut g, 1).unwrap();
+        assert_eq!(g.degree(1), 0);
+        assert!(g.has_edge(0, 2), "Y measurement contracts the path");
+    }
+
+    #[test]
+    fn measure_x_on_path_keeps_chain_connected() {
+        // X-measuring an interior vertex of a path keeps the remainder
+        // connected (standard one-way-computer wire behavior).
+        let mut g = path4();
+        measure_x(&mut g, 1, 2).unwrap();
+        assert_eq!(g.degree(1), 0);
+        let comps = g.connected_components();
+        let big: Vec<_> = comps.into_iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0], vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn measure_x_isolated_errors() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            measure_x(&mut g, 0, 1),
+            Err(GraphError::IsolatedVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn lc_sequence_composes() {
+        let mut a = path4();
+        let mut b = path4();
+        apply_lc_sequence(&mut a, &[1, 2]).unwrap();
+        local_complement(&mut b, 1).unwrap();
+        local_complement(&mut b, 2).unwrap();
+        assert_eq!(a, b);
+    }
+}

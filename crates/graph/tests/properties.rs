@@ -1,0 +1,158 @@
+//! Property-based tests for the graph algebra invariants the compiler relies on.
+
+use proptest::prelude::*;
+
+use epgs_graph::gf2::BitMatrix;
+use epgs_graph::{generators, height, metrics, ops, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random graph on 2..=12 vertices given by an edge-presence bitmap.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=12).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), pairs).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if bits[k] {
+                        g.add_edge(a, b).unwrap();
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn lc_is_involutive(g in arb_graph(), v_seed in any::<u64>()) {
+        let v = (v_seed as usize) % g.vertex_count();
+        let mut h = g.clone();
+        ops::local_complement(&mut h, v).unwrap();
+        ops::local_complement(&mut h, v).unwrap();
+        prop_assert_eq!(h, g);
+    }
+
+    #[test]
+    fn lc_preserves_cut_rank_of_all_prefixes_up_to_bound(g in arb_graph()) {
+        // Cut rank (entanglement) is invariant under local complementation:
+        // LC maps the state by local unitaries, which cannot change any
+        // bipartite entanglement entropy.
+        let n = g.vertex_count();
+        let ordering: Vec<usize> = (0..n).collect();
+        let before = height::height_function(&g, &ordering);
+        for v in 0..n {
+            let mut h = g.clone();
+            ops::local_complement(&mut h, v).unwrap();
+            let after = height::height_function(&h, &ordering);
+            prop_assert_eq!(&before, &after, "LC at {} changed the height function", v);
+        }
+    }
+
+    #[test]
+    fn pivot_is_involutive(g in arb_graph()) {
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        if let Some(&(a, b)) = edges.first() {
+            let mut h = g.clone();
+            ops::pivot(&mut h, a, b).unwrap();
+            ops::pivot(&mut h, a, b).unwrap();
+            prop_assert_eq!(h, g);
+        }
+    }
+
+    #[test]
+    fn pivot_identity_lc_aba_equals_lc_bab(g in arb_graph()) {
+        // LC_a LC_b LC_a == LC_b LC_a LC_b on an edge (a,b): both define the
+        // same pivot.
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        if let Some(&(a, b)) = edges.first() {
+            let mut h1 = g.clone();
+            ops::apply_lc_sequence(&mut h1, &[a, b, a]).unwrap();
+            let mut h2 = g.clone();
+            ops::apply_lc_sequence(&mut h2, &[b, a, b]).unwrap();
+            prop_assert_eq!(h1, h2);
+        }
+    }
+
+    #[test]
+    fn measure_z_then_vertex_is_isolated(g in arb_graph(), v_seed in any::<u64>()) {
+        let v = (v_seed as usize) % g.vertex_count();
+        let mut h = g.clone();
+        ops::measure_z(&mut h, v).unwrap();
+        prop_assert_eq!(h.degree(v), 0);
+        // Non-incident edges are untouched.
+        for (a, b) in g.edges() {
+            if a != v && b != v {
+                prop_assert!(h.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_rank_is_symmetric(g in arb_graph(), split in any::<u64>()) {
+        let n = g.vertex_count();
+        let a: Vec<usize> = (0..n).filter(|&v| (split >> (v % 64)) & 1 == 1).collect();
+        let b: Vec<usize> = (0..n).filter(|&v| (split >> (v % 64)) & 1 == 0).collect();
+        prop_assert_eq!(height::cut_rank(&g, &a), height::cut_rank(&g, &b));
+    }
+
+    #[test]
+    fn cut_rank_bounded_by_cut_edges(g in arb_graph(), split in any::<u64>()) {
+        let n = g.vertex_count();
+        let a: Vec<usize> = (0..n).filter(|&v| (split >> (v % 64)) & 1 == 1).collect();
+        let block: Vec<usize> = (0..n).map(|v| ((split >> (v % 64)) & 1) as usize).collect();
+        prop_assert!(height::cut_rank(&g, &a) <= metrics::cut_edges(&g, &block));
+    }
+
+    #[test]
+    fn rref_is_idempotent(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<bool>() {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        let mut once = m.clone();
+        let p1 = once.rref();
+        let mut twice = once.clone();
+        let p2 = twice.rref();
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn solve_agrees_with_mul(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<bool>() {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        // Make a consistent rhs from a random x.
+        let x: Vec<bool> = (0..cols).map(|_| rng.gen()).collect();
+        let b = m.mul_vec(&x);
+        let sol = m.solve(&b).expect("consistent by construction");
+        prop_assert_eq!(m.mul_vec(&sol), b);
+    }
+
+    #[test]
+    fn random_tree_height_at_most_log_plus_one(seed in any::<u64>(), n in 3usize..25) {
+        // Trees have small cut ranks along DFS-ish orders; sanity bound:
+        // emitters never exceed n/2 + 1 for the natural ordering.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        prop_assert!(height::min_emitters_natural(&g) <= n / 2 + 1);
+    }
+}

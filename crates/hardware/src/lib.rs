@@ -1,0 +1,24 @@
+//! Hardware models for emitter-photonic graph-state generation.
+//!
+//! The paper's evaluation is grounded in the silicon quantum-dot platform
+//! (τ_QD = 1 unit per emitter-emitter CNOT, 0.1 τ_QD emission, 0.5 %/τ_QD
+//! photon loss) but "can be easily adapted to other hardware platforms … just
+//! by changing the configurations of gate characteristic" (§V.A). This crate
+//! is that configuration point: [`HardwareModel`] presets plus the loss
+//! arithmetic in [`loss`].
+//!
+//! # Examples
+//!
+//! ```
+//! use epgs_hardware::{loss, HardwareModel};
+//!
+//! let hw = HardwareModel::quantum_dot();
+//! let report = loss::loss_report(&hw, &[0.0, 2.0], 4.0);
+//! assert!(report.mean_photon_loss > 0.0);
+//! ```
+
+pub mod loss;
+pub mod model;
+
+pub use loss::{loss_report, LossReport};
+pub use model::HardwareModel;

@@ -1,0 +1,93 @@
+//! Aggregate photon-loss estimates for a generation circuit.
+//!
+//! The paper's robustness metric (§V.B.3) is the photon loss accumulated
+//! between each photon's emission and the end of the circuit. Given the
+//! emission times and the circuit end time, these helpers fold the per-photon
+//! exposures into the figures reported in Fig. 11(a).
+
+use crate::model::HardwareModel;
+
+/// Per-photon and aggregate loss figures for one generation circuit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LossReport {
+    /// Storage time of each photon (circuit end − emission time), in τ.
+    pub exposures: Vec<f64>,
+    /// Mean storage time — the paper's T_loss objective.
+    pub mean_exposure: f64,
+    /// Mean per-photon loss probability.
+    pub mean_photon_loss: f64,
+    /// Probability that at least one photon is lost (state unusable).
+    pub any_photon_loss: f64,
+}
+
+/// Computes the loss report from emission times and the circuit end time.
+///
+/// # Panics
+///
+/// Panics if any emission time exceeds `circuit_end` by more than rounding
+/// error.
+pub fn loss_report(hw: &HardwareModel, emission_times: &[f64], circuit_end: f64) -> LossReport {
+    let exposures: Vec<f64> = emission_times
+        .iter()
+        .map(|&t| {
+            let dt = circuit_end - t;
+            assert!(dt >= -1e-9, "photon emitted after circuit end");
+            dt.max(0.0)
+        })
+        .collect();
+    let n = exposures.len().max(1) as f64;
+    let mean_exposure = exposures.iter().sum::<f64>() / n;
+    let mean_photon_loss = exposures.iter().map(|&dt| hw.photon_loss(dt)).sum::<f64>() / n;
+    let survival_all: f64 = exposures.iter().map(|&dt| hw.photon_survival(dt)).product();
+    LossReport {
+        exposures,
+        mean_exposure,
+        mean_photon_loss,
+        any_photon_loss: 1.0 - survival_all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_exposure_zero_loss() {
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[5.0, 5.0], 5.0);
+        assert_eq!(r.mean_exposure, 0.0);
+        assert_eq!(r.mean_photon_loss, 0.0);
+        assert_eq!(r.any_photon_loss, 0.0);
+    }
+
+    #[test]
+    fn later_emission_means_less_loss() {
+        let hw = HardwareModel::quantum_dot();
+        let early = loss_report(&hw, &[0.0, 0.0], 10.0);
+        let late = loss_report(&hw, &[8.0, 8.0], 10.0);
+        assert!(late.mean_photon_loss < early.mean_photon_loss);
+        assert!(late.any_photon_loss < early.any_photon_loss);
+    }
+
+    #[test]
+    fn any_loss_exceeds_mean_loss_for_multiple_photons() {
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[0.0, 1.0, 2.0], 12.0);
+        assert!(r.any_photon_loss > r.mean_photon_loss);
+        assert!(r.any_photon_loss < 1.0);
+    }
+
+    #[test]
+    fn mean_exposure_matches_paper_definition() {
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[1.0, 3.0], 5.0);
+        assert!((r.mean_exposure - 3.0).abs() < 1e-12); // (4 + 2) / 2
+    }
+
+    #[test]
+    fn empty_photon_list_is_harmless() {
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[], 3.0);
+        assert_eq!(r.any_photon_loss, 0.0);
+    }
+}

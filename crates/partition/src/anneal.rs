@@ -1,0 +1,197 @@
+//! Simulated-annealing refinement of a partition.
+//!
+//! The FM local search (`crate::fm`) descends into the nearest local
+//! minimum; annealing escapes it by accepting uphill vertex moves and swaps
+//! with Metropolis probability under a geometric cooling schedule. Used as an
+//! optional polish pass for large or irregular graphs where the FM landscape
+//! is rugged (dense Waxman instances).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use epgs_graph::{metrics, Graph};
+
+/// Annealing parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealOptions {
+    /// Monte-Carlo steps.
+    pub steps: usize,
+    /// Initial temperature (in cut-edge units).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            steps: 4000,
+            t_start: 2.0,
+            t_end: 0.05,
+            seed: 0xa11ea1,
+        }
+    }
+}
+
+/// Anneals `assign` in place under the capacity constraint, returning the
+/// best cut found (the best assignment is restored before returning).
+///
+/// # Panics
+///
+/// Panics if `assign.len() != g.vertex_count()` or the assignment violates
+/// `g_max` on entry.
+pub fn anneal(g: &Graph, assign: &mut Vec<usize>, g_max: usize, options: &AnnealOptions) -> usize {
+    let n = g.vertex_count();
+    assert_eq!(assign.len(), n, "assignment must cover every vertex");
+    let num_blocks = assign.iter().copied().max().map_or(1, |m| m + 1);
+    let mut sizes = vec![0usize; num_blocks];
+    for &b in assign.iter() {
+        sizes[b] += 1;
+    }
+    assert!(
+        sizes.iter().all(|&s| s <= g_max),
+        "initial assignment violates capacity"
+    );
+    if n == 0 || num_blocks < 2 {
+        return metrics::cut_edges(g, assign);
+    }
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut cut = metrics::cut_edges(g, assign) as isize;
+    let mut best_cut = cut;
+    let mut best = assign.clone();
+    let cool = (options.t_end / options.t_start).powf(1.0 / options.steps.max(1) as f64);
+    let mut temp = options.t_start;
+
+    // Delta of moving v to block b: edges to b become internal, internal
+    // edges leave.
+    let move_delta = |assign: &[usize], v: usize, b: usize| -> isize {
+        let mut d = 0isize;
+        for &w in g.neighbors(v) {
+            if assign[w] == assign[v] {
+                d += 1; // becomes cut
+            }
+            if assign[w] == b {
+                d -= 1; // becomes internal
+            }
+        }
+        d
+    };
+
+    for _ in 0..options.steps {
+        temp *= cool;
+        if rng.gen_bool(0.5) {
+            // Single move.
+            let v = rng.gen_range(0..n);
+            let b = rng.gen_range(0..num_blocks);
+            if b == assign[v] || sizes[b] >= g_max {
+                continue;
+            }
+            let d = move_delta(assign, v, b);
+            if d <= 0 || rng.gen::<f64>() < (-(d as f64) / temp).exp() {
+                sizes[assign[v]] -= 1;
+                sizes[b] += 1;
+                assign[v] = b;
+                cut += d;
+            }
+        } else {
+            // Swap (keeps sizes, works at capacity).
+            let v = rng.gen_range(0..n);
+            let w = rng.gen_range(0..n);
+            let (bv, bw) = (assign[v], assign[w]);
+            if v == w || bv == bw {
+                continue;
+            }
+            let d = {
+                // Sequential two-move delta: compute the second move in the
+                // intermediate state so a direct v-w edge is counted exactly.
+                let d1 = move_delta(assign, v, bw);
+                assign[v] = bw;
+                let d2 = move_delta(assign, w, bv);
+                assign[v] = bv;
+                d1 + d2
+            };
+            if d <= 0 || rng.gen::<f64>() < (-(d as f64) / temp).exp() {
+                assign[v] = bw;
+                assign[w] = bv;
+                cut += d;
+            }
+        }
+        debug_assert_eq!(cut, metrics::cut_edges(g, assign) as isize, "incremental cut drifted");
+        if cut < best_cut {
+            best_cut = cut;
+            best.copy_from_slice(assign);
+        }
+    }
+    assign.copy_from_slice(&best);
+    best_cut as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_min_cut;
+    use crate::fm::bfs_seed;
+    use epgs_graph::generators;
+
+    #[test]
+    fn anneal_reaches_exact_optimum_on_cycle() {
+        let g = generators::cycle(10);
+        let (_, exact) = exact_min_cut(&g, 2, 5);
+        let mut assign = bfs_seed(&g, 2, 5);
+        let cut = anneal(&g, &mut assign, 5, &AnnealOptions::default());
+        assert_eq!(cut, metrics::cut_edges(&g, &assign));
+        assert_eq!(cut, exact, "annealing should find the 2-edge cycle cut");
+    }
+
+    #[test]
+    fn anneal_never_worsens_the_best() {
+        let g = generators::lattice(4, 5);
+        let mut assign = bfs_seed(&g, 3, 7);
+        let before = metrics::cut_edges(&g, &assign);
+        let after = anneal(&g, &mut assign, 7, &AnnealOptions::default());
+        assert!(after <= before, "{after} > {before}");
+    }
+
+    #[test]
+    fn capacity_is_respected_throughout() {
+        let g = generators::complete(9);
+        let mut assign = bfs_seed(&g, 3, 3);
+        anneal(&g, &mut assign, 3, &AnnealOptions { steps: 1500, ..Default::default() });
+        let mut sizes = vec![0usize; 3];
+        for &b in &assign {
+            sizes[b] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s <= 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::lattice(3, 5);
+        let mut a = bfs_seed(&g, 3, 5);
+        let mut b = a.clone();
+        let opts = AnnealOptions::default();
+        let ca = anneal(&g, &mut a, 5, &opts);
+        let cb = anneal(&g, &mut b, 5, &opts);
+        assert_eq!(ca, cb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_block_is_noop() {
+        let g = generators::path(5);
+        let mut assign = vec![0; 5];
+        let cut = anneal(&g, &mut assign, 5, &AnnealOptions::default());
+        assert_eq!(cut, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overfull_input_rejected() {
+        let g = generators::path(4);
+        let mut assign = vec![0, 0, 0, 1];
+        anneal(&g, &mut assign, 2, &AnnealOptions::default());
+    }
+}

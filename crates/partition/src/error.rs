@@ -1,0 +1,47 @@
+//! Error types for partitioning.
+
+/// Errors raised by the partitioning front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `num_blocks * g_max` cannot host the graph.
+    InfeasibleCapacity {
+        /// Vertices to place.
+        vertices: usize,
+        /// Blocks available.
+        blocks: usize,
+        /// Capacity per block.
+        g_max: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InfeasibleCapacity {
+                vertices,
+                blocks,
+                g_max,
+            } => write!(
+                f,
+                "{blocks} blocks of capacity {g_max} cannot host {vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PartitionError::InfeasibleCapacity {
+            vertices: 10,
+            blocks: 2,
+            g_max: 3,
+        };
+        assert!(e.to_string().contains("cannot host 10"));
+    }
+}

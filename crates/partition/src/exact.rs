@@ -1,0 +1,156 @@
+//! Exact branch-and-bound partitioning for small graphs.
+//!
+//! Assigns vertices one at a time in index order, pruning when the partial
+//! cut already meets the incumbent. Blocks are symmetric, so a vertex may
+//! only open block `b` if blocks `0..b` are already open — this removes the
+//! block-relabeling symmetry and keeps the search tractable up to ~16
+//! vertices, enough to certify the heuristics in tests.
+
+use epgs_graph::Graph;
+
+/// Exact minimum cut assignment into at most `num_blocks` blocks of size
+/// ≤ `g_max`. Returns `(block_of, cut)`.
+///
+/// # Panics
+///
+/// Panics if `num_blocks * g_max < n` (infeasible capacity).
+pub fn exact_min_cut(g: &Graph, num_blocks: usize, g_max: usize) -> (Vec<usize>, usize) {
+    let n = g.vertex_count();
+    assert!(
+        num_blocks * g_max >= n,
+        "capacity {num_blocks}×{g_max} cannot host {n} vertices"
+    );
+    let mut best_cut = usize::MAX;
+    let mut best_assign = vec![0usize; n];
+    let mut assign = vec![usize::MAX; n];
+    let mut sizes = vec![0usize; num_blocks];
+
+    fn recurse(
+        g: &Graph,
+        v: usize,
+        assign: &mut Vec<usize>,
+        sizes: &mut Vec<usize>,
+        partial_cut: usize,
+        g_max: usize,
+        best_cut: &mut usize,
+        best_assign: &mut Vec<usize>,
+    ) {
+        let n = g.vertex_count();
+        if partial_cut >= *best_cut {
+            return;
+        }
+        if v == n {
+            *best_cut = partial_cut;
+            best_assign.copy_from_slice(assign);
+            return;
+        }
+        // A vertex may start a new block only if it is the lowest-indexed
+        // vertex to do so (symmetry breaking): allowed blocks are 0..=used.
+        let used = sizes.iter().take_while(|&&s| s > 0).count();
+        let max_block = (used + 1).min(sizes.len());
+        for b in 0..max_block {
+            if sizes[b] >= g_max {
+                continue;
+            }
+            let added: usize = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| w < v && assign[w] != b)
+                .count();
+            assign[v] = b;
+            sizes[b] += 1;
+            recurse(
+                g,
+                v + 1,
+                assign,
+                sizes,
+                partial_cut + added,
+                g_max,
+                best_cut,
+                best_assign,
+            );
+            sizes[b] -= 1;
+            assign[v] = usize::MAX;
+        }
+    }
+
+    recurse(
+        g,
+        0,
+        &mut assign,
+        &mut sizes,
+        0,
+        g_max,
+        &mut best_cut,
+        &mut best_assign,
+    );
+    (best_assign, best_cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::{generators, metrics};
+
+    #[test]
+    fn path_splits_at_one_edge() {
+        let g = generators::path(6);
+        let (assign, cut) = exact_min_cut(&g, 2, 3);
+        assert_eq!(cut, 1);
+        assert_eq!(metrics::cut_edges(&g, &assign), 1);
+    }
+
+    #[test]
+    fn cycle_needs_two_cut_edges() {
+        let g = generators::cycle(8);
+        let (_, cut) = exact_min_cut(&g, 2, 4);
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn complete_graph_cut_is_forced() {
+        // K4 into two blocks of 2: every split cuts 4 of the 6 edges.
+        let g = generators::complete(4);
+        let (_, cut) = exact_min_cut(&g, 2, 2);
+        assert_eq!(cut, 4);
+    }
+
+    #[test]
+    fn single_block_when_capacity_allows() {
+        let g = generators::lattice(2, 3);
+        let (assign, cut) = exact_min_cut(&g, 1, 6);
+        assert_eq!(cut, 0);
+        assert!(assign.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn lattice_2x4_optimal() {
+        // 2×4 lattice split into two 2×2 squares cuts exactly 2 edges.
+        let g = generators::lattice(2, 4);
+        let (_, cut) = exact_min_cut(&g, 2, 4);
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn three_blocks_on_path() {
+        let g = generators::path(9);
+        let (assign, cut) = exact_min_cut(&g, 3, 3);
+        assert_eq!(cut, 2);
+        assert_eq!(metrics::cut_edges(&g, &assign), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn infeasible_capacity_panics() {
+        let g = generators::path(5);
+        exact_min_cut(&g, 2, 2);
+    }
+
+    #[test]
+    fn star_partition_cut_equals_spilled_leaves() {
+        // A star's hub block keeps g_max-1 leaves; every other leaf costs 1.
+        let g = generators::star(7); // hub + 6 leaves
+        let (_, cut) = exact_min_cut(&g, 2, 4);
+        assert_eq!(cut, 3);
+    }
+}

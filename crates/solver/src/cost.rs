@@ -1,0 +1,113 @@
+//! Cheap, tableau-free cost estimates for emission orderings.
+//!
+//! The subgraph compiler's DFS (paper §IV.B) needs to rank many candidate
+//! orderings before paying for full reverse solves. The height function gives
+//! sound signals: its maximum is the emitter count, and every backward step
+//! where the height fails to drop forces a time-reversed measurement /
+//! emitter interaction in the reverse protocol. These counts are *estimates*
+//! used only for pruning — the tableau solve is authoritative.
+
+use epgs_graph::{height, Graph};
+
+/// Height-function-derived estimate for one ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderingEstimate {
+    /// Minimal emitter count (exact, from the height function).
+    pub emitters: usize,
+    /// Number of absorption steps where the height does not drop — each
+    /// needs emitter-side work (a TRM or an emitter-emitter interaction).
+    pub stalls: usize,
+    /// `emitters + stalls`: the pruning score (lower is better).
+    pub score: usize,
+}
+
+/// Estimates the cost of emitting `g` in `ordering`.
+///
+/// # Panics
+///
+/// Panics if `ordering` is not a permutation of the vertices.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::generators;
+/// use epgs_solver::cost::estimate_ordering;
+///
+/// let g = generators::path(6);
+/// let natural: Vec<usize> = (0..6).collect();
+/// let e = estimate_ordering(&g, &natural);
+/// assert_eq!(e.emitters, 1);
+/// assert_eq!(e.stalls, 1); // the emitter is measured out at the end
+/// ```
+pub fn estimate_ordering(g: &Graph, ordering: &[usize]) -> OrderingEstimate {
+    let h = height::height_function(g, ordering);
+    let emitters = h.iter().copied().max().unwrap_or(0).max(1);
+    // Walking backward from j = n to 1: absorbing the photon at position j
+    // needs a time-reversed measurement whenever the boundary entanglement
+    // *grows* backward (h[j-1] > h[j]) — an extra emitter must join the
+    // entangled set.
+    let stalls = (1..h.len()).filter(|&j| h[j - 1] > h[j]).count();
+    OrderingEstimate {
+        emitters,
+        stalls,
+        score: emitters + stalls,
+    }
+}
+
+/// Ranks `orderings` by estimated cost, cheapest first (stable for ties).
+pub fn rank_orderings(g: &Graph, orderings: &mut Vec<Vec<usize>>) {
+    orderings.sort_by_key(|ord| estimate_ordering(g, ord).score);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::generators;
+
+    #[test]
+    fn path_natural_order_is_free() {
+        let g = generators::path(8);
+        let e = estimate_ordering(&g, &(0..8).collect::<Vec<_>>());
+        assert_eq!(e.emitters, 1);
+        // One stall: the single emitter is measured out after the last photon.
+        assert_eq!(e.stalls, 1);
+        assert_eq!(e.score, 2);
+    }
+
+    #[test]
+    fn interleaved_path_order_is_penalized() {
+        let g = generators::path(6);
+        let natural = estimate_ordering(&g, &[0, 1, 2, 3, 4, 5]);
+        let interleaved = estimate_ordering(&g, &[0, 2, 4, 1, 3, 5]);
+        assert!(interleaved.score > natural.score);
+        assert!(interleaved.emitters > natural.emitters);
+    }
+
+    #[test]
+    fn lattice_row_major_needs_width_emitters() {
+        let g = generators::lattice(3, 4);
+        let e = estimate_ordering(&g, &(0..12).collect::<Vec<_>>());
+        assert_eq!(e.emitters, 4);
+    }
+
+    #[test]
+    fn rank_orders_cheapest_first() {
+        let g = generators::path(6);
+        let mut orderings = vec![
+            vec![0, 2, 4, 1, 3, 5],
+            vec![0, 1, 2, 3, 4, 5],
+        ];
+        rank_orderings(&g, &mut orderings);
+        assert_eq!(orderings[0], vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stalls_track_cycle_closure() {
+        // A cycle's last photon closes the loop: height stays flat at some
+        // step, so at least one stall appears.
+        let g = generators::cycle(6);
+        let e = estimate_ordering(&g, &(0..6).collect::<Vec<_>>());
+        assert!(e.stalls >= 1);
+        assert_eq!(e.emitters, 2);
+    }
+}

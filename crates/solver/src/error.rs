@@ -1,0 +1,59 @@
+//! Error types for GraphState-to-Circuit solving.
+
+/// Errors raised by the time-reversed solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The emitter pool is too small for the requested ordering: the solver
+    /// needed a free emitter and none was available.
+    InsufficientEmitters {
+        /// Pool size that failed.
+        pool: usize,
+        /// Photon being absorbed when the failure occurred.
+        photon: usize,
+    },
+    /// The provided emission ordering was not a permutation of the photons.
+    InvalidOrdering {
+        /// Photon count of the target graph.
+        photons: usize,
+    },
+    /// Internal invariant violation — a compiled circuit failed verification.
+    /// This indicates a solver bug, never a user error.
+    VerificationFailed,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::InsufficientEmitters { pool, photon } => write!(
+                f,
+                "emitter pool of {pool} exhausted while absorbing photon {photon}"
+            ),
+            SolverError::InvalidOrdering { photons } => {
+                write!(f, "emission ordering is not a permutation of 0..{photons}")
+            }
+            SolverError::VerificationFailed => {
+                write!(f, "compiled circuit failed stabilizer verification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = SolverError::InsufficientEmitters { pool: 2, photon: 5 };
+        assert!(e.to_string().contains("pool of 2"));
+        assert!(e.to_string().contains("photon 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverError>();
+    }
+}

@@ -1,0 +1,724 @@
+//! The time-reversed GraphState-to-Circuit engine.
+//!
+//! Following Li, Economou & Barnes (npj QI 8, 11 (2022)) — the algorithm
+//! underlying GraphiQ's deterministic solver and the per-subgraph compiler of
+//! the paper — the engine starts from the tableau of |G⟩ ⊗ |0⟩^m and undoes
+//! it photon by photon in *reverse* emission order:
+//!
+//! 1. **Photon absorption** — find a stabilizer-group element `g` supported
+//!    on the photon and emitters only; rotate the photon's letter to `Z` and
+//!    compress `g`'s emitter support to one emitter with emitter-emitter
+//!    CNOTs; the reversed emission CNOT then disentangles the photon into
+//!    |0⟩. Commutation guarantees the leftover `X_e … X_j` rows are cleaned
+//!    by the same CNOT (see the inline invariants).
+//! 2. **Time-reversed measurement (TRM)** — when no such `g` exists, a free
+//!    emitter `e` is entangled as `X_e Z_j` (forward reading: measure `e`,
+//!    apply `Z` on photon `j` on outcome 1). This is what frees emitters for
+//!    reuse in forward time.
+//! 3. **Emitter disentangling** — after all photons are absorbed, the
+//!    emitter-only state is reduced to a graph state, its edges removed with
+//!    CZs, and the wires Hadamard-ed back to |0⟩.
+//!
+//! Reversing the recorded operation list and inverting each op yields the
+//! forward circuit, which is verified against the target by the tableau
+//! simulator in tests and (optionally) by [`SolveOptions::verify`].
+
+use epgs_circuit::{simulate, Circuit, Op, Qubit};
+use epgs_graph::{height, Graph};
+use epgs_stabilizer::{to_graph_form, LocalGate, RotGate, Tableau};
+
+use crate::error::SolverError;
+
+/// A primitive recorded while walking backwards in time.
+///
+/// Forward compilation reverses the list and inverts each entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RevOp {
+    H(usize),
+    S(usize),
+    X(usize),
+    Z(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Emit { emitter: usize, photon: usize },
+    Measure { emitter: usize, photon: usize },
+}
+
+/// Emitter-affinity hints: which emitters each photon's block was assigned
+/// by the scheduler. The solver *prefers* in-group emitters (soft constraint
+/// via support weights) so concurrently scheduled blocks stay on disjoint
+/// emitters and the parallelism survives into the compiled circuit.
+#[derive(Debug, Clone, Default)]
+pub struct Affinity {
+    /// Group id per photon.
+    pub photon_group: Vec<usize>,
+    /// Emitter indices assigned to each group.
+    pub group_emitters: Vec<Vec<usize>>,
+}
+
+impl Affinity {
+    /// Weight of emitter `e` for a photon of group `g`: cheap in-group,
+    /// expensive outside.
+    fn weight(&self, g: usize, e: usize) -> usize {
+        if self.group_emitters.get(g).is_some_and(|set| set.contains(&e)) {
+            1
+        } else {
+            8
+        }
+    }
+}
+
+/// Tuning knobs for a single reverse solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Emitter pool size; `None` sizes the pool to the height-function
+    /// minimum of the ordering.
+    pub emitters: Option<usize>,
+    /// Extra pool head-room attempts if the first pool size fails.
+    pub max_pool_growth: usize,
+    /// Verify the compiled circuit with the stabilizer simulator before
+    /// returning (cheap at benchmark sizes; indispensable in tests).
+    pub verify: bool,
+    /// Optional scheduler-provided emitter affinity.
+    pub affinity: Option<Affinity>,
+    /// Use the vanilla Li-et-al. generator selection (first valid element,
+    /// no support-weight minimization). Faithful-baseline mode; the
+    /// framework leaves this off.
+    pub vanilla_elements: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            emitters: None,
+            max_pool_growth: 3,
+            verify: true,
+            affinity: None,
+            vanilla_elements: false,
+        }
+    }
+}
+
+/// A compiled generation circuit plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Solved {
+    /// The forward generation circuit.
+    pub circuit: Circuit,
+    /// Emitter pool size actually used.
+    pub emitters: usize,
+    /// The emission ordering that was compiled.
+    pub ordering: Vec<usize>,
+}
+
+/// Compiles `target` into a generation circuit with the given emission
+/// `ordering`.
+///
+/// # Errors
+///
+/// * [`SolverError::InvalidOrdering`] if `ordering` is not a permutation;
+/// * [`SolverError::InsufficientEmitters`] if the pool (after
+///   `max_pool_growth` retries) cannot host the ordering;
+/// * [`SolverError::VerificationFailed`] if the paranoid self-check fails
+///   (a bug, not an input condition).
+pub fn solve_with_ordering(
+    target: &Graph,
+    ordering: &[usize],
+    options: &SolveOptions,
+) -> Result<Solved, SolverError> {
+    let n = target.vertex_count();
+    {
+        let mut seen = vec![false; n];
+        if ordering.len() != n
+            || ordering.iter().any(|&p| {
+                if p >= n || seen[p] {
+                    true
+                } else {
+                    seen[p] = true;
+                    false
+                }
+            })
+        {
+            return Err(SolverError::InvalidOrdering { photons: n });
+        }
+    }
+    let base_pool = options
+        .emitters
+        .unwrap_or_else(|| height::min_emitters(target, ordering).max(1));
+    let mut last_err = None;
+    for grow in 0..=options.max_pool_growth {
+        let pool = base_pool + grow;
+        match ReverseSolver::new(target, ordering, pool, options.affinity.as_ref(), options.vanilla_elements).run()
+        {
+            Ok(circuit) => {
+                if options.verify {
+                    let ok = simulate::verify_circuit(&circuit, target)
+                        .map_err(|_| SolverError::VerificationFailed)?;
+                    if !ok {
+                        return Err(SolverError::VerificationFailed);
+                    }
+                }
+                return Ok(Solved {
+                    circuit,
+                    emitters: pool,
+                    ordering: ordering.to_vec(),
+                });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt was made"))
+}
+
+/// Compiles `target` with the natural ordering `0..n`.
+///
+/// # Errors
+///
+/// See [`solve_with_ordering`].
+pub fn solve(target: &Graph, options: &SolveOptions) -> Result<Solved, SolverError> {
+    let ordering: Vec<usize> = (0..target.vertex_count()).collect();
+    solve_with_ordering(target, &ordering, options)
+}
+
+struct ReverseSolver<'g> {
+    ordering: &'g [usize],
+    n: usize,
+    pool: usize,
+    t: Tableau,
+    ops: Vec<RevOp>,
+    affinity: Option<&'g Affinity>,
+    vanilla_elements: bool,
+}
+
+impl<'g> ReverseSolver<'g> {
+    fn new(
+        target: &'g Graph,
+        ordering: &'g [usize],
+        pool: usize,
+        affinity: Option<&'g Affinity>,
+        vanilla_elements: bool,
+    ) -> Self {
+        let n = target.vertex_count();
+        // Wires: photons 0..n, emitters n..n+pool.
+        let mut global = Graph::new(n + pool);
+        for (a, b) in target.edges() {
+            global.add_edge(a, b).expect("indices in range");
+        }
+        let mut t = Tableau::graph_state(&global);
+        for e in 0..pool {
+            t.h(n + e); // emitter wires |+⟩ → |0⟩ (no record: state prep)
+        }
+        ReverseSolver {
+            ordering,
+            n,
+            pool,
+            t,
+            ops: Vec::new(),
+            affinity,
+            vanilla_elements,
+        }
+    }
+
+    /// Emitter weight for work on photon `j` (1 in-group, 8 out-of-group).
+    fn emitter_weight(&self, j: usize, e: usize) -> usize {
+        match self.affinity {
+            Some(aff) => aff.weight(aff.photon_group.get(j).copied().unwrap_or(0), e),
+            None => 1,
+        }
+    }
+
+    fn emitter_wire(&self, e: usize) -> usize {
+        self.n + e
+    }
+
+    /// Applies a reverse-time gate to the tableau and records it.
+    fn apply(&mut self, op: RevOp) {
+        match op {
+            RevOp::H(q) => self.t.h(q),
+            RevOp::S(q) => self.t.s(q),
+            RevOp::X(q) => self.t.px(q),
+            RevOp::Z(q) => self.t.pz(q),
+            RevOp::Cnot(c, t) => self.t.cnot(c, t),
+            RevOp::Cz(a, b) => self.t.cz(a, b),
+            RevOp::Emit { emitter, photon } => self.t.cnot(self.n + emitter, photon),
+            RevOp::Measure { .. } => {
+                unreachable!("TRM mutates the tableau explicitly, not via apply()")
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// Records the gates returned by `rotate_to_z` on wire `q`.
+    fn record_rotation(&mut self, gates: &[RotGate], q: usize) {
+        for g in gates {
+            self.ops.push(match g {
+                RotGate::H => RevOp::H(q),
+                RotGate::S => RevOp::S(q),
+            });
+        }
+    }
+
+    /// Emitters currently free (disentangled in |0⟩/|1⟩; |1⟩ gets fixed),
+    /// preferring emitters assigned to photon `j`'s block.
+    fn find_free_emitter(&mut self, j: usize) -> Option<usize> {
+        let mut order: Vec<usize> = (0..self.pool).collect();
+        order.sort_by_key(|&e| (self.emitter_weight(j, e), e));
+        for e in order {
+            let wire = self.emitter_wire(e);
+            if let Some(sign) = self.t.deterministic_z_sign(wire) {
+                if sign {
+                    // |1⟩ → |0⟩; forward X at the mirrored position (legal on
+                    // emitters at any time).
+                    self.apply(RevOp::X(wire));
+                }
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Brings the tableau to a gauge where exactly one row is `+Z_wire` and
+    /// no other row touches `wire`; returns that row. Only valid for free
+    /// wires.
+    fn isolate_free_wire_row(&mut self, wire: usize) -> usize {
+        let rows = self
+            .t
+            .find_element_supported_on(&[], wire, &[])
+            .expect("wire is free, Z_wire is in the group");
+        let row = self.t.combine_rows(&rows);
+        debug_assert_eq!(self.t.support(row), vec![wire]);
+        // Clear the wire from every other row (z bits only; x bits cannot
+        // exist on a free wire).
+        let others: Vec<usize> = (0..self.t.num_qubits())
+            .filter(|&r| r != row && (self.t.z_bit(r, wire) || self.t.x_bit(r, wire)))
+            .collect();
+        for r in others {
+            debug_assert!(!self.t.x_bit(r, wire), "free wire cannot have X support");
+            self.t.row_mul(r, row);
+        }
+        if self.t.phase_of(row) == 2 {
+            debug_assert!(
+                wire >= self.n,
+                "photon rows are sign-fixed at absorption; only emitters may flip here"
+            );
+            self.apply(RevOp::X(wire));
+        }
+        debug_assert_eq!(self.t.phase_of(row), 0);
+        row
+    }
+
+    /// Time-reversed measurement: entangles free emitter `e` as `X_e Z_j`.
+    ///
+    /// Forward reading: measure `e` in Z; on outcome 1 apply `Z` to photon
+    /// `j` (and reset `e`). Afterwards the group contains an element with
+    /// photon support `{j}`, so absorption can proceed.
+    fn time_reversed_measure(&mut self, e: usize, j: usize) {
+        let wire = self.emitter_wire(e);
+        let ze_row = self.isolate_free_wire_row(wire);
+        // Pair up the generators anticommuting with Z_j (those with X at j).
+        let anti: Vec<usize> = (0..self.t.num_qubits())
+            .filter(|&r| r != ze_row && self.t.x_bit(r, j))
+            .collect();
+        debug_assert!(
+            !anti.is_empty(),
+            "TRM called although Z_j commutes with the group (photon already product)"
+        );
+        let s1 = anti[0];
+        for &si in &anti[1..] {
+            self.t.row_mul(si, s1);
+        }
+        // s1 := Z_e · s1 keeps the generating set full rank.
+        self.t.row_mul(s1, ze_row);
+        // ze_row := X_e Z_j.
+        self.t.clear_row(ze_row);
+        self.t.set_x_bit(ze_row, wire, true);
+        self.t.set_z_bit(ze_row, j, true);
+        debug_assert!(self.t.is_valid_state(), "TRM broke the stabilizer group");
+        self.ops.push(RevOp::Measure { emitter: e, photon: j });
+    }
+
+    /// Absorbs photon `j` (the last unabsorbed photon of the ordering).
+    fn absorb_photon(&mut self, j: usize, unabsorbed: &[usize]) -> Result<(), SolverError> {
+        let emitter_wires: Vec<usize> = (0..self.pool).map(|e| self.emitter_wire(e)).collect();
+        let all_photons: Vec<usize> = (0..self.n).collect();
+
+        // Find a group element with photon support {j}; TRM first if needed.
+        let n_wires = self.n;
+        let weight_for_j = {
+            let weights: Vec<usize> = (0..self.pool).map(|e| self.emitter_weight(j, e)).collect();
+            move |wire: usize| weights[wire - n_wires]
+        };
+        let find = |t: &Tableau, vanilla: bool| -> Option<Vec<usize>> {
+            if vanilla {
+                t.find_element_any(&all_photons, j, &emitter_wires)
+            } else {
+                t.find_element_weighted(&all_photons, j, &emitter_wires, &weight_for_j)
+            }
+        };
+        let rows = match find(&self.t, self.vanilla_elements) {
+            Some(rows) => rows,
+            None => {
+                let free = self
+                    .find_free_emitter(j)
+                    .ok_or(SolverError::InsufficientEmitters { pool: self.pool, photon: j })?;
+                self.time_reversed_measure(free, j);
+                find(&self.t, self.vanilla_elements)
+                    .expect("TRM guarantees X_e Z_j is in the group")
+            }
+        };
+        let rg = self.t.combine_rows(&rows);
+
+        // Rotate the photon's letter to Z.
+        let gates = self
+            .t
+            .rotate_to_z(rg, j)
+            .expect("rg has support on photon j");
+        self.record_rotation(&gates, j);
+
+        // Emitter support of g.
+        let mut support_e: Vec<usize> = (0..self.pool)
+            .filter(|&e| {
+                let w = self.emitter_wire(e);
+                self.t.x_bit(rg, w) || self.t.z_bit(rg, w)
+            })
+            .collect();
+
+        if support_e.is_empty() {
+            // Product photon: emit it from a free emitter via g := Z_e · g.
+            let free = self
+                .find_free_emitter(j)
+                .ok_or(SolverError::InsufficientEmitters { pool: self.pool, photon: j })?;
+            let wire = self.emitter_wire(free);
+            let ze_row = self.isolate_free_wire_row(wire);
+            debug_assert_ne!(ze_row, rg, "Z_e row cannot be the photon row");
+            self.t.row_mul(rg, ze_row);
+            support_e.push(free);
+        }
+
+        // Compress emitter support onto a single emitter with ee-CNOTs,
+        // preferring an in-group emitter as the survivor.
+        support_e.sort_by_key(|&e| (self.emitter_weight(j, e), e));
+        let target_e = support_e[0];
+        let target_wire = self.emitter_wire(target_e);
+        let gates = self
+            .t
+            .rotate_to_z(rg, target_wire)
+            .expect("rg has support on the target emitter");
+        self.record_rotation(&gates, target_wire);
+        for &other in &support_e[1..] {
+            let other_wire = self.emitter_wire(other);
+            let gates = self
+                .t
+                .rotate_to_z(rg, other_wire)
+                .expect("rg has support on this emitter");
+            self.record_rotation(&gates, other_wire);
+            // CNOT(control=other, target=target) maps Z_other Z_target → Z_target.
+            self.apply(RevOp::Cnot(other_wire, target_wire));
+            debug_assert!(!self.t.x_bit(rg, other_wire) && !self.t.z_bit(rg, other_wire));
+        }
+        debug_assert_eq!(
+            {
+                let mut s = self.t.support(rg);
+                s.retain(|&w| w != j);
+                s
+            },
+            vec![target_wire],
+            "g must be supported on the photon and one emitter"
+        );
+
+        // Clean Z_j (and Y_j → X_j) from every other row by multiplying with g.
+        let dirty: Vec<usize> = (0..self.t.num_qubits())
+            .filter(|&r| r != rg && self.t.z_bit(r, j))
+            .collect();
+        for r in dirty {
+            self.t.row_mul(r, rg);
+        }
+
+        // Sign fix *before* the reversed emission so that the forward X
+        // lands right after the emission (photon gates are only legal after
+        // the photon exists). X_j flips the sign of rows with a Z at j,
+        // which is now only g itself.
+        if self.t.phase_of(rg) == 2 {
+            self.apply(RevOp::X(j));
+        }
+        debug_assert_eq!(self.t.phase_of(rg), 0);
+
+        // Reversed emission. Commutation with g = Z_e Z_j forces every other
+        // row touching j to carry X_j together with X/Y on e, and the CNOT
+        // clears both simultaneously.
+        self.apply(RevOp::Emit { emitter: target_e, photon: j });
+
+        // The photon must now be fully disentangled: its row is +Z_j.
+        debug_assert_eq!(self.t.support(rg), vec![j]);
+        debug_assert_eq!(self.t.phase_of(rg), 0);
+        debug_assert!(
+            (0..self.t.num_qubits())
+                .all(|r| r == rg || (!self.t.x_bit(r, j) && !self.t.z_bit(r, j))),
+            "photon {j} still entangled after reversed emission"
+        );
+        let _ = unabsorbed;
+        Ok(())
+    }
+
+    /// Disentangles the emitter register to |0⟩^pool after all photons are
+    /// absorbed, paying one CZ per edge of the emitters' residual graph
+    /// state.
+    fn disentangle_emitters(&mut self) {
+        // Gauge: remove photon z-bits from emitter rows using the photon
+        // rows (each photon wire is +Z after absorption).
+        for p in 0..self.n {
+            let _ = self.isolate_free_wire_row(p);
+        }
+        // Classify emitters: free ones get gauge-isolated (and |1⟩-fixed),
+        // entangled ones make up the residual state to reduce. Skipping free
+        // emitters keeps idle pool wires gate-free in the forward circuit.
+        let mut entangled: Vec<usize> = Vec::new();
+        for e in 0..self.pool {
+            let wire = self.emitter_wire(e);
+            if self.t.deterministic_z_sign(wire).is_some() {
+                let _ = self.isolate_free_wire_row(wire);
+            } else {
+                entangled.push(e);
+            }
+        }
+        if entangled.is_empty() {
+            return;
+        }
+        let entangled_wires: Vec<usize> =
+            entangled.iter().map(|&e| self.emitter_wire(e)).collect();
+        // Rows of the residual state: support non-empty and inside the
+        // entangled wire set (every other wire owns an isolated ±Z row).
+        let residual_rows: Vec<usize> = (0..self.t.num_qubits())
+            .filter(|&r| {
+                let sup = self.t.support(r);
+                !sup.is_empty() && sup.iter().all(|w| entangled_wires.contains(w))
+            })
+            .collect();
+        debug_assert_eq!(
+            residual_rows.len(),
+            entangled.len(),
+            "residual emitter state must have one generator per entangled wire"
+        );
+        let mut sub = Tableau::zero_state(entangled.len());
+        sub.clear_all_rows();
+        for (sr, &r) in residual_rows.iter().enumerate() {
+            for (k, &w) in entangled_wires.iter().enumerate() {
+                sub.set_x_bit(sr, k, self.t.x_bit(r, w));
+                sub.set_z_bit(sr, k, self.t.z_bit(r, w));
+            }
+            sub.set_phase(sr, self.t.phase_of(r));
+        }
+        debug_assert!(sub.is_valid_state(), "emitter substate must be pure");
+        let form = to_graph_form(&mut sub).expect("pure states always reduce");
+        for gate in &form.gates {
+            match *gate {
+                LocalGate::H(k) => self.apply(RevOp::H(entangled_wires[k])),
+                LocalGate::S(k) => self.apply(RevOp::S(entangled_wires[k])),
+                LocalGate::Z(k) => self.apply(RevOp::Z(entangled_wires[k])),
+            }
+        }
+        for (a, b) in form.graph.edges() {
+            self.apply(RevOp::Cz(entangled_wires[a], entangled_wires[b]));
+        }
+        for &w in &entangled_wires.clone() {
+            self.apply(RevOp::H(w));
+        }
+        // Sign fixes: every entangled wire must end at +Z.
+        for &w in &entangled_wires.clone() {
+            let sign = self
+                .t
+                .deterministic_z_sign(w)
+                .expect("emitter is disentangled");
+            if sign {
+                self.apply(RevOp::X(w));
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Circuit, SolverError> {
+        let mut remaining: Vec<usize> = self.ordering.to_vec();
+        while let Some(j) = remaining.pop() {
+            self.absorb_photon(j, &remaining)?;
+        }
+        self.disentangle_emitters();
+        debug_assert!(
+            self.t
+                .same_state_as(&Tableau::zero_state(self.n + self.pool)),
+            "reverse walk must terminate in |0…0⟩"
+        );
+        Ok(self.into_circuit())
+    }
+
+    /// Reverses and inverts the recorded ops into the forward circuit.
+    fn into_circuit(self) -> Circuit {
+        let n = self.n;
+        let qubit = |wire: usize| -> Qubit {
+            if wire < n {
+                Qubit::Photon(wire)
+            } else {
+                Qubit::Emitter(wire - n)
+            }
+        };
+        let mut c = Circuit::new(self.pool, n);
+        for op in self.ops.into_iter().rev() {
+            match op {
+                RevOp::H(w) => c.push(Op::H(qubit(w))),
+                RevOp::S(w) => c.push(Op::Sdg(qubit(w))),
+                RevOp::X(w) => c.push(Op::X(qubit(w))),
+                RevOp::Z(w) => c.push(Op::Z(qubit(w))),
+                RevOp::Cnot(cw, tw) => c.push(Op::Cnot(cw - n, tw - n)),
+                RevOp::Cz(a, b) => c.push(Op::Cz(a - n, b - n)),
+                RevOp::Emit { emitter, photon } => c.push(Op::Emit { emitter, photon }),
+                RevOp::Measure { emitter, photon } => c.push(Op::MeasureZ {
+                    emitter,
+                    corrections: vec![(Qubit::Photon(photon), epgs_stabilizer::Pauli::Z)],
+                }),
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::generators;
+
+    fn solve_ok(g: &Graph) -> Solved {
+        solve(g, &SolveOptions::default()).expect("solve must succeed")
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::new(1);
+        let s = solve_ok(&g);
+        assert_eq!(s.circuit.emission_count(), 1);
+    }
+
+    #[test]
+    fn two_vertex_edge() {
+        let g = generators::path(2);
+        let s = solve_ok(&g);
+        assert!(s.circuit.validate().is_ok());
+    }
+
+    #[test]
+    fn linear_clusters_up_to_10() {
+        for n in 2..=10 {
+            let g = generators::path(n);
+            let s = solve_ok(&g);
+            assert_eq!(s.emitters, 1, "paths need one emitter (n={n})");
+            assert_eq!(
+                s.circuit.ee_two_qubit_count(),
+                0,
+                "single-emitter circuits need no ee gates (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn ghz_star_needs_one_emitter() {
+        let g = generators::star(6);
+        let s = solve_ok(&g);
+        assert_eq!(s.emitters, 1);
+        assert_eq!(s.circuit.ee_two_qubit_count(), 0);
+    }
+
+    #[test]
+    fn cycles_need_two_emitters() {
+        // cycle(3) = K3 is LC-equivalent to GHZ and needs one emitter;
+        // proper cycles (n ≥ 4) need two.
+        for n in 4..=8 {
+            let g = generators::cycle(n);
+            let s = solve_ok(&g);
+            assert!(s.emitters >= 2, "cycles need ≥ 2 emitters (n={n})");
+        }
+    }
+
+    #[test]
+    fn lattice_solves() {
+        let g = generators::lattice(3, 3);
+        let s = solve_ok(&g);
+        assert!(s.circuit.validate().is_ok());
+        assert!(s.circuit.ee_two_qubit_count() >= 1);
+    }
+
+    #[test]
+    fn complete_graph_solves() {
+        let g = generators::complete(5);
+        let _ = solve_ok(&g);
+    }
+
+    #[test]
+    fn trees_solve() {
+        let g = generators::tree(10, 2);
+        let _ = solve_ok(&g);
+    }
+
+    #[test]
+    fn rgs_solves() {
+        let g = generators::repeater_graph_state(2);
+        let _ = solve_ok(&g);
+    }
+
+    #[test]
+    fn random_graphs_solve_and_verify() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..15 {
+            let g = generators::erdos_renyi(8, 0.35, &mut rng);
+            let s = solve(&g, &SolveOptions::default());
+            assert!(s.is_ok(), "trial {trial}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn custom_ordering_is_respected() {
+        let g = generators::path(5);
+        let ordering = vec![4, 3, 2, 1, 0];
+        let s = solve_with_ordering(&g, &ordering, &SolveOptions::default()).unwrap();
+        assert_eq!(s.ordering, ordering);
+    }
+
+    #[test]
+    fn invalid_ordering_rejected() {
+        let g = generators::path(3);
+        assert!(matches!(
+            solve_with_ordering(&g, &[0, 0, 1], &SolveOptions::default()),
+            Err(SolverError::InvalidOrdering { photons: 3 })
+        ));
+        assert!(matches!(
+            solve_with_ordering(&g, &[0, 1], &SolveOptions::default()),
+            Err(SolverError::InvalidOrdering { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_pool_is_honored() {
+        let g = generators::path(6);
+        let opts = SolveOptions {
+            emitters: Some(3),
+            ..SolveOptions::default()
+        };
+        let s = solve(&g, &opts).unwrap();
+        assert_eq!(s.emitters, 3);
+        assert_eq!(s.circuit.num_emitters(), 3);
+    }
+
+    #[test]
+    fn bad_ordering_needs_more_emitters() {
+        // Interleaved path ordering raises the height function.
+        let g = generators::path(6);
+        let s = solve_with_ordering(&g, &[0, 2, 4, 1, 3, 5], &SolveOptions::default()).unwrap();
+        assert!(s.emitters > 1);
+    }
+
+    #[test]
+    fn measurements_appear_for_emitter_reuse() {
+        // A long path with an interleaved ordering forces TRMs.
+        let g = generators::path(8);
+        let s = solve_with_ordering(&g, &[0, 2, 4, 6, 1, 3, 5, 7], &SolveOptions::default())
+            .unwrap();
+        assert!(s.circuit.measurement_count() > 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for stabilizer-state manipulation.
+
+/// Errors raised by tableau transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabilizerError {
+    /// A rotation was requested on a qubit where the row acts as identity.
+    IdentityPauli {
+        /// Generator row index.
+        row: usize,
+        /// Qubit index.
+        qubit: usize,
+    },
+    /// The graph-form reduction failed to reach a full-rank X block.
+    GraphFormDiverged {
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for StabilizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StabilizerError::IdentityPauli { row, qubit } => {
+                write!(f, "row {row} acts as identity on qubit {qubit}")
+            }
+            StabilizerError::GraphFormDiverged { iterations } => {
+                write!(
+                    f,
+                    "graph-form reduction did not reach a full-rank X block after {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StabilizerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = StabilizerError::IdentityPauli { row: 3, qubit: 1 };
+        assert_eq!(e.to_string(), "row 3 acts as identity on qubit 1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StabilizerError>();
+    }
+}

@@ -1,0 +1,217 @@
+//! Reduction of a pure stabilizer state to graph form.
+//!
+//! Every pure stabilizer state is local-Clifford-equivalent to a graph state
+//! (Van den Nest, Dehaene, De Moor 2004). This module performs that reduction
+//! constructively: Gaussian elimination brings the X block to the identity
+//! (inserting Hadamards where the X block is rank-deficient), S gates clear
+//! the diagonal of the Z block, and Pauli Z gates normalize signs. The
+//! recorded single-qubit gates map the *input* state to the returned graph
+//! state.
+
+use epgs_graph::Graph;
+
+use crate::error::StabilizerError;
+use crate::tableau::Tableau;
+
+/// A single-qubit Clifford gate applied during graph-form reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalGate {
+    /// Hadamard on the qubit.
+    H(usize),
+    /// Phase gate on the qubit.
+    S(usize),
+    /// Pauli Z on the qubit.
+    Z(usize),
+}
+
+/// Outcome of [`to_graph_form`]: the graph and the local gates that were
+/// applied to reach it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphForm {
+    /// Adjacency of the LC-equivalent graph state.
+    pub graph: Graph,
+    /// Gates applied to the input state, in order, to produce |graph⟩.
+    pub gates: Vec<LocalGate>,
+}
+
+/// Reduces `t` in place to the graph state it is LC-equivalent to, returning
+/// the graph and the gates applied.
+///
+/// # Errors
+///
+/// Returns [`StabilizerError::GraphFormDiverged`] if the X block cannot be
+/// completed (which indicates an invalid tableau; valid pure states always
+/// reduce).
+pub fn to_graph_form(t: &mut Tableau) -> Result<GraphForm, StabilizerError> {
+    let n = t.num_qubits();
+    let mut gates = Vec::new();
+
+    // Phase 1: make the X block invertible, inserting H where needed.
+    let max_iters = 4 * n + 4;
+    let mut iters = 0;
+    loop {
+        iters += 1;
+        if iters > max_iters {
+            return Err(StabilizerError::GraphFormDiverged { iterations: iters });
+        }
+        // Row-reduce the X block.
+        let mut pivot_row = 0;
+        let mut pivot_cols = Vec::new();
+        for q in 0..n {
+            if pivot_row >= n {
+                break;
+            }
+            let found = (pivot_row..n).find(|&r| t.x_bit(r, q));
+            let Some(r) = found else { continue };
+            t.swap_rows(pivot_row, r);
+            for other in 0..n {
+                if other != pivot_row && t.x_bit(other, q) {
+                    t.row_mul(other, pivot_row);
+                }
+            }
+            pivot_cols.push(q);
+            pivot_row += 1;
+        }
+        if pivot_row == n {
+            break;
+        }
+        // Some row below the X-rank has a zero X part; it is a pure-Z row.
+        // Hadamard one of its support qubits to convert a Z into an X. Pick a
+        // column that is not already an X pivot so the rank strictly grows.
+        let deficient = pivot_row;
+        let col = (0..n)
+            .find(|&q| t.z_bit(deficient, q) && !pivot_cols.contains(&q))
+            .or_else(|| (0..n).find(|&q| t.z_bit(deficient, q)));
+        let Some(q) = col else {
+            // Identity row: invalid state (not full rank).
+            return Err(StabilizerError::GraphFormDiverged { iterations: iters });
+        };
+        t.h(q);
+        gates.push(LocalGate::H(q));
+    }
+
+    // X block is now the identity after full RREF (pivots in column order).
+    // Phase 2: clear the Z diagonal with S gates.
+    for q in 0..n {
+        debug_assert!(t.x_bit(q, q), "X block must be the identity");
+        if t.z_bit(q, q) {
+            t.s(q);
+            gates.push(LocalGate::S(q));
+        }
+    }
+
+    // Phase 3: normalize signs with Pauli Z gates (row q is X_q Z_N(q), which
+    // contains no Y, so its phase is 0 or 2).
+    for q in 0..n {
+        debug_assert!(t.phase_of(q) % 2 == 0, "rows must be Hermitian");
+        if t.phase_of(q) == 2 {
+            t.pz(q);
+            gates.push(LocalGate::Z(q));
+        }
+    }
+
+    // Read off the adjacency.
+    let mut graph = Graph::new(n);
+    for r in 0..n {
+        for q in 0..n {
+            if r != q && t.z_bit(r, q) {
+                debug_assert!(t.z_bit(q, r), "Z block of a graph form is symmetric");
+                if r < q {
+                    graph.add_edge(r, q).expect("indices in range");
+                }
+            }
+        }
+    }
+    Ok(GraphForm { graph, gates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn graph_state_reduces_to_itself() {
+        let g = generators::lattice(2, 3);
+        let mut t = Tableau::graph_state(&g);
+        let form = to_graph_form(&mut t).unwrap();
+        assert_eq!(form.graph, g);
+        assert!(form.gates.is_empty());
+    }
+
+    #[test]
+    fn zero_state_reduces_to_empty_graph() {
+        let mut t = Tableau::zero_state(4);
+        let form = to_graph_form(&mut t).unwrap();
+        assert_eq!(form.graph.edge_count(), 0);
+        // One H per qubit turns |0⟩ into |+⟩ = empty graph state.
+        assert_eq!(form.gates.len(), 4);
+    }
+
+    #[test]
+    fn ghz_reduces_to_star_or_lc_equivalent() {
+        // GHZ = (|000⟩+|111⟩)/√2, stabilizers XXX, ZZI, IZZ.
+        let mut t = Tableau::zero_state(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(1, 2);
+        let snapshot = t.clone();
+        let form = to_graph_form(&mut t).unwrap();
+        // GHZ is LC-equivalent to the star (and to K3).
+        assert!(form.graph.is_connected());
+        assert!(form.graph.edge_count() == 2 || form.graph.edge_count() == 3);
+        // Replaying the recorded gates on the snapshot gives |graph⟩.
+        let mut replay = snapshot;
+        for gate in &form.gates {
+            match *gate {
+                LocalGate::H(q) => replay.h(q),
+                LocalGate::S(q) => replay.s(q),
+                LocalGate::Z(q) => replay.pz(q),
+            }
+        }
+        assert!(replay.same_state_as(&Tableau::graph_state(&form.graph)));
+    }
+
+    #[test]
+    fn random_clifford_states_reduce_and_replay() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..7);
+            let mut t = Tableau::zero_state(n);
+            for _ in 0..40 {
+                match rng.gen_range(0..5) {
+                    0 => t.h(rng.gen_range(0..n)),
+                    1 => t.s(rng.gen_range(0..n)),
+                    2 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        t.cnot(a, b);
+                    }
+                    3 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + rng.gen_range(1..n)) % n;
+                        t.cz(a, b);
+                    }
+                    _ => t.px(rng.gen_range(0..n)),
+                }
+            }
+            assert!(t.is_valid_state(), "trial {trial}");
+            let snapshot = t.clone();
+            let form = to_graph_form(&mut t).expect("valid states always reduce");
+            let mut replay = snapshot;
+            for gate in &form.gates {
+                match *gate {
+                    LocalGate::H(q) => replay.h(q),
+                    LocalGate::S(q) => replay.s(q),
+                    LocalGate::Z(q) => replay.pz(q),
+                }
+            }
+            assert!(
+                replay.same_state_as(&Tableau::graph_state(&form.graph)),
+                "trial {trial}: replay must match extracted graph"
+            );
+        }
+    }
+}

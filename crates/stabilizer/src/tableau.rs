@@ -1,0 +1,961 @@
+//! Phase-tracked stabilizer tableaux.
+//!
+//! A [`Tableau`] holds `n` commuting Hermitian Pauli generators on `n`
+//! qubits — a pure stabilizer state. Rows are stored as X/Z bit matrices plus
+//! a phase exponent `r ∈ Z₄` per row, with the convention described in
+//! [`crate::pauli`]: row = `i^r · Π_q X_q^{x_q} Z_q^{z_q}`.
+//!
+//! The gate set is the Clifford generators used by the emitter-photonic
+//! compiler: `H`, `S`/`S†`, Paulis, `CNOT`, `CZ`, plus row operations and a
+//! forced-outcome Z measurement (the compiler chooses the branch it encodes
+//! corrections for; verification exercises both branches).
+
+use epgs_graph::gf2::BitMatrix;
+use epgs_graph::Graph;
+
+use crate::error::StabilizerError;
+use crate::pauli::Pauli;
+
+/// A pure stabilizer state on `n` qubits as `n` phase-tracked generators.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_stabilizer::Tableau;
+///
+/// // |00⟩ → Bell pair.
+/// let mut t = Tableau::zero_state(2);
+/// t.h(0);
+/// t.cnot(0, 1);
+/// assert!(t.is_valid_state());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    x: BitMatrix,
+    z: BitMatrix,
+    /// Phase exponent per row, mod 4.
+    phase: Vec<u8>,
+}
+
+/// Result of a Z-basis measurement on a stabilizer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureOutcome {
+    /// The outcome was already determined by the state.
+    Deterministic(bool),
+    /// The outcome was random; the tableau was collapsed onto the outcome
+    /// that was forced by the caller.
+    Random(bool),
+}
+
+impl MeasureOutcome {
+    /// The measured bit regardless of determinism.
+    pub fn bit(self) -> bool {
+        match self {
+            MeasureOutcome::Deterministic(b) | MeasureOutcome::Random(b) => b,
+        }
+    }
+}
+
+impl Tableau {
+    /// The all-|0⟩ state: generators `Z_q`.
+    pub fn zero_state(n: usize) -> Self {
+        let mut t = Tableau {
+            n,
+            x: BitMatrix::zeros(n, n),
+            z: BitMatrix::zeros(n, n),
+            phase: vec![0; n],
+        };
+        for q in 0..n {
+            t.z.set(q, q, true);
+        }
+        t
+    }
+
+    /// The graph state |G⟩: generators `X_v Z_{N(v)}`.
+    pub fn graph_state(g: &Graph) -> Self {
+        let n = g.vertex_count();
+        let mut t = Tableau {
+            n,
+            x: BitMatrix::zeros(n, n),
+            z: BitMatrix::zeros(n, n),
+            phase: vec![0; n],
+        };
+        for v in 0..n {
+            t.x.set(v, v, true);
+            for &w in g.neighbors(v) {
+                t.z.set(v, w, true);
+            }
+        }
+        t
+    }
+
+    /// Number of qubits (and generators).
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Pauli letter of row `row` at qubit `q` (phase ignored).
+    pub fn pauli_at(&self, row: usize, q: usize) -> Pauli {
+        Pauli::from_bits(self.x.get(row, q), self.z.get(row, q))
+    }
+
+    /// The phase exponent `r ∈ Z₄` of row `row`.
+    pub fn phase_of(&self, row: usize) -> u8 {
+        self.phase[row]
+    }
+
+    /// X bit of row `row` at qubit `q`.
+    #[inline]
+    pub fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.x.get(row, q)
+    }
+
+    /// Z bit of row `row` at qubit `q`.
+    #[inline]
+    pub fn z_bit(&self, row: usize, q: usize) -> bool {
+        self.z.get(row, q)
+    }
+
+    /// Qubits where row `row` acts non-trivially, in increasing order.
+    pub fn support(&self, row: usize) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&q| self.x.get(row, q) || self.z.get(row, q))
+            .collect()
+    }
+
+    /// True if row `row` is the identity Pauli (possibly with phase).
+    pub fn row_is_identity(&self, row: usize) -> bool {
+        self.x.row_is_zero(row) && self.z.row_is_zero(row)
+    }
+
+    // ---- Clifford gates (conjugation of every generator) -----------------
+
+    /// Hadamard on qubit `q` (`X ↔ Z`).
+    pub fn h(&mut self, q: usize) {
+        for row in 0..self.n {
+            let xb = self.x.get(row, q);
+            let zb = self.z.get(row, q);
+            if xb && zb {
+                // XZ → ZX = −XZ.
+                self.phase[row] = (self.phase[row] + 2) % 4;
+            }
+            self.x.set(row, q, zb);
+            self.z.set(row, q, xb);
+        }
+    }
+
+    /// Phase gate S on qubit `q` (`X → Y`).
+    pub fn s(&mut self, q: usize) {
+        for row in 0..self.n {
+            if self.x.get(row, q) {
+                // X → i·XZ ; XZ → i·X (since S·XZ·S† = i X Z Z = iX).
+                self.z.flip(row, q);
+                self.phase[row] = (self.phase[row] + 1) % 4;
+            }
+        }
+    }
+
+    /// Inverse phase gate S† on qubit `q` (`X → −Y`).
+    pub fn sdg(&mut self, q: usize) {
+        for row in 0..self.n {
+            if self.x.get(row, q) {
+                self.z.flip(row, q);
+                self.phase[row] = (self.phase[row] + 3) % 4;
+            }
+        }
+    }
+
+    /// Pauli X on qubit `q` (flips the sign of rows with a Z there).
+    pub fn px(&mut self, q: usize) {
+        for row in 0..self.n {
+            if self.z.get(row, q) {
+                self.phase[row] = (self.phase[row] + 2) % 4;
+            }
+        }
+    }
+
+    /// Pauli Z on qubit `q` (flips the sign of rows with an X there).
+    pub fn pz(&mut self, q: usize) {
+        for row in 0..self.n {
+            if self.x.get(row, q) {
+                self.phase[row] = (self.phase[row] + 2) % 4;
+            }
+        }
+    }
+
+    /// Pauli Y on qubit `q`.
+    pub fn py(&mut self, q: usize) {
+        for row in 0..self.n {
+            if self.x.get(row, q) != self.z.get(row, q) {
+                self.phase[row] = (self.phase[row] + 2) % 4;
+            }
+        }
+    }
+
+    /// CNOT with control `c`, target `t`.
+    ///
+    /// In the literal X-before-Z phase convention CNOT introduces no phase:
+    /// `x_t ^= x_c`, `z_c ^= z_t` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "cnot requires distinct qubits");
+        for row in 0..self.n {
+            if self.x.get(row, c) {
+                self.x.flip(row, t);
+            }
+            if self.z.get(row, t) {
+                self.z.flip(row, c);
+            }
+        }
+    }
+
+    /// CZ on qubits `a`, `b`.
+    ///
+    /// `z_b ^= x_a`, `z_a ^= x_b`, with a sign flip when both X bits are set
+    /// (from reordering `Z_b X_b → −X_b Z_b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "cz requires distinct qubits");
+        for row in 0..self.n {
+            let xa = self.x.get(row, a);
+            let xb = self.x.get(row, b);
+            if xa && xb {
+                self.phase[row] = (self.phase[row] + 2) % 4;
+            }
+            if xa {
+                self.z.flip(row, b);
+            }
+            if xb {
+                self.z.flip(row, a);
+            }
+        }
+    }
+
+    // ---- Row (gauge) operations ------------------------------------------
+
+    /// Replaces row `dst` with the product `row_dst · row_src` (same group,
+    /// different generating set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src`.
+    pub fn row_mul(&mut self, dst: usize, src: usize) {
+        assert_ne!(dst, src, "row_mul requires distinct rows");
+        // Reordering sign: moving each Z of dst past each X of src on the
+        // same qubit contributes −1, i.e. phase += 2·|{q : z_dst[q] & x_src[q]}|.
+        let mut swaps = 0u8;
+        for q in 0..self.n {
+            if self.z.get(dst, q) && self.x.get(src, q) {
+                swaps ^= 1;
+            }
+        }
+        self.phase[dst] =
+            (self.phase[dst] + self.phase[src] + if swaps == 1 { 2 } else { 0 }) % 4;
+        self.x.xor_rows(dst, src);
+        self.z.xor_rows(dst, src);
+    }
+
+    /// Swaps two generator rows (pure bookkeeping).
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.x.swap_rows(a, b);
+        self.z.swap_rows(a, b);
+        self.phase.swap(a, b);
+    }
+
+    /// True if rows `a` and `b` commute as Pauli operators.
+    pub fn rows_commute(&self, a: usize, b: usize) -> bool {
+        let mut acc = false;
+        for q in 0..self.n {
+            let t = (self.x.get(a, q) & self.z.get(b, q)) ^ (self.z.get(a, q) & self.x.get(b, q));
+            acc ^= t;
+        }
+        !acc
+    }
+
+    /// Validates the state: all rows Hermitian, mutually commuting, and
+    /// linearly independent. O(n³); intended for tests and debug assertions.
+    pub fn is_valid_state(&self) -> bool {
+        // Hermiticity: r ≡ #Y (mod 2) per row.
+        for row in 0..self.n {
+            let ys = (0..self.n)
+                .filter(|&q| self.x.get(row, q) && self.z.get(row, q))
+                .count();
+            if (self.phase[row] as usize + ys) % 2 != 0 {
+                return false;
+            }
+        }
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if !self.rows_commute(a, b) {
+                    return false;
+                }
+            }
+        }
+        // Independence: the n×2n symplectic matrix has rank n.
+        let mut m = BitMatrix::zeros(self.n, 2 * self.n);
+        for r in 0..self.n {
+            for q in 0..self.n {
+                m.set(r, q, self.x.get(r, q));
+                m.set(r, self.n + q, self.z.get(r, q));
+            }
+        }
+        m.rank() == self.n
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// If the outcome is random, the state collapses onto the branch given by
+    /// `forced`; if deterministic, `forced` is ignored and the true outcome is
+    /// reported.
+    pub fn measure_z(&mut self, q: usize, forced: bool) -> MeasureOutcome {
+        // A generator anticommuting with Z_q is one with an X there.
+        let pivot = (0..self.n).find(|&r| self.x.get(r, q));
+        match pivot {
+            Some(p) => {
+                let rows: Vec<usize> = (0..self.n)
+                    .filter(|&r| r != p && self.x.get(r, q))
+                    .collect();
+                for r in rows {
+                    self.row_mul(r, p);
+                }
+                // Replace the pivot row with ±Z_q.
+                for col in 0..self.n {
+                    self.x.set(p, col, false);
+                    self.z.set(p, col, col == q);
+                }
+                self.phase[p] = if forced { 2 } else { 0 };
+                MeasureOutcome::Random(forced)
+            }
+            None => {
+                // Deterministic: express Z_q over the generators and read the
+                // accumulated phase.
+                let sign = self
+                    .deterministic_z_sign(q)
+                    .expect("no X at q implies Z_q is in the group for a pure state");
+                MeasureOutcome::Deterministic(sign)
+            }
+        }
+    }
+
+    /// If no generator has an X at `q`, `Z_q` is in the stabilizer group of a
+    /// pure state. Returns `Some(bit)` where `bit = true` means `−Z_q` (i.e.
+    /// a measurement yields 1), or `None` if an X is present.
+    pub fn deterministic_z_sign(&self, q: usize) -> Option<bool> {
+        if (0..self.n).any(|r| self.x.get(r, q)) {
+            return None;
+        }
+        // Solve over GF(2): which subset of rows multiplies to Z_q?
+        // Build the 2n×n system A c = e (columns are generators).
+        let mut a = BitMatrix::zeros(2 * self.n, self.n);
+        for r in 0..self.n {
+            for col in 0..self.n {
+                a.set(col, r, self.x.get(r, col));
+                a.set(self.n + col, r, self.z.get(r, col));
+            }
+        }
+        let mut target = vec![false; 2 * self.n];
+        target[self.n + q] = true;
+        let combo = a.solve(&target)?;
+        // Multiply out the chosen rows on a scratch accumulator to get the sign.
+        let mut acc_x = vec![false; self.n];
+        let mut acc_z = vec![false; self.n];
+        let mut phase: u8 = 0;
+        for (r, &take) in combo.iter().enumerate() {
+            if !take {
+                continue;
+            }
+            let mut swaps = 0u8;
+            for col in 0..self.n {
+                if acc_z[col] && self.x.get(r, col) {
+                    swaps ^= 1;
+                }
+            }
+            phase = (phase + self.phase[r] + if swaps == 1 { 2 } else { 0 }) % 4;
+            for col in 0..self.n {
+                acc_x[col] ^= self.x.get(r, col);
+                acc_z[col] ^= self.z.get(r, col);
+            }
+        }
+        debug_assert!(acc_x.iter().all(|&b| !b));
+        debug_assert!((0..self.n).all(|col| acc_z[col] == (col == q)));
+        debug_assert!(phase % 2 == 0);
+        Some(phase == 2)
+    }
+
+    /// Canonicalizes the tableau in place: symplectic RREF over the column
+    /// order `x_0, z_0, x_1, z_1, …` with rows sorted by pivot. Two tableaux
+    /// describe the same state iff their canonical forms are identical.
+    pub fn canonicalize(&mut self) {
+        let mut pivot_row = 0;
+        for q in 0..self.n {
+            for is_z in [false, true] {
+                if pivot_row >= self.n {
+                    return;
+                }
+                let get = |t: &Tableau, r: usize| {
+                    if is_z {
+                        // Only rows without an X at q qualify for the Z pivot,
+                        // since X pivots were already cleared below pivot_row.
+                        t.z.get(r, q)
+                    } else {
+                        t.x.get(r, q)
+                    }
+                };
+                let found = (pivot_row..self.n).find(|&r| get(self, r));
+                let Some(r) = found else { continue };
+                self.swap_rows(pivot_row, r);
+                for other in 0..self.n {
+                    if other != pivot_row && get(self, other) {
+                        self.row_mul(other, pivot_row);
+                    }
+                }
+                pivot_row += 1;
+            }
+        }
+    }
+
+    /// Returns true if `self` and `other` describe the same quantum state.
+    pub fn same_state_as(&self, other: &Tableau) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.canonicalize();
+        b.canonicalize();
+        a == b
+    }
+
+    /// Reduces rows `rows` to echelon form over the *qubit-pair* column order
+    /// restricted to `qubit_order`, returning nothing but leaving the tableau
+    /// in the echelon gauge. Used by the time-reversed solver.
+    pub fn echelon_gauge(&mut self, qubit_order: &[usize]) {
+        let mut pivot_row = 0;
+        for &q in qubit_order {
+            for is_z in [false, true] {
+                if pivot_row >= self.n {
+                    return;
+                }
+                let get = |t: &Tableau, r: usize| {
+                    if is_z {
+                        t.z.get(r, q)
+                    } else {
+                        t.x.get(r, q)
+                    }
+                };
+                let found = (pivot_row..self.n).find(|&r| get(self, r));
+                let Some(r) = found else { continue };
+                self.swap_rows(pivot_row, r);
+                for other in 0..self.n {
+                    if other != pivot_row && get(self, other) {
+                        self.row_mul(other, pivot_row);
+                    }
+                }
+                pivot_row += 1;
+            }
+        }
+    }
+
+    /// Finds a group element (as a row-combination) whose support, restricted
+    /// to `restrict`, is exactly `{target}` and whose support outside
+    /// `restrict ∪ allowed` is empty. Returns the indices of rows to multiply,
+    /// or `None`.
+    ///
+    /// `restrict` are the photon columns, `allowed` the emitter columns, in
+    /// solver terms: "find a stabilizer touching photon `target` and no other
+    /// photon". Among all valid elements, one with (locally) minimal support
+    /// on `allowed` is returned — fewer supported emitters means fewer
+    /// emitter-emitter CNOTs downstream, so the solution is post-optimized
+    /// over the constraint null space with a greedy descent.
+    pub fn find_element_supported_on(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+    ) -> Option<Vec<usize>> {
+        self.find_element_weighted(restrict, target, allowed, |_| 1)
+    }
+
+    /// Like [`Tableau::find_element_supported_on`], but returning the *first*
+    /// valid element without any support-weight optimization — the behavior
+    /// of the vanilla Li-et-al. protocol (and of GraphiQ's deterministic
+    /// solver), which works in an echelon gauge and takes whichever emission
+    /// generator appears. Kept for faithful baseline comparisons.
+    pub fn find_element_any(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+    ) -> Option<Vec<usize>> {
+        self.find_element_impl(restrict, target, allowed, None::<fn(usize) -> usize>)
+    }
+
+    /// Like [`Tableau::find_element_supported_on`], but minimizing a custom
+    /// per-qubit support weight over `allowed` instead of plain support
+    /// count. Solvers use this to steer work onto preferred emitters.
+    pub fn find_element_weighted(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+        weight_of: impl Fn(usize) -> usize,
+    ) -> Option<Vec<usize>> {
+        self.find_element_impl(restrict, target, allowed, Some(weight_of))
+    }
+
+    fn find_element_impl(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+        weight_of: Option<impl Fn(usize) -> usize>,
+    ) -> Option<Vec<usize>> {
+        // Unknowns: row combination c ∈ GF(2)^n.
+        // Constraints: for every q in restrict with q != target, both x and z
+        // components of the product vanish; for target, at least one is
+        // non-zero (we try (x,z) target patterns in turn); for every qubit not
+        // in restrict/allowed, both components vanish.
+        let restrict_set: std::collections::BTreeSet<usize> = restrict.iter().copied().collect();
+        let allowed_set: std::collections::BTreeSet<usize> = allowed.iter().copied().collect();
+        let forbidden: Vec<usize> = (0..self.n)
+            .filter(|&q| q != target && (restrict_set.contains(&q) || !allowed_set.contains(&q)))
+            .collect();
+        // Build constraint matrix: rows = 2·|forbidden| + 2 (target pattern),
+        // cols = n generators.
+        let mut a = BitMatrix::zeros(2 * forbidden.len() + 2, self.n);
+        for (i, &q) in forbidden.iter().enumerate() {
+            for r in 0..self.n {
+                a.set(2 * i, r, self.x.get(r, q));
+                a.set(2 * i + 1, r, self.z.get(r, q));
+            }
+        }
+        let base = 2 * forbidden.len();
+        for r in 0..self.n {
+            a.set(base, r, self.x.get(r, target));
+            a.set(base + 1, r, self.z.get(r, target));
+        }
+        let mut best: Option<(usize, Vec<bool>)> = None;
+        for (tx, tz) in [(true, false), (false, true), (true, true)] {
+            let mut b = vec![false; 2 * forbidden.len() + 2];
+            b[base] = tx;
+            b[base + 1] = tz;
+            let Some(mut c) = a.solve(&b) else { continue };
+            if c.iter().all(|&bit| !bit) {
+                continue;
+            }
+            let Some(weight_of) = &weight_of else {
+                // Vanilla mode: first valid element wins.
+                return Some((0..self.n).filter(|&r| c[r]).collect());
+            };
+            // Greedy weight reduction over the homogeneous solutions.
+            let null = a.null_space();
+            let weight =
+                |c: &[bool]| -> usize { self.combo_allowed_weight(c, &allowed_set, weight_of) };
+            let mut w = weight(&c);
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for v in &null {
+                    let cand: Vec<bool> = c.iter().zip(v).map(|(&a, &b)| a ^ b).collect();
+                    if cand.iter().all(|&bit| !bit) {
+                        continue;
+                    }
+                    let cw = weight(&cand);
+                    if cw < w {
+                        c = cand;
+                        w = cw;
+                        improved = true;
+                    }
+                }
+            }
+            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+                best = Some((w, c));
+            }
+        }
+        let (_, c) = best?;
+        Some((0..self.n).filter(|&r| c[r]).collect())
+    }
+
+    /// Support weight of the row-combination `c` restricted to `allowed`.
+    fn combo_allowed_weight(
+        &self,
+        c: &[bool],
+        allowed: &std::collections::BTreeSet<usize>,
+        weight_of: &impl Fn(usize) -> usize,
+    ) -> usize {
+        allowed
+            .iter()
+            .filter(|&&q| {
+                let mut x = false;
+                let mut z = false;
+                for (r, &take) in c.iter().enumerate() {
+                    if take {
+                        x ^= self.x.get(r, q);
+                        z ^= self.z.get(r, q);
+                    }
+                }
+                x || z
+            })
+            .map(|&q| weight_of(q))
+            .sum()
+    }
+
+    /// Multiplies the listed rows into the first of them, making that row the
+    /// desired group element, and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn combine_rows(&mut self, rows: &[usize]) -> usize {
+        let (&dst, rest) = rows.split_first().expect("combine_rows needs at least one row");
+        for &src in rest {
+            self.row_mul(dst, src);
+        }
+        dst
+    }
+
+    // ---- Raw row editing (for solvers that rebuild generators) -----------
+
+    /// Zeroes row `row` (letters and phase). The tableau is *invalid* until
+    /// the caller installs a new independent generator; intended for solver
+    /// internals that replace a generator wholesale.
+    pub fn clear_row(&mut self, row: usize) {
+        for q in 0..self.n {
+            self.x.set(row, q, false);
+            self.z.set(row, q, false);
+        }
+        self.phase[row] = 0;
+    }
+
+    /// Zeroes every row. See [`Tableau::clear_row`] for the validity caveat.
+    pub fn clear_all_rows(&mut self) {
+        for r in 0..self.n {
+            self.clear_row(r);
+        }
+    }
+
+    /// Sets the X bit of (`row`, `q`).
+    pub fn set_x_bit(&mut self, row: usize, q: usize, value: bool) {
+        self.x.set(row, q, value);
+    }
+
+    /// Sets the Z bit of (`row`, `q`).
+    pub fn set_z_bit(&mut self, row: usize, q: usize, value: bool) {
+        self.z.set(row, q, value);
+    }
+
+    /// Sets the phase exponent of `row` (mod 4).
+    pub fn set_phase(&mut self, row: usize, phase: u8) {
+        self.phase[row] = phase % 4;
+    }
+
+    /// Applies the single-qubit Clifford that maps the Pauli letter of
+    /// (`row`, `q`) to `Z`, returning the gate names applied (in application
+    /// order) so a circuit can record them. Identity letters are an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilizerError::IdentityPauli`] if the row acts trivially
+    /// on `q`.
+    pub fn rotate_to_z(&mut self, row: usize, q: usize) -> Result<Vec<RotGate>, StabilizerError> {
+        let mut gates = Vec::new();
+        match self.pauli_at(row, q) {
+            Pauli::I => return Err(StabilizerError::IdentityPauli { row, qubit: q }),
+            Pauli::X => {
+                self.h(q);
+                gates.push(RotGate::H);
+            }
+            Pauli::Y => {
+                // XZ → S: X-bit set so z flips: Y → X, then H: X → Z.
+                self.s(q);
+                self.h(q);
+                gates.push(RotGate::S);
+                gates.push(RotGate::H);
+            }
+            Pauli::Z => {}
+        }
+        debug_assert_eq!(self.pauli_at(row, q), Pauli::Z);
+        Ok(gates)
+    }
+}
+
+/// Elementary single-qubit gate emitted by [`Tableau::rotate_to_z`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotGate {
+    /// Hadamard.
+    H,
+    /// Phase gate.
+    S,
+}
+
+impl std::fmt::Debug for Tableau {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Tableau on {} qubits [", self.n)?;
+        for row in 0..self.n {
+            let sign = match self.phase[row] {
+                0 => "+",
+                1 => "i",
+                2 => "-",
+                3 => "-i",
+                _ => unreachable!(),
+            };
+            write!(f, "  {sign:>2} ")?;
+            for q in 0..self.n {
+                write!(f, "{}", self.pauli_at(row, q))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::generators;
+
+    #[test]
+    fn zero_state_is_valid() {
+        assert!(Tableau::zero_state(5).is_valid_state());
+    }
+
+    #[test]
+    fn graph_state_is_valid() {
+        let g = generators::lattice(2, 3);
+        assert!(Tableau::graph_state(&g).is_valid_state());
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let g = generators::path(3);
+        let mut t = Tableau::graph_state(&g);
+        let orig = t.clone();
+        t.h(1);
+        t.h(1);
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn s_four_times_is_identity() {
+        let mut t = Tableau::graph_state(&generators::path(3));
+        let orig = t.clone();
+        for _ in 0..4 {
+            t.s(1);
+        }
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn s_then_sdg_is_identity() {
+        let mut t = Tableau::graph_state(&generators::cycle(4));
+        let orig = t.clone();
+        t.s(2);
+        t.sdg(2);
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn cnot_self_inverse() {
+        let mut t = Tableau::graph_state(&generators::path(4));
+        let orig = t.clone();
+        t.cnot(0, 2);
+        assert!(t.is_valid_state());
+        t.cnot(0, 2);
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn cz_self_inverse_and_symmetric() {
+        let mut t1 = Tableau::graph_state(&generators::path(4));
+        let mut t2 = t1.clone();
+        t1.cz(1, 3);
+        t2.cz(3, 1);
+        assert_eq!(t1, t2, "CZ is symmetric");
+        t1.cz(1, 3);
+        assert_eq!(t1, Tableau::graph_state(&generators::path(4)));
+    }
+
+    #[test]
+    fn bell_state_structure() {
+        let mut t = Tableau::zero_state(2);
+        t.h(0);
+        t.cnot(0, 1);
+        // Stabilizers of the Bell state: XX and ZZ.
+        t.canonicalize();
+        assert!(t.is_valid_state());
+        let mut expected = Tableau::zero_state(2);
+        // Build XX, ZZ directly.
+        expected.x.set(0, 0, true);
+        expected.x.set(0, 1, true);
+        expected.z.set(0, 0, false);
+        expected.z.set(0, 1, false);
+        expected.z.set(1, 0, true);
+        expected.z.set(1, 1, true);
+        expected.phase = vec![0, 0];
+        expected.canonicalize();
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn cz_on_plus_states_builds_graph_state() {
+        // H on all qubits then CZ per edge must equal Tableau::graph_state.
+        let g = generators::cycle(5);
+        let mut t = Tableau::zero_state(5);
+        for q in 0..5 {
+            t.h(q);
+        }
+        for (a, b) in g.edges() {
+            t.cz(a, b);
+        }
+        assert!(t.same_state_as(&Tableau::graph_state(&g)));
+    }
+
+    #[test]
+    fn row_mul_keeps_state_valid() {
+        let mut t = Tableau::graph_state(&generators::lattice(2, 2));
+        t.row_mul(0, 1);
+        assert!(t.is_valid_state());
+    }
+
+    #[test]
+    fn row_mul_y_sign_bookkeeping() {
+        // Z·X = iY in operator terms: row1=Z, row0=X on one qubit... build a
+        // 1-qubit scenario via 2 qubits to keep the group abelian: rows X⊗X
+        // and Z⊗Z multiply to (XZ)⊗(XZ) = (−iY)(−iY) = −Y⊗Y, i.e. phase 2 in
+        // our convention means r = 2 + (#Y=2) → operator (i²)·(XZ)(XZ) = −(−iY)(−iY)
+        let mut t = Tableau::zero_state(2);
+        // row0 = X X, row1 = Z Z (Bell pair stabilizers).
+        t.h(0);
+        t.cnot(0, 1);
+        t.canonicalize();
+        t.row_mul(0, 1);
+        assert!(t.is_valid_state(), "product row must stay Hermitian: {t:?}");
+    }
+
+    #[test]
+    fn measure_z_deterministic_on_zero_state() {
+        let mut t = Tableau::zero_state(3);
+        assert_eq!(t.measure_z(1, true), MeasureOutcome::Deterministic(false));
+    }
+
+    #[test]
+    fn measure_z_deterministic_minus() {
+        let mut t = Tableau::zero_state(1);
+        t.px(0); // |1⟩
+        assert_eq!(t.measure_z(0, false), MeasureOutcome::Deterministic(true));
+    }
+
+    #[test]
+    fn measure_z_random_collapses() {
+        let mut t = Tableau::zero_state(1);
+        t.h(0); // |+⟩
+        let out = t.measure_z(0, true);
+        assert_eq!(out, MeasureOutcome::Random(true));
+        // Now |1⟩.
+        assert_eq!(t.measure_z(0, false), MeasureOutcome::Deterministic(true));
+        assert!(t.is_valid_state());
+    }
+
+    #[test]
+    fn measure_z_on_bell_pair_correlates() {
+        for forced in [false, true] {
+            let mut t = Tableau::zero_state(2);
+            t.h(0);
+            t.cnot(0, 1);
+            let first = t.measure_z(0, forced);
+            assert_eq!(first, MeasureOutcome::Random(forced));
+            let second = t.measure_z(1, !forced);
+            assert_eq!(second, MeasureOutcome::Deterministic(forced));
+        }
+    }
+
+    #[test]
+    fn same_state_ignores_generator_presentation() {
+        let g = generators::path(4);
+        let mut a = Tableau::graph_state(&g);
+        let b = Tableau::graph_state(&g);
+        a.row_mul(0, 1);
+        a.swap_rows(2, 3);
+        assert!(a.same_state_as(&b));
+    }
+
+    #[test]
+    fn different_states_differ() {
+        let a = Tableau::graph_state(&generators::path(4));
+        let b = Tableau::graph_state(&generators::cycle(4));
+        assert!(!a.same_state_as(&b));
+        let mut c = Tableau::graph_state(&generators::path(4));
+        c.pz(0); // sign flip on one stabilizer
+        assert!(!a.same_state_as(&c));
+    }
+
+    #[test]
+    fn rotate_to_z_all_letters() {
+        // Prepare rows with X, Y, Z at qubit 0 via |+⟩, |+i⟩, |0⟩.
+        let mut t = Tableau::zero_state(1);
+        t.h(0); // stabilizer X
+        assert_eq!(t.pauli_at(0, 0), Pauli::X);
+        let gates = t.rotate_to_z(0, 0).unwrap();
+        assert_eq!(gates, vec![RotGate::H]);
+        assert_eq!(t.pauli_at(0, 0), Pauli::Z);
+
+        let mut t = Tableau::zero_state(1);
+        t.h(0);
+        t.s(0); // stabilizer Y
+        assert_eq!(t.pauli_at(0, 0), Pauli::Y);
+        let gates = t.rotate_to_z(0, 0).unwrap();
+        assert_eq!(gates, vec![RotGate::S, RotGate::H]);
+        assert!(t.is_valid_state());
+
+        let mut t = Tableau::zero_state(1);
+        assert!(t.rotate_to_z(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn find_element_on_leaf_photon() {
+        // Path 0-1-2: is there a group element touching only vertex 2 among
+        // photons {0,1,2}? X_2 Z_1 touches 1 too; Z_2-only? The element
+        // X_1 Z_0 Z_2 · … — for a path the answer is no element is supported
+        // on {2} alone, so the solver must use an emitter; with vertex 1
+        // allowed, g = X_2 Z_1 qualifies.
+        let t = Tableau::graph_state(&generators::path(3));
+        assert!(t
+            .find_element_supported_on(&[0, 1, 2], 2, &[])
+            .is_none());
+        let rows = t
+            .find_element_supported_on(&[0, 2], 2, &[1])
+            .expect("X_2 Z_1 exists");
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn pauli_gates_flip_phases_only() {
+        let g = generators::path(3);
+        let mut t = Tableau::graph_state(&g);
+        t.px(1);
+        // X_1 commutes with X-type generator of vertex 1 but flips rows with
+        // Z at 1 (the neighbors' generators).
+        assert_eq!(t.phase_of(0), 2);
+        assert_eq!(t.phase_of(1), 0);
+        assert_eq!(t.phase_of(2), 2);
+        assert!(t.is_valid_state());
+    }
+
+    #[test]
+    fn debug_output_shows_paulis() {
+        let t = Tableau::graph_state(&generators::path(2));
+        let s = format!("{t:?}");
+        assert!(s.contains("XZ"), "{s}");
+        assert!(s.contains("ZX"), "{s}");
+    }
+}
