@@ -23,19 +23,49 @@ fn bench_full_compile(c: &mut Criterion) {
 
 fn bench_partition(c: &mut Criterion) {
     let g = generators::lattice(5, 6);
-    let spec = PartitionSpec { g_max: 7, lc_budget: 4, effort: 8, seed: 1 };
+    let spec = PartitionSpec {
+        g_max: 7,
+        lc_budget: 4,
+        effort: 8,
+        seed: 1,
+    };
     c.bench_function("partition_lattice5x6_lc4", |b| {
         b.iter(|| partition_with_lc(&g, &spec))
     });
-    let spec0 = PartitionSpec { lc_budget: 0, ..spec };
+    let spec0 = PartitionSpec {
+        lc_budget: 0,
+        ..spec
+    };
     c.bench_function("partition_lattice5x6_lc0", |b| {
         b.iter(|| partition_with_lc(&g, &spec0))
     });
 }
 
+fn bench_budget_sweep(c: &mut Criterion) {
+    // The staged sweep must come in well under k × a full compile: the
+    // partition + leaf-compile prefix runs once, only schedule → recombine →
+    // verify repeats per budget.
+    let fw = bench_framework();
+    let g = generators::lattice(4, 4);
+    let budgets: Vec<usize> = (1..=4).collect();
+    let mut group = c.benchmark_group("budget_sweep_lattice4x4");
+    group.bench_function("pointwise_4_compiles", |b| {
+        b.iter(|| {
+            budgets
+                .iter()
+                .map(|&k| fw.compile_with_budget(&g, k).expect("compiles"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("staged_reuse", |b| {
+        b.iter(|| fw.sweep(&g, &budgets).expect("sweeps"))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_full_compile, bench_partition
+    targets = bench_full_compile, bench_partition, bench_budget_sweep
 }
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use epgs_stabilizer::Tableau;
 
 fn bench_reverse_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("reverse_solve");
-    let opts = SolveOptions { verify: false, ..SolveOptions::default() };
+    let opts = SolveOptions {
+        verify: false,
+        ..SolveOptions::default()
+    };
     for n in [8usize, 16, 24] {
         let g = generators::path(n);
         group.bench_with_input(BenchmarkId::new("path", n), &g, |b, g| {
@@ -27,7 +30,11 @@ fn bench_reverse_solver(c: &mut Criterion) {
 
 fn bench_baseline(c: &mut Criterion) {
     let hw = epgs_hardware::HardwareModel::quantum_dot();
-    let opts = BaselineOptions { verify: false, restarts: 4, ..BaselineOptions::default() };
+    let opts = BaselineOptions {
+        verify: false,
+        restarts: 4,
+        ..BaselineOptions::default()
+    };
     let g = generators::lattice(4, 4);
     c.bench_function("baseline_lattice4x4", |b| {
         b.iter(|| solve_baseline(&g, &hw, &opts).expect("solves"))

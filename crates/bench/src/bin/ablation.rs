@@ -21,8 +21,14 @@ fn targets() -> Vec<(String, Graph)> {
     vec![
         ("lattice 4x6".into(), generators::lattice(4, 6)),
         ("tree 22/2".into(), generators::tree(22, 2)),
-        ("waxman 20".into(), generators::waxman(20, 0.5, 0.2, &mut rng)),
-        ("waxman 18d".into(), generators::waxman(18, 0.9, 0.5, &mut rng)),
+        (
+            "waxman 20".into(),
+            generators::waxman(20, 0.5, 0.2, &mut rng),
+        ),
+        (
+            "waxman 18d".into(),
+            generators::waxman(18, 0.9, 0.5, &mut rng),
+        ),
         ("complete 12".into(), generators::complete(12)),
         ("rgs m=3".into(), generators::repeater_graph_state(3)),
     ]
@@ -30,7 +36,12 @@ fn targets() -> Vec<(String, Graph)> {
 
 fn fw(lc_budget: usize, slack: usize) -> Framework {
     Framework::new(FrameworkConfig {
-        partition: PartitionSpec { g_max: 7, lc_budget, effort: 8, seed: SEED },
+        partition: PartitionSpec {
+            g_max: 7,
+            lc_budget,
+            effort: 8,
+            seed: SEED,
+        },
         orderings_per_subgraph: 8,
         flexible_slack: slack,
         ..FrameworkConfig::default()
@@ -53,7 +64,11 @@ fn main() {
         let vanilla = solve_with_ordering(
             &g,
             &natural,
-            &SolveOptions { vanilla_elements: true, verify: false, ..Default::default() },
+            &SolveOptions {
+                vanilla_elements: true,
+                verify: false,
+                ..Default::default()
+            },
         )
         .expect("vanilla solves");
         let vd = epgs_circuit::timeline(&hw, &vanilla.circuit).duration;

@@ -13,7 +13,10 @@ fn main() {
     let base_opts = bench_baseline();
     for (family, sweep) in all_families() {
         println!("== Fig 10 #ee-CNOT — {family} graphs ==");
-        println!("{:>7} {:>14} {:>12} {:>12}", "#qubit", "GraphiQ-like", "Ours", "Reduction");
+        println!(
+            "{:>7} {:>14} {:>12} {:>12}",
+            "#qubit", "GraphiQ-like", "Ours", "Reduction"
+        );
         let mut reductions = Vec::new();
         for (n, g) in sweep {
             let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");

@@ -1,6 +1,10 @@
 //! Regenerates paper Fig. 10 (d)–(f): circuit duration (in τ_QD) under
 //! emitter budgets Ne_limit ∈ {1.5, 2} × Ne_min, baseline vs framework.
 //!
+//! The framework side runs through the staged pipeline: each target is
+//! partitioned and leaf-compiled once, then both budget points reuse the
+//! [`epgs::Planned`] artifact and only re-run schedule → recombine → verify.
+//!
 //! Run with: `cargo run --release -p epgs-bench --bin fig10_duration`
 
 use epgs_bench::{all_families, bench_baseline, bench_framework, hw, reduction_pct};
@@ -14,11 +18,25 @@ fn main() {
         println!("== Fig 10 circuit duration (×τ_QD) — {family} graphs ==");
         println!(
             "{:>7} {:>6} | {:>11} {:>11} {:>10} | {:>11} {:>11} {:>10}",
-            "#qubit", "Ne_min", "base(1.5x)", "ours(1.5x)", "red(1.5x)", "base(2x)", "ours(2x)", "red(2x)"
+            "#qubit",
+            "Ne_min",
+            "base(1.5x)",
+            "ours(1.5x)",
+            "red(1.5x)",
+            "base(2x)",
+            "ours(2x)",
+            "red(2x)"
         );
         let mut reds = (Vec::new(), Vec::new());
         for (n, g) in sweep {
-            let ne_min = fw.ne_min(&g);
+            // Partition + leaf compilation once per target; schedule,
+            // recombine, and verify once per budget point.
+            let planned = fw
+                .pipeline()
+                .partition(&g)
+                .plan_leaves()
+                .expect("leaf compilation succeeds");
+            let ne_min = planned.ne_min();
             let mut row = Vec::new();
             for factor in [1.5f64, 2.0] {
                 let budget = ((ne_min as f64 * factor).ceil() as usize).max(1);
@@ -28,7 +46,11 @@ fn main() {
                 };
                 let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");
                 let base_dur = timeline(&hw, &base.circuit).duration;
-                let ours = fw.compile_with_budget(&g, budget).expect("framework compiles");
+                let ours = planned
+                    .schedule(budget)
+                    .recombine()
+                    .and_then(|r| r.verify())
+                    .expect("framework compiles");
                 row.push((base_dur, ours.metrics.duration));
             }
             let r15 = reduction_pct(row[0].0, row[0].1);

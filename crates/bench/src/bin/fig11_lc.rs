@@ -12,7 +12,10 @@ use rand::SeedableRng;
 
 fn main() {
     println!("== Fig 11(b) inter-subgraph edges on Waxman graphs ==");
-    println!("{:>7} {:>10} {:>10} {:>10}", "#qubit", "cut(l=0)", "cut(l=15)", "saved");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}",
+        "#qubit", "cut(l=0)", "cut(l=15)", "saved"
+    );
     for n in [12usize, 16, 20, 24, 28, 32] {
         let mut without_sum = 0usize;
         let mut with_sum = 0usize;
@@ -27,7 +30,13 @@ fn main() {
                 seed: SEED + trial as u64,
             };
             let without = partition_with_lc(&g, &base);
-            let with = partition_with_lc(&g, &PartitionSpec { lc_budget: 15, ..base });
+            let with = partition_with_lc(
+                &g,
+                &PartitionSpec {
+                    lc_budget: 15,
+                    ..base
+                },
+            );
             without_sum += without.cut;
             with_sum += with.cut;
         }

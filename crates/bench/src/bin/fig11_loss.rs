@@ -19,17 +19,30 @@ fn main() {
         );
         let mut factors = Vec::new();
         for (n, g) in sweep {
-            let ne_min = fw.ne_min(&g);
-            let budget = ((ne_min as f64 * 1.5).ceil() as usize).max(1);
+            // One staged prefix per target; the budget point only schedules.
+            let planned = fw
+                .pipeline()
+                .partition(&g)
+                .plan_leaves()
+                .expect("leaf compilation succeeds");
+            let budget = ((planned.ne_min() as f64 * 1.5).ceil() as usize).max(1);
             let base_opts = BaselineOptions {
                 emitters: Some(budget),
                 ..bench_baseline()
             };
             let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");
             let base_loss = circuit_metrics(&hw, &base.circuit).loss.mean_photon_loss;
-            let ours = fw.compile_with_budget(&g, budget).expect("framework compiles");
+            let ours = planned
+                .schedule(budget)
+                .recombine()
+                .and_then(|r| r.verify())
+                .expect("framework compiles");
             let ours_loss = ours.metrics.loss.mean_photon_loss;
-            let factor = if ours_loss > 0.0 { base_loss / ours_loss } else { f64::INFINITY };
+            let factor = if ours_loss > 0.0 {
+                base_loss / ours_loss
+            } else {
+                f64::INFINITY
+            };
             factors.push(factor.min(10.0));
             println!("{n:>7} {base_loss:>12.5} {ours_loss:>12.5} {factor:>11.2}x");
         }

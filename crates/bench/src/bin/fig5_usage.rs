@@ -21,19 +21,34 @@ fn main() {
     let g = generators::lattice(3, 5);
     let hw = hw();
     let fw = bench_framework();
-    let ne_min = fw.ne_min(&g);
-    let budget = ((ne_min as f64 * 1.5).ceil() as usize).max(1);
+    let planned = fw
+        .pipeline()
+        .partition(&g)
+        .plan_leaves()
+        .expect("leaf compilation succeeds");
+    let budget = ((planned.ne_min() as f64 * 1.5).ceil() as usize).max(1);
 
     let base = solve_baseline(
         &g,
         &hw,
-        &BaselineOptions { emitters: Some(budget), ..bench_baseline() },
+        &BaselineOptions {
+            emitters: Some(budget),
+            ..bench_baseline()
+        },
     )
     .expect("baseline solves");
     let (bt, bc) = usage_curve(&hw, &base.circuit);
-    print_curve("baseline emitter usage (under-utilized stretches visible)", &bt, &bc);
+    print_curve(
+        "baseline emitter usage (under-utilized stretches visible)",
+        &bt,
+        &bc,
+    );
 
-    let ours = fw.compile_with_budget(&g, budget).expect("framework compiles");
+    let ours = planned
+        .schedule(budget)
+        .recombine()
+        .and_then(|r| r.verify())
+        .expect("framework compiles");
     let (ot, oc) = usage_curve(&hw, &ours.circuit);
     print_curve("framework emitter usage (Tetris-packed)", &ot, &oc);
 

@@ -16,7 +16,10 @@ use epgs_solver::reverse::{solve_with_ordering, SolveOptions};
 /// tried).
 fn exhaustive(n: usize) -> (usize, usize) {
     let g = generators::path(n);
-    let opts = SolveOptions { verify: false, ..SolveOptions::default() };
+    let opts = SolveOptions {
+        verify: false,
+        ..SolveOptions::default()
+    };
     let mut best = usize::MAX;
     let mut tried = 0usize;
     let mut perm: Vec<usize> = (0..n).collect();
@@ -50,7 +53,10 @@ fn exhaustive(n: usize) -> (usize, usize) {
 
 fn main() {
     println!("== exhaustive ordering search on linear clusters (brute-force regime) ==");
-    println!("{:>7} {:>12} {:>12} {:>12}", "#qubit", "orderings", "best CNOT", "seconds");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}",
+        "#qubit", "orderings", "best CNOT", "seconds"
+    );
     for n in [4usize, 5, 6, 7, 8] {
         let t0 = Instant::now();
         let (best, tried) = exhaustive(n);
@@ -67,7 +73,10 @@ fn main() {
         let t0 = Instant::now();
         let compiled = fw.compile(&g).expect("framework compiles");
         let dt = t0.elapsed().as_secs_f64();
-        println!("{n:>7} {:>12} {dt:>12.2}", compiled.metrics.ee_two_qubit_count);
+        println!(
+            "{n:>7} {:>12} {dt:>12.2}",
+            compiled.metrics.ee_two_qubit_count
+        );
     }
     println!("(polynomial: entire 60-qubit compile, verification included, in seconds)");
 }

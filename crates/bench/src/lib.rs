@@ -15,7 +15,7 @@ use epgs_hardware::HardwareModel;
 use epgs_solver::BaselineOptions;
 
 /// Benchmark RNG seed (fixed for reproducibility).
-pub const SEED: u64 = 0xda_c2_02_5;
+pub const SEED: u64 = 0xdac2025;
 
 /// Lattice sweep: 4×k grids, 12–60 qubits (paper Fig. 10 a/d).
 pub fn lattice_sweep() -> Vec<(usize, Graph)> {

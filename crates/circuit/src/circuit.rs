@@ -91,7 +91,12 @@ impl Circuit {
     pub fn single_qubit_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|op| matches!(op, Op::H(_) | Op::S(_) | Op::Sdg(_) | Op::X(_) | Op::Y(_) | Op::Z(_)))
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::H(_) | Op::S(_) | Op::Sdg(_) | Op::X(_) | Op::Y(_) | Op::Z(_)
+                )
+            })
             .count()
     }
 
@@ -197,8 +202,14 @@ mod tests {
     fn linear_pair() -> Circuit {
         let mut c = Circuit::new(1, 2);
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
-        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 1,
+        });
         c
     }
 
@@ -211,18 +222,30 @@ mod tests {
     fn photon_gate_before_emission_rejected() {
         let mut c = Circuit::new(1, 1);
         c.push(Op::H(Qubit::Photon(0)));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         assert!(matches!(
             c.validate(),
-            Err(CircuitError::PhotonBeforeEmission { photon: 0, op_index: 0 })
+            Err(CircuitError::PhotonBeforeEmission {
+                photon: 0,
+                op_index: 0
+            })
         ));
     }
 
     #[test]
     fn double_emission_rejected() {
         let mut c = Circuit::new(1, 1);
-        c.push(Op::Emit { emitter: 0, photon: 0 });
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         assert!(matches!(
             c.validate(),
             Err(CircuitError::DoubleEmission { photon: 0 })
@@ -241,7 +264,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut c = Circuit::new(1, 1);
-        c.push(Op::Emit { emitter: 3, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 3,
+            photon: 0,
+        });
         assert!(matches!(
             c.validate(),
             Err(CircuitError::QubitOutOfRange { .. })
@@ -265,7 +291,10 @@ mod tests {
             emitter: 0,
             corrections: vec![(Qubit::Photon(0), Pauli::Z)],
         });
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         assert!(matches!(
             c.validate(),
             Err(CircuitError::PhotonBeforeEmission { .. })
@@ -276,7 +305,10 @@ mod tests {
     fn counts_are_consistent() {
         let mut c = linear_pair();
         c.push(Op::Cz(0, 0)); // not validated here, just counted
-        c.push(Op::MeasureZ { emitter: 0, corrections: vec![] });
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![],
+        });
         assert_eq!(c.ee_two_qubit_count(), 1);
         assert_eq!(c.emission_count(), 2);
         assert_eq!(c.measurement_count(), 1);
@@ -286,7 +318,10 @@ mod tests {
     #[test]
     fn extend_from_merges_registers() {
         let mut a = Circuit::new(1, 1);
-        a.push(Op::Emit { emitter: 0, photon: 0 });
+        a.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         let mut b = Circuit::new(2, 3);
         b.push(Op::Cz(0, 1));
         a.extend_from(&b);

@@ -114,13 +114,20 @@ mod tests {
     fn ee_two_qubit_classification() {
         assert!(Op::Cz(0, 1).is_ee_two_qubit());
         assert!(Op::Cnot(0, 1).is_ee_two_qubit());
-        assert!(!Op::Emit { emitter: 0, photon: 0 }.is_ee_two_qubit());
+        assert!(!Op::Emit {
+            emitter: 0,
+            photon: 0
+        }
+        .is_ee_two_qubit());
         assert!(!Op::H(Qubit::Photon(0)).is_ee_two_qubit());
     }
 
     #[test]
     fn timeline_qubits_of_emission() {
-        let op = Op::Emit { emitter: 1, photon: 2 };
+        let op = Op::Emit {
+            emitter: 1,
+            photon: 2,
+        };
         assert_eq!(
             op.timeline_qubits(),
             vec![Qubit::Emitter(1), Qubit::Photon(2)]
@@ -145,7 +152,11 @@ mod tests {
         };
         assert_eq!(op.to_string(), "MEASURE e2 [if 1: Zp1]");
         assert_eq!(
-            Op::Emit { emitter: 0, photon: 4 }.to_string(),
+            Op::Emit {
+                emitter: 0,
+                photon: 4
+            }
+            .to_string(),
             "EMIT e0 -> p4"
         );
     }

@@ -73,8 +73,14 @@ mod tests {
         c.push(Op::H(Qubit::Emitter(0)));
         c.push(Op::H(Qubit::Emitter(1)));
         c.push(Op::Cz(0, 1));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
-        c.push(Op::Emit { emitter: 1, photon: 1 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
+        c.push(Op::Emit {
+            emitter: 1,
+            photon: 1,
+        });
         let m = circuit_metrics(&hw, &c);
         assert_eq!(m.ee_two_qubit_count, 1);
         assert_eq!(m.emissions, 2);
@@ -91,7 +97,10 @@ mod tests {
     fn t_loss_reflects_early_emission() {
         let hw = HardwareModel::quantum_dot();
         let mut c = Circuit::new(2, 1);
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::Cz(0, 1)); // keeps emitter 0 busy → emission cannot slide later
         let m = circuit_metrics(&hw, &c);
         assert!(m.t_loss > 0.9, "photon waits for the CZ: {}", m.t_loss);

@@ -50,7 +50,8 @@ pub fn cancel_inverse_pairs(circuit: &mut Circuit) -> usize {
         let mut keep = vec![true; ops.len()];
         // Last still-kept single-qubit op index per qubit since the qubit's
         // last non-single-qubit op.
-        let mut pending: std::collections::BTreeMap<Qubit, usize> = std::collections::BTreeMap::new();
+        let mut pending: std::collections::BTreeMap<Qubit, usize> =
+            std::collections::BTreeMap::new();
         let mut removed = 0;
         for (i, op) in ops.iter().enumerate() {
             match single_qubit_target(op) {
@@ -109,7 +110,10 @@ mod tests {
         c.push(Op::H(Qubit::Emitter(0)));
         c.push(Op::H(Qubit::Emitter(1))); // unrelated, stays
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::Emit { emitter: 1, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 1,
+            photon: 0,
+        });
         assert_eq!(cancel_inverse_pairs(&mut c), 2);
         assert_eq!(c.ops().len(), 2);
     }
@@ -154,9 +158,15 @@ mod tests {
         c.push(Op::H(Qubit::Emitter(0)));
         c.push(Op::S(Qubit::Emitter(0)));
         c.push(Op::Sdg(Qubit::Emitter(0))); // cancels
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::H(Qubit::Photon(0)));
-        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 1,
+        });
         c.push(Op::H(Qubit::Photon(1)));
         c.push(Op::Z(Qubit::Photon(1)));
         c.push(Op::Z(Qubit::Photon(1))); // cancels

@@ -80,7 +80,10 @@ mod tests {
         let mut c = Circuit::new(2, 1);
         c.push(Op::H(Qubit::Emitter(0)));
         c.push(Op::Cz(0, 1));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::MeasureZ {
             emitter: 1,
             corrections: vec![(Qubit::Photon(0), Pauli::Z)],

@@ -72,10 +72,7 @@ impl OutcomePolicy for ListedOutcomes {
 ///
 /// Propagates structural errors discovered mid-run (the circuit should be
 /// [`Circuit::validate`]d first, so these indicate compiler bugs).
-pub fn run<P: OutcomePolicy>(
-    circuit: &Circuit,
-    outcomes: &mut P,
-) -> Result<Tableau, CircuitError> {
+pub fn run<P: OutcomePolicy>(circuit: &Circuit, outcomes: &mut P) -> Result<Tableau, CircuitError> {
     let map = WireMap::new(circuit);
     let total = circuit.num_emitters() + circuit.num_photons();
     let mut t = Tableau::zero_state(total);
@@ -93,7 +90,10 @@ pub fn run<P: OutcomePolicy>(
             Op::Emit { emitter, photon } => {
                 // Photon wire is in |0⟩ by construction; emission is a CNOT
                 // from the emitter onto it.
-                t.cnot(map.wire(Qubit::Emitter(*emitter)), map.wire(Qubit::Photon(*photon)));
+                t.cnot(
+                    map.wire(Qubit::Emitter(*emitter)),
+                    map.wire(Qubit::Photon(*photon)),
+                );
             }
             Op::MeasureZ {
                 emitter,
@@ -173,7 +173,10 @@ mod tests {
         // correction Z p0 gives photon |+⟩ = 1-vertex graph state, emitter |0⟩.
         let mut c = Circuit::new(1, 1);
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::H(Qubit::Photon(0)));
         // state: graph edge (e0, p0). Now Z-measure e0: removes e0 from the
         // graph; outcome-1 branch needs Z on p0.
@@ -194,9 +197,15 @@ mod tests {
         // S†,H on the emitter followed by MeasureZ.
         let mut c = Circuit::new(1, 2);
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::H(Qubit::Photon(0)));
-        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 1,
+        });
         c.push(Op::H(Qubit::Photon(1)));
         c.push(Op::Sdg(Qubit::Emitter(0)));
         c.push(Op::H(Qubit::Emitter(0)));
@@ -212,7 +221,11 @@ mod tests {
         let mut reduced = t.clone();
         let form = epgs_stabilizer::to_graph_form(&mut reduced).unwrap();
         assert_eq!(form.graph.degree(0), 0, "emitter wire must be free");
-        assert!(form.graph.has_edge(1, 2), "photons must be fused: {:?}", form.graph);
+        assert!(
+            form.graph.has_edge(1, 2),
+            "photons must be fused: {:?}",
+            form.graph
+        );
     }
 
     #[test]
@@ -221,7 +234,10 @@ mod tests {
         // the reverse solver relies on.
         let mut c = Circuit::new(1, 1);
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::H(Qubit::Photon(0)));
         let mut pol = ConstantOutcomes(false);
         let t = run(&c, &mut pol).unwrap();
@@ -255,10 +271,16 @@ mod tests {
         // state must still be clean.
         let mut c = Circuit::new(1, 1);
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::MeasureZ { emitter: 0, corrections: vec![] });
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![],
+        });
         // After reset the emitter is |0⟩ again; emit a photon normally.
         c.push(Op::H(Qubit::Emitter(0)));
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::H(Qubit::Photon(0)));
         c.push(Op::Sdg(Qubit::Emitter(0)));
         c.push(Op::H(Qubit::Emitter(0)));
@@ -272,5 +294,4 @@ mod tests {
             assert!(t.is_valid_state());
         }
     }
-
 }

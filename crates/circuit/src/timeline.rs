@@ -137,7 +137,11 @@ pub fn usage_curve(hw: &HardwareModel, circuit: &Circuit) -> (Vec<f64>, Vec<usiz
         events.push((s, 1));
         events.push((last[&e], -1));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(b.1.cmp(&a.1)));
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite times")
+            .then(b.1.cmp(&a.1))
+    });
     let mut times = Vec::new();
     let mut counts = Vec::new();
     let mut cur: isize = 0;
@@ -171,8 +175,14 @@ mod tests {
         c.push(Op::H(Qubit::Emitter(0))); // 0.05
         c.push(Op::H(Qubit::Emitter(1))); // 0.05, parallel
         c.push(Op::Cz(0, 1)); // 1.0
-        c.push(Op::Emit { emitter: 0, photon: 0 }); // 0.1
-        c.push(Op::Emit { emitter: 1, photon: 1 }); // 0.1, parallel
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        }); // 0.1
+        c.push(Op::Emit {
+            emitter: 1,
+            photon: 1,
+        }); // 0.1, parallel
         c
     }
 
@@ -203,7 +213,10 @@ mod tests {
     fn alap_delays_off_critical_emissions() {
         // Emitter 0: emit early then idle while emitter pair (1,2) does a CZ.
         let mut c = Circuit::new(3, 1);
-        c.push(Op::Emit { emitter: 0, photon: 0 }); // 0.1
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        }); // 0.1
         c.push(Op::Cz(1, 2)); // 1.0 — the critical path
         let tl = timeline(&hw(), &c);
         assert!((tl.duration - 1.0).abs() < 1e-12);
@@ -216,8 +229,14 @@ mod tests {
     fn emission_dependency_chain() {
         // Same emitter emits twice: second emission waits for the first.
         let mut c = Circuit::new(1, 2);
-        c.push(Op::Emit { emitter: 0, photon: 0 });
-        c.push(Op::Emit { emitter: 0, photon: 1 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 1,
+        });
         let tl = timeline(&hw(), &c);
         assert!((tl.start[1] - 0.1).abs() < 1e-12);
         assert!((tl.duration - 0.2).abs() < 1e-12);
@@ -239,9 +258,15 @@ mod tests {
         // Emitter 0 works, then emitter 1 — peak usage 1… but intervals are
         // [first op, last op], so disjoint single-op intervals never overlap.
         let mut c = Circuit::new(2, 2);
-        c.push(Op::Emit { emitter: 0, photon: 0 });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
         c.push(Op::H(Qubit::Photon(0)));
-        c.push(Op::Emit { emitter: 1, photon: 1 });
+        c.push(Op::Emit {
+            emitter: 1,
+            photon: 1,
+        });
         let tl = timeline(&hw(), &c);
         // Photon-1 emission does not depend on emitter 0: runs at t=0 too.
         assert_eq!(tl.start[2], 0.0);
@@ -251,8 +276,14 @@ mod tests {
     #[test]
     fn measurement_occupies_emitter_time() {
         let mut c = Circuit::new(1, 1);
-        c.push(Op::Emit { emitter: 0, photon: 0 });
-        c.push(Op::MeasureZ { emitter: 0, corrections: vec![] });
+        c.push(Op::Emit {
+            emitter: 0,
+            photon: 0,
+        });
+        c.push(Op::MeasureZ {
+            emitter: 0,
+            corrections: vec![],
+        });
         let tl = timeline(&hw(), &c);
         assert!((tl.duration - 0.3).abs() < 1e-12); // 0.1 emit + 0.2 measure
     }
@@ -261,7 +292,16 @@ mod tests {
     fn op_durations_follow_model() {
         let hw = hw();
         assert_eq!(op_duration(&hw, &Op::Cz(0, 1)), 1.0);
-        assert_eq!(op_duration(&hw, &Op::Emit { emitter: 0, photon: 0 }), 0.1);
+        assert_eq!(
+            op_duration(
+                &hw,
+                &Op::Emit {
+                    emitter: 0,
+                    photon: 0
+                }
+            ),
+            0.1
+        );
         assert_eq!(op_duration(&hw, &Op::H(Qubit::Emitter(0))), 0.05);
         assert_eq!(op_duration(&hw, &Op::H(Qubit::Photon(0))), 0.01);
     }

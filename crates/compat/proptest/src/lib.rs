@@ -1,0 +1,355 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! subset of the proptest 1.x API its property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, [`any`], integer-range
+//! strategies, [`collection::vec`], [`prelude::ProptestConfig`], and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name), there is **no shrinking**, and
+//! a failing case reports its inputs only through the assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error type carried by `prop_assert!` failures.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail<M: Into<String>>(message: M) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property: deterministic per-test RNG, `cases` iterations.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream is a pure function of `name`.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner { config, seed }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case` (independent of all other cases).
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ ((case as u64) << 32 | 0x5bd1e995))
+    }
+}
+
+/// A generator of random values (no shrinking in this stand-in).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f`.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u32, u64, i32, i64);
+
+/// The `any::<T>()` whole-domain strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Every value of `T`, uniformly (for the types this stand-in supports).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut StdRng) -> u32 {
+        rng.gen()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+
+    /// Generates `Vec`s of exactly `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` running the body over random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let runner = $crate::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..runner.cases() {
+                let mut __rng = runner.rng_for_case(case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_generate_in_domain() {
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "domain");
+        let mut rng = runner.rng_for_case(0);
+        for _ in 0..100 {
+            let x = (2usize..=12).generate(&mut rng);
+            assert!((2..=12).contains(&x));
+            let y = (1usize..8).generate(&mut rng);
+            assert!((1..8).contains(&y));
+            let _: bool = any::<bool>().generate(&mut rng);
+            let _: u64 = any::<u64>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let strat = (2usize..=5).prop_flat_map(|n| {
+            crate::collection::vec(any::<bool>(), n).prop_map(move |bits| (n, bits))
+        });
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "compose");
+        let mut rng = runner.rng_for_case(1);
+        for _ in 0..50 {
+            let (n, bits) = strat.generate(&mut rng);
+            assert_eq!(bits.len(), n);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name_and_case() {
+        let a = crate::TestRunner::new(ProptestConfig::default(), "same");
+        let b = crate::TestRunner::new(ProptestConfig::default(), "same");
+        let xs: Vec<u64> = {
+            use rand::Rng;
+            let mut r = a.rng_for_case(3);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let ys: Vec<u64> = {
+            use rand::Rng;
+            let mut r = b.rng_for_case(3);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(xs, ys);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro path itself: bodies run, assertions work, early
+        /// `return Ok(())` is accepted.
+        #[test]
+        fn macro_generates_runnable_tests(n in 1usize..10, flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+            prop_assert_eq!(n + 1, n + 1);
+        }
+    }
+}

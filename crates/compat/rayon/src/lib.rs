@@ -1,0 +1,223 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! small data-parallel subset the compiler pipeline uses: `par_iter` /
+//! `into_par_iter` with an *eager* `map` + `collect`, plus [`join`]. Work is
+//! distributed over `std::thread::scope` workers pulling from a shared queue;
+//! results are returned in input order, so parallel stages stay
+//! deterministic. For the long-running, coarse-grained closures of the leaf
+//! compiler this is within noise of real work-stealing.
+
+use std::sync::Mutex;
+
+/// Number of worker threads for a job of `n` items.
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Applies `f` to every item on a scoped worker pool; the result vector is
+/// in input order regardless of completion order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // LIFO queue of (original index, item); workers pull until empty.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().expect("results lock")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        rb = Some(handle.join().expect("join closure panicked"));
+        ra
+    });
+    (ra, rb.expect("spawned closure completed"))
+}
+
+/// An eagerly evaluated parallel iterator: `map` runs immediately on the
+/// worker pool, `collect` just repackages the ordered results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; eager and order-preserving. Unlike real rayon there is
+    /// no laziness: every item is mapped before `collect` runs, so a
+    /// fallible stage (`collect::<Result<…>>`) does not short-circuit on
+    /// the first error — it surfaces it only after all items complete.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Collects the (already computed) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Conversion into a [`ParIter`] over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{join, parallel_map};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(data.len(), 4, "borrowing iteration leaves the vec alive");
+    }
+
+    #[test]
+    fn collect_into_result_yields_first_error_after_mapping_all() {
+        let out: Result<Vec<usize>, String> = (0..10)
+            .collect::<Vec<usize>>()
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        let ids: Vec<std::thread::ThreadId> = parallel_map((0..64).collect(), |_: usize| {
+            // Hold the thread long enough for others to pick up work.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::current().id()
+        });
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        if std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(distinct.len() > 1, "expected work on >1 thread");
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_and_single_item_jobs() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = vec![9].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+}

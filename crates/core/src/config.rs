@@ -1,7 +1,9 @@
-//! Framework configuration.
+//! Framework configuration and its builder.
 
 use epgs_hardware::HardwareModel;
 use epgs_partition::PartitionSpec;
+
+use crate::stages::RecombineStrategy;
 
 /// How many emitters the hardware offers the scheduler (paper §V.B.2 uses
 /// `1.5 × Ne_min` and `2 × Ne_min`).
@@ -24,6 +26,22 @@ impl EmitterBudget {
 }
 
 /// Complete configuration of the compilation framework.
+///
+/// Construct via [`FrameworkConfig::builder`] (or struct update off
+/// [`FrameworkConfig::default`]):
+///
+/// ```
+/// use epgs::{EmitterBudget, FrameworkConfig, RecombineStrategy};
+///
+/// let config = FrameworkConfig::builder()
+///     .g_max(7)
+///     .lc_budget(15)
+///     .emitter_budget(EmitterBudget::Factor(1.5))
+///     .flexible_slack(2)
+///     .recombine(RecombineStrategy::all())
+///     .build();
+/// assert_eq!(config.partition.g_max, 7);
+/// ```
 #[derive(Debug, Clone)]
 pub struct FrameworkConfig {
     /// Partitioning parameters (g_max, LC budget l, search effort).
@@ -37,6 +55,9 @@ pub struct FrameworkConfig {
     /// Flexible-resource slack: each subgraph is also compiled with
     /// `ne_min + 1 … ne_min + slack` emitters (paper §IV.B uses 2).
     pub flexible_slack: usize,
+    /// Recombination strategies competing for the global circuit, tried in
+    /// order (see [`RecombineStrategy`]).
+    pub recombine: Vec<RecombineStrategy>,
     /// Verify the final circuit against the target (strongly recommended).
     pub verify: bool,
     /// Seed for the randomized phases.
@@ -51,9 +72,99 @@ impl Default for FrameworkConfig {
             emitter_budget: EmitterBudget::Factor(1.5),
             orderings_per_subgraph: 8,
             flexible_slack: 2,
+            recombine: RecombineStrategy::all(),
             verify: true,
             seed: 0xec05,
         }
+    }
+}
+
+impl FrameworkConfig {
+    /// Starts a builder from the paper-default configuration.
+    pub fn builder() -> FrameworkConfigBuilder {
+        FrameworkConfigBuilder {
+            config: FrameworkConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`FrameworkConfig`]; every knob defaults to the
+/// paper's setting.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfigBuilder {
+    config: FrameworkConfig,
+}
+
+impl FrameworkConfigBuilder {
+    /// Maximum vertices per subgraph (paper default 7).
+    pub fn g_max(mut self, g_max: usize) -> Self {
+        self.config.partition.g_max = g_max;
+        self
+    }
+
+    /// Local-complementation budget `l` (paper default 15; 0 disables LC).
+    pub fn lc_budget(mut self, lc_budget: usize) -> Self {
+        self.config.partition.lc_budget = lc_budget;
+        self
+    }
+
+    /// Restart/iteration scale of the partition search.
+    pub fn partition_effort(mut self, effort: usize) -> Self {
+        self.config.partition.effort = effort;
+        self
+    }
+
+    /// Replaces the whole partition spec at once.
+    pub fn partition(mut self, spec: PartitionSpec) -> Self {
+        self.config.partition = spec;
+        self
+    }
+
+    /// Hardware timing/loss model.
+    pub fn hardware(mut self, hardware: HardwareModel) -> Self {
+        self.config.hardware = hardware;
+        self
+    }
+
+    /// Emitter budget `Ne_limit` (factor of `Ne_min` or absolute).
+    pub fn emitter_budget(mut self, budget: EmitterBudget) -> Self {
+        self.config.emitter_budget = budget;
+        self
+    }
+
+    /// Candidate emission orderings explored per subgraph.
+    pub fn orderings_per_subgraph(mut self, n: usize) -> Self {
+        self.config.orderings_per_subgraph = n;
+        self
+    }
+
+    /// Flexible-resource slack (paper §IV.B uses 2).
+    pub fn flexible_slack(mut self, slack: usize) -> Self {
+        self.config.flexible_slack = slack;
+        self
+    }
+
+    /// Recombination strategies, tried in the given order.
+    pub fn recombine(mut self, strategies: Vec<RecombineStrategy>) -> Self {
+        self.config.recombine = strategies;
+        self
+    }
+
+    /// Toggles final stabilizer verification.
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.config.verify = verify;
+        self
+    }
+
+    /// Seed for the randomized phases.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> FrameworkConfig {
+        self.config
     }
 }
 
@@ -77,5 +188,43 @@ mod tests {
         assert_eq!(c.partition.g_max, 7);
         assert_eq!(c.partition.lc_budget, 15);
         assert_eq!(c.flexible_slack, 2);
+        assert_eq!(c.recombine, RecombineStrategy::all());
+    }
+
+    #[test]
+    fn builder_defaults_equal_default_config() {
+        let built = FrameworkConfig::builder().build();
+        let default = FrameworkConfig::default();
+        assert_eq!(built.partition, default.partition);
+        assert_eq!(built.emitter_budget, default.emitter_budget);
+        assert_eq!(built.orderings_per_subgraph, default.orderings_per_subgraph);
+        assert_eq!(built.flexible_slack, default.flexible_slack);
+        assert_eq!(built.recombine, default.recombine);
+        assert_eq!(built.verify, default.verify);
+        assert_eq!(built.seed, default.seed);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = FrameworkConfig::builder()
+            .g_max(4)
+            .lc_budget(2)
+            .partition_effort(9)
+            .emitter_budget(EmitterBudget::Absolute(3))
+            .orderings_per_subgraph(5)
+            .flexible_slack(0)
+            .recombine(vec![RecombineStrategy::DirectSolve])
+            .verify(false)
+            .seed(99)
+            .build();
+        assert_eq!(c.partition.g_max, 4);
+        assert_eq!(c.partition.lc_budget, 2);
+        assert_eq!(c.partition.effort, 9);
+        assert_eq!(c.emitter_budget, EmitterBudget::Absolute(3));
+        assert_eq!(c.orderings_per_subgraph, 5);
+        assert_eq!(c.flexible_slack, 0);
+        assert_eq!(c.recombine, vec![RecombineStrategy::DirectSolve]);
+        assert!(!c.verify);
+        assert_eq!(c.seed, 99);
     }
 }

@@ -10,6 +10,9 @@ pub enum FrameworkError {
     /// The assembled circuit failed final verification against the target —
     /// an internal bug by definition.
     VerificationFailed,
+    /// Recombination was invoked with an empty strategy list (see
+    /// [`crate::Scheduled::recombine_with`]).
+    NoRecombineStrategy,
 }
 
 impl std::fmt::Display for FrameworkError {
@@ -17,7 +20,13 @@ impl std::fmt::Display for FrameworkError {
         match self {
             FrameworkError::Solver(e) => write!(f, "solver failure: {e}"),
             FrameworkError::VerificationFailed => {
-                write!(f, "assembled circuit failed verification against the target")
+                write!(
+                    f,
+                    "assembled circuit failed verification against the target"
+                )
+            }
+            FrameworkError::NoRecombineStrategy => {
+                write!(f, "recombination requires at least one strategy")
             }
         }
     }
@@ -27,7 +36,7 @@ impl std::error::Error for FrameworkError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FrameworkError::Solver(e) => Some(e),
-            FrameworkError::VerificationFailed => None,
+            FrameworkError::VerificationFailed | FrameworkError::NoRecombineStrategy => None,
         }
     }
 }

@@ -1,31 +1,21 @@
-//! The end-to-end compilation framework (paper Fig. 6).
+//! The monolithic front-end over the staged pipeline (paper Fig. 6).
 //!
-//! `partition → compile each leaf → schedule → recombine → verify`:
-//!
-//! 1. **Partition** the target graph state into subgraphs of ≤ g_max
-//!    vertices, exploring local complementations up to budget l to shrink
-//!    the cut ([`epgs_partition`]).
-//! 2. **Compile** each subgraph near-optimally with the flexible emitter
-//!    policy ([`crate::subgraph`]).
-//! 3. **Schedule** the subgraph circuits as-late-as-possible under the
-//!    emitter budget Ne_limit ([`mod@crate::schedule`]).
-//! 4. **Recombine**: the schedule induces a global interleaved emission
-//!    ordering; one global time-reversed solve over the transformed graph
-//!    realizes exactly the scheduled plan, with the cut edges compiled into
-//!    the emitter-emitter "stem" gates. Local Cliffords that undo the LC
-//!    sequence are appended so the circuit delivers the *original* target.
-//! 5. **Verify** against the original graph with the stabilizer simulator.
+//! `partition → compile each leaf → schedule → recombine → verify`: the
+//! stages live in [`crate::stages`] as explicit artifacts; [`Framework`] is
+//! the one-shot wrapper that runs them end to end. Use [`crate::Pipeline`]
+//! directly when intermediate artifacts are worth keeping (budget sweeps,
+//! schedule inspection, recombination experiments) — both produce identical
+//! circuits for identical inputs.
 
-use epgs_circuit::{circuit_metrics, simulate, Circuit, CircuitMetrics, Op, Qubit};
-use epgs_graph::{height, ops, Graph};
-use epgs_partition::{partition_with_lc, Partition};
-use epgs_solver::reverse::{solve_with_ordering, SolveOptions};
-use epgs_solver::ordering;
+use epgs_circuit::{Circuit, CircuitMetrics};
+use epgs_graph::Graph;
+use epgs_partition::Partition;
 
 use crate::config::FrameworkConfig;
 use crate::error::FrameworkError;
-use crate::schedule::{schedule, Schedule};
-use crate::subgraph::{compile_subgraph, SubgraphPlan};
+use crate::schedule::Schedule;
+use crate::stages::{ne_min_of, Pipeline, RecombineStrategy};
+use crate::subgraph::SubgraphPlan;
 
 /// The framework front-end.
 ///
@@ -66,6 +56,8 @@ pub struct Compiled {
     pub ne_limit: usize,
     /// Minimal emitter count Ne_min of the target (best known ordering).
     pub ne_min: usize,
+    /// The recombination strategy whose candidate won.
+    pub strategy: RecombineStrategy,
 }
 
 impl Framework {
@@ -79,22 +71,19 @@ impl Framework {
         &self.config
     }
 
+    /// A staged [`Pipeline`] over this framework's configuration.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new(self.config.clone())
+    }
+
     /// Minimal emitter count of `g` over the deterministic ordering
     /// strategies — the paper's Ne_min reference point.
     pub fn ne_min(&self, g: &Graph) -> usize {
-        [
-            ordering::natural(g),
-            ordering::bfs(g),
-            ordering::degree_dfs(g),
-        ]
-        .iter()
-        .map(|ord| height::min_emitters(g, ord))
-        .min()
-        .unwrap_or(0)
-        .max(1)
+        ne_min_of(g)
     }
 
-    /// Compiles `target` end to end.
+    /// Compiles `target` end to end: a thin wrapper over
+    /// [`Pipeline::compile`] producing identical output.
     ///
     /// # Errors
     ///
@@ -102,200 +91,14 @@ impl Framework {
     /// [`FrameworkError::VerificationFailed`] if the final circuit does not
     /// regenerate `target` (an internal bug).
     pub fn compile(&self, target: &Graph) -> Result<Compiled, FrameworkError> {
-        let cfg = &self.config;
-        let ne_min = self.ne_min(target);
-        let ne_limit = cfg.emitter_budget.resolve(ne_min);
-
-        // 1. Partition with depth-limited LC.
-        let mut partition = partition_with_lc(target, &cfg.partition);
-
-        // 2. Compile every leaf subgraph, refining each with block-local LC
-        // at *interior* vertices (no cut edges), where the subgraph-level
-        // local complementation coincides with the global one. This is the
-        // per-leaf half of the paper's LC optimization: fewer intra-block
-        // edges → fewer emitter-emitter CNOTs.
-        let blocks: Vec<Vec<usize>> = partition
-            .blocks()
-            .into_iter()
-            .filter(|b| !b.is_empty())
-            .collect();
-        let mut plans: Vec<SubgraphPlan> = Vec::with_capacity(blocks.len());
-        for (i, block) in blocks.iter().enumerate() {
-            let compile = |graph: &Graph, seed_extra: u64| -> Result<SubgraphPlan, FrameworkError> {
-                let (sub, vertices) = graph.induced_subgraph(block);
-                compile_subgraph(
-                    &sub,
-                    &vertices,
-                    &cfg.hardware,
-                    cfg.orderings_per_subgraph,
-                    cfg.flexible_slack,
-                    cfg.seed.wrapping_add(i as u64).wrapping_add(seed_extra),
-                )
-                .map_err(FrameworkError::from)
-            };
-            let mut plan = compile(&partition.transformed, 0)?;
-            if cfg.partition.lc_budget > partition.lc_sequence.len() {
-                let in_block: std::collections::BTreeSet<usize> = block.iter().copied().collect();
-                let interior: Vec<usize> = block
-                    .iter()
-                    .copied()
-                    .filter(|&v| {
-                        partition.transformed.degree(v) >= 2
-                            && partition
-                                .transformed
-                                .neighbors(v)
-                                .iter()
-                                .all(|w| in_block.contains(w))
-                    })
-                    .collect();
-                for &v in &interior {
-                    if partition.lc_sequence.len() >= cfg.partition.lc_budget {
-                        break;
-                    }
-                    let mut trial = partition.transformed.clone();
-                    ops::local_complement(&mut trial, v).expect("vertex in range");
-                    // Densifying LCs help a single leaf but hurt the global
-                    // solve; only keep transforms that also shed edges.
-                    if trial.edge_count() > partition.transformed.edge_count() {
-                        continue;
-                    }
-                    if let Ok(candidate) = compile(&trial, 1 + v as u64) {
-                        if candidate.variants[0].ee_cnots < plan.variants[0].ee_cnots {
-                            partition.transformed = trial;
-                            partition.lc_sequence.push(v);
-                            plan = candidate;
-                        }
-                    }
-                }
-            }
-            plans.push(plan);
-        }
-        partition.cut = partition.recompute_cut();
-
-        // 3. Schedule under the emitter budget.
-        let sched = schedule(&plans, ne_limit);
-
-        // 4. Recombine: global solves over the transformed graph with the
-        // scheduled interleaving and the full emitter pool. The affinity maps
-        // each block onto the concrete emitters the schedule reserved for it,
-        // so overlapping blocks use disjoint emitters (parallel in time)
-        // while each block's internal work stays emitter-local. Three
-        // candidates compete under the paper's lexicographic objective
-        // (#ee-CNOT, then T_loss, then duration): the scheduled interleaving,
-        // the schedule-ordered block-sequential variant (same blocks, no
-        // interleaving friction), and a direct whole-graph solve — the
-        // framework degenerates gracefully when partitioning does not pay.
-        let global_ordering = sched.global_ordering(&plans);
-        let needed = height::min_emitters(&partition.transformed, &global_ordering).max(1);
-        let pool = ne_limit.max(needed);
-        let affinity = build_affinity(&sched, &plans, pool, partition.transformed.vertex_count());
-
-        let mut sequential: Vec<usize> = Vec::new();
-        {
-            let mut placements: Vec<&crate::schedule::Placement> =
-                sched.placements.iter().collect();
-            placements.sort_by(|a, b| {
-                sched
-                    .start_time(a, &plans)
-                    .partial_cmp(&sched.start_time(b, &plans))
-                    .expect("finite times")
-            });
-            for p in placements {
-                let plan = &plans[p.block];
-                for &local in &plan.variants[p.variant].solved.ordering {
-                    sequential.push(plan.vertices[local]);
-                }
-            }
-        }
-
-        type Candidate<'a> = (
-            &'a Graph,
-            Vec<usize>,
-            Option<epgs_solver::reverse::Affinity>,
-            &'a [usize],
-        );
-        let candidates: Vec<Candidate> = vec![
-            (
-                &partition.transformed,
-                global_ordering.clone(),
-                Some(affinity.clone()),
-                &partition.lc_sequence,
-            ),
-            (
-                &partition.transformed,
-                sequential,
-                Some(affinity),
-                &partition.lc_sequence,
-            ),
-            (target, ordering::degree_dfs(target), None, &[]),
-            (target, ordering::natural(target), None, &[]),
-            (target, ordering::bfs(target), None, &[]),
-        ];
-        let mut best: Option<(Circuit, CircuitMetrics)> = None;
-        let mut last_err = None;
-        for (graph, ord, aff, lc_seq) in candidates {
-            // Each candidate sizes its own pool: the shared budget, raised to
-            // that ordering's height-function demand.
-            let candidate_pool = pool.max(height::min_emitters(graph, &ord).max(1));
-            let opts = SolveOptions {
-                emitters: Some(candidate_pool),
-                max_pool_growth: 8,
-                verify: false,
-                affinity: aff,
-                ..SolveOptions::default()
-            };
-            match solve_with_ordering(graph, &ord, &opts) {
-                Ok(solved) => {
-                    let mut circuit = solved.circuit;
-                    // Undo the LC sequence with single-qubit photon gates so
-                    // the circuit delivers |target⟩, not |transformed⟩.
-                    append_lc_inverse(&mut circuit, target, lc_seq);
-                    let metrics = circuit_metrics(&cfg.hardware, &circuit);
-                    let better = match &best {
-                        None => true,
-                        Some((_, b)) => {
-                            (metrics.ee_two_qubit_count, metrics.t_loss, metrics.duration)
-                                < (b.ee_two_qubit_count, b.t_loss, b.duration)
-                        }
-                    };
-                    if better {
-                        best = Some((circuit, metrics));
-                    }
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        let (mut circuit, _) = best.ok_or_else(|| {
-            FrameworkError::from(last_err.expect("at least one candidate attempted"))
-        })?;
-        // Peephole cleanup: the reverse solver's rotation bookkeeping leaves
-        // cancellable single-qubit pairs behind.
-        epgs_circuit::optimize::cancel_inverse_pairs(&mut circuit);
-
-        // 5. Verify.
-        if cfg.verify {
-            let ok = simulate::verify_circuit(&circuit, target)
-                .map_err(|_| FrameworkError::VerificationFailed)?;
-            if !ok {
-                return Err(FrameworkError::VerificationFailed);
-            }
-        }
-
-        let metrics = circuit_metrics(&cfg.hardware, &circuit);
-        Ok(Compiled {
-            circuit,
-            metrics,
-            partition,
-            plans,
-            schedule: sched,
-            global_ordering,
-            ne_limit,
-            ne_min,
-        })
+        self.pipeline().compile(target)
     }
 
     /// Compiles with a specific emitter budget, overriding the configured
     /// one (used by the Ne_limit sweeps of the evaluation).
+    ///
+    /// For a multi-point sweep prefer [`Framework::sweep`] (or a hand-held
+    /// [`Pipeline`]), which runs partition and leaf compilation once.
     ///
     /// # Errors
     ///
@@ -305,92 +108,26 @@ impl Framework {
         target: &Graph,
         ne_limit: usize,
     ) -> Result<Compiled, FrameworkError> {
-        let mut fw = self.clone();
-        fw.config.emitter_budget = crate::config::EmitterBudget::Absolute(ne_limit);
-        fw.compile(target)
+        self.pipeline()
+            .partition(target)
+            .plan_leaves()?
+            .schedule(ne_limit)
+            .recombine()?
+            .verify()
     }
-}
 
-/// Assigns concrete emitters to each scheduled block: blocks are processed
-/// by start time and greedily take the emitters that free up earliest, so
-/// time-overlapping blocks end up on disjoint sets whenever the budget
-/// allows (mirroring the schedule's usage packing).
-fn build_affinity(
-    sched: &Schedule,
-    plans: &[SubgraphPlan],
-    pool: usize,
-    photons: usize,
-) -> epgs_solver::reverse::Affinity {
-    let mut photon_group = vec![0usize; photons];
-    for p in &sched.placements {
-        for &global in &plans[p.block].vertices {
-            photon_group[global] = p.block;
-        }
-    }
-    // Sort placements by absolute start time.
-    let mut order: Vec<&crate::schedule::Placement> = sched.placements.iter().collect();
-    order.sort_by(|a, b| {
-        sched
-            .start_time(a, plans)
-            .partial_cmp(&sched.start_time(b, plans))
-            .expect("finite times")
-    });
-    let mut busy_until = vec![f64::NEG_INFINITY; pool];
-    let mut group_emitters = vec![Vec::new(); plans.len()];
-    for p in order {
-        let start = sched.start_time(p, plans);
-        let end = start + plans[p.block].variants[p.variant].duration;
-        let demand = plans[p.block].variants[p.variant]
-            .emitters
-            .min(pool)
-            .max(1);
-        // Emitters free at `start` first, then the earliest to free up.
-        let mut candidates: Vec<usize> = (0..pool).collect();
-        candidates.sort_by(|&a, &b| {
-            busy_until[a]
-                .partial_cmp(&busy_until[b])
-                .expect("finite times")
-                .then(a.cmp(&b))
-        });
-        let chosen: Vec<usize> = candidates.into_iter().take(demand).collect();
-        for &e in &chosen {
-            busy_until[e] = busy_until[e].max(end);
-        }
-        group_emitters[p.block] = chosen;
-    }
-    epgs_solver::reverse::Affinity {
-        photon_group,
-        group_emitters,
-    }
-}
-
-/// Appends the inverse of the LC unitary sequence to `circuit`.
-///
-/// The LC unitary at `v` on graph `H` is `(H·S†·H)_v ⊗ Π_{w∈N_H(v)} S_w`
-/// (see the stabilizer crate's property tests); with |G_k⟩ = U_k … U_1
-/// |G_0⟩, the circuit generating |G_k⟩ is extended by U_k† … U_1† applied in
-/// that order. All gates are single-qubit photon gates, the "only cost" the
-/// paper attributes to LC optimization.
-fn append_lc_inverse(circuit: &mut Circuit, original: &Graph, lc_sequence: &[usize]) {
-    if lc_sequence.is_empty() {
-        return;
-    }
-    // Rebuild the intermediate graphs G_0 … G_{k-1}.
-    let mut graphs = Vec::with_capacity(lc_sequence.len());
-    let mut cur = original.clone();
-    for &v in lc_sequence {
-        graphs.push(cur.clone());
-        ops::local_complement(&mut cur, v).expect("vertex in range");
-    }
-    // Append U_i† for i = k … 1; U† = (H·S·H) on v and S† on N_{G_{i-1}}(v).
-    for (i, &v) in lc_sequence.iter().enumerate().rev() {
-        let before = &graphs[i];
-        circuit.push(Op::H(Qubit::Photon(v)));
-        circuit.push(Op::S(Qubit::Photon(v)));
-        circuit.push(Op::H(Qubit::Photon(v)));
-        for &w in before.neighbors(v) {
-            circuit.push(Op::Sdg(Qubit::Photon(w)));
-        }
+    /// Compiles `target` once per budget, sharing one partition + leaf
+    /// compilation across all points (the §V.B.2 sweep fast path).
+    ///
+    /// # Errors
+    ///
+    /// See [`Framework::compile`].
+    pub fn sweep(
+        &self,
+        target: &Graph,
+        budgets: &[usize],
+    ) -> Result<Vec<Compiled>, FrameworkError> {
+        self.pipeline().sweep(target, budgets)
     }
 }
 
@@ -481,6 +218,18 @@ mod tests {
         assert_eq!(b.ne_limit, 6);
         // More emitters must not hurt the makespan estimate.
         assert!(b.schedule.makespan <= a.schedule.makespan + 1e-9);
+    }
+
+    #[test]
+    fn sweep_equals_pointwise_budget_compiles() {
+        let fw = Framework::new(quick_config());
+        let g = generators::lattice(3, 4);
+        let swept = fw.sweep(&g, &[3, 6]).unwrap();
+        for (compiled, budget) in swept.iter().zip([3usize, 6]) {
+            let pointwise = fw.compile_with_budget(&g, budget).unwrap();
+            assert_eq!(compiled.circuit, pointwise.circuit, "budget {budget}");
+            assert_eq!(compiled.ne_limit, pointwise.ne_limit);
+        }
     }
 
     #[test]

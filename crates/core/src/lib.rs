@@ -3,17 +3,52 @@
 //! Rust reproduction of the DAC 2025 paper *"A Scalable and Robust
 //! Compilation Framework for Emitter-Photonic Graph State"* (Ren, Huang,
 //! Liang, Barbalace). Given a target graph state, the framework produces a
-//! verified generation circuit for the deterministic (emitter-based) scheme:
+//! verified generation circuit for the deterministic (emitter-based) scheme.
 //!
-//! 1. partition the graph into subgraphs with depth-limited local
-//!    complementation (minimizing inter-subgraph entanglement);
-//! 2. compile each subgraph near-optimally under a flexible emitter budget;
-//! 3. schedule the subgraph circuits as-late-as-possible under the global
-//!    emitter budget, maximizing emitter utilization;
-//! 4. recombine into one global circuit and verify it with a stabilizer
-//!    simulator.
+//! # The staged pipeline
 //!
-//! # Examples
+//! Compilation is an explicit five-stage pipeline (paper Fig. 6), one typed
+//! artifact per stage:
+//!
+//! | Stage | Call | Artifact | Paper |
+//! |-------|------|----------|-------|
+//! | 1. Partition | [`Pipeline::partition`] | [`Partitioned`] | §IV.A |
+//! | 2. Leaf compile | [`Partitioned::plan_leaves`] | [`Planned`] | §IV.B |
+//! | 3. Schedule | [`Planned::schedule`] | [`Scheduled`] | §IV.C |
+//! | 4. Recombine | [`Scheduled::recombine`] | [`Recombined`] | §IV.D |
+//! | 5. Verify | [`Recombined::verify`] | [`Compiled`] | §IV.E |
+//!
+//! Stage methods take `&self` and artifacts share heavy state behind `Arc`,
+//! so one expensive prefix fans out into many cheap suffixes. The paper's
+//! §V.B.2 emitter-budget sweeps are the motivating case: hold one
+//! [`Planned`] and call [`Planned::schedule`] per budget — partitioning and
+//! every leaf solve run exactly once. Leaf compilation runs in parallel
+//! across blocks.
+//!
+//! ```
+//! use epgs::{FrameworkConfig, Pipeline};
+//! use epgs_graph::generators;
+//!
+//! # fn main() -> Result<(), epgs::FrameworkError> {
+//! let pipeline = Pipeline::new(
+//!     FrameworkConfig::builder().g_max(5).lc_budget(4).build(),
+//! );
+//! let planned = pipeline.partition(&generators::lattice(3, 3)).plan_leaves()?;
+//! // Sweep Ne_limit without re-partitioning or re-solving leaves:
+//! for budget in [2, 3] {
+//!     let compiled = planned.schedule(budget).recombine()?.verify()?;
+//!     assert_eq!(compiled.ne_limit, budget);
+//!     assert_eq!(compiled.circuit.emission_count(), 9);
+//! }
+//! assert_eq!(pipeline.counters().plan, 1, "leaves compiled once");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # The one-shot front-end
+//!
+//! [`Framework`] wraps the pipeline for the common single-compile case and
+//! produces output identical to the staged path:
 //!
 //! ```
 //! use epgs::{Framework, FrameworkConfig};
@@ -28,16 +63,26 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Recombination is pluggable: [`RecombineStrategy`] selects which global
+//! assembly candidates compete (scheduled interleave, block-sequential,
+//! direct solve), configured per run via
+//! [`FrameworkConfig::recombine`] or per call via
+//! [`Scheduled::recombine_with`].
 
 pub mod config;
 pub mod error;
 pub mod framework;
 pub mod report;
 pub mod schedule;
+pub mod stages;
 pub mod subgraph;
 
-pub use config::{EmitterBudget, FrameworkConfig};
+pub use config::{EmitterBudget, FrameworkConfig, FrameworkConfigBuilder};
 pub use error::FrameworkError;
 pub use framework::{compile, Compiled, Framework};
 pub use schedule::{schedule, Placement, Schedule, StepFn};
+pub use stages::{
+    Partitioned, Pipeline, Planned, RecombineStrategy, Recombined, Scheduled, StageCounts,
+};
 pub use subgraph::{compile_subgraph, SubgraphPlan, SubgraphVariant};

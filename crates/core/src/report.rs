@@ -46,6 +46,7 @@ pub fn render(c: &Compiled) -> String {
         "schedule: makespan estimate {:.2} τ under {} emitters\n",
         c.schedule.makespan, c.schedule.ne_limit
     ));
+    out.push_str(&format!("recombination: {:?} won\n", c.strategy));
     out.push_str(&format!(
         "final circuit: {} ee-CNOTs, {:.2} τ duration, T_loss {:.2} τ, \
          {} measurements, {} single-qubit gates\n",
@@ -73,6 +74,7 @@ mod tests {
         let text = super::render(&c);
         assert!(text.contains("partition:"));
         assert!(text.contains("schedule:"));
+        assert!(text.contains("recombination:"));
         assert!(text.contains("final circuit:"));
         assert!(text.contains("photon loss:"));
     }

@@ -27,11 +27,7 @@ impl StepFn {
 
     /// Value at `t`.
     pub fn eval(&self, t: f64) -> usize {
-        match self
-            .times
-            .iter()
-            .rposition(|&bp| bp <= t + 1e-12)
-        {
+        match self.times.iter().rposition(|&bp| bp <= t + 1e-12) {
             Some(k) => self.counts[k],
             None => 0,
         }
@@ -73,7 +69,7 @@ impl StepFn {
         }
         // Beyond the reversed horizon the curve is 0.
         let tail = horizon - self.times[0];
-        if times.last().map_or(true, |&t| t < tail - 1e-12) {
+        if times.last().is_none_or(|&t| t < tail - 1e-12) {
             times.push(tail.max(0.0));
             counts.push(0);
         } else if let Some(c) = counts.last_mut() {
@@ -153,7 +149,12 @@ impl Schedule {
             let plan = &plans[p.block];
             let variant = &plan.variants[p.variant];
             for (local, &global) in plan.vertices.iter().enumerate() {
-                photons.push((start + variant.emission_times[local], p.block, local, global));
+                photons.push((
+                    start + variant.emission_times[local],
+                    p.block,
+                    local,
+                    global,
+                ));
             }
         }
         photons.sort_by(|a, b| {
@@ -237,7 +238,7 @@ fn pack(
         let offset = candidates
             .into_iter()
             .find(|&o| combined.peak_with(&rev, o) <= ne_limit)
-            .unwrap_or_else(|| {
+            .unwrap_or({
                 // Place after everything currently scheduled.
                 makespan
             });

@@ -1,0 +1,264 @@
+//! The staged compilation pipeline (paper Fig. 6), one artifact per stage.
+//!
+//! [`Framework::compile`](crate::Framework::compile) runs five stages —
+//! partition → per-leaf compile → schedule → recombine → verify — and this
+//! module exposes each as an explicit, reusable artifact:
+//!
+//! ```text
+//! Pipeline::partition(&Graph)   -> Partitioned   (§IV.A  partition + LC)
+//! Partitioned::plan_leaves()    -> Planned       (§IV.B  leaf circuits, parallel)
+//! Planned::schedule(ne_limit)   -> Scheduled     (§IV.C  Tetris packing)
+//! Scheduled::recombine()        -> Recombined    (§IV.D  global solve)
+//! Recombined::verify()          -> Compiled      (§IV.E  stabilizer check)
+//! ```
+//!
+//! Artifacts are cheap to clone (heavy state is shared behind `Arc`) and
+//! every stage method takes `&self`, so one expensive prefix can fan out
+//! into many cheap suffixes. The paper's §V.B.2 emitter-budget sweeps
+//! (`1.5×` / `2× Ne_min`) are the motivating case: [`Planned`] is computed
+//! once and [`Planned::schedule`] is called per budget, skipping the
+//! partition search and every leaf solve on all but the first point.
+//!
+//! # Examples
+//!
+//! A two-budget sweep that partitions and compiles leaves exactly once:
+//!
+//! ```
+//! use epgs::{FrameworkConfig, Pipeline};
+//! use epgs_graph::generators;
+//!
+//! # fn main() -> Result<(), epgs::FrameworkError> {
+//! let pipeline = Pipeline::new(FrameworkConfig::builder().g_max(5).build());
+//! let planned = pipeline.partition(&generators::lattice(3, 3)).plan_leaves()?;
+//! for budget in [2, 4] {
+//!     let compiled = planned.schedule(budget).recombine()?.verify()?;
+//!     assert_eq!(compiled.ne_limit, budget);
+//! }
+//! let counts = pipeline.counters();
+//! assert_eq!((counts.partition, counts.plan, counts.schedule), (1, 1, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod partitioned;
+pub mod planned;
+pub mod recombined;
+pub mod scheduled;
+
+pub use partitioned::Partitioned;
+pub use planned::Planned;
+pub use recombined::{RecombineStrategy, Recombined};
+pub use scheduled::Scheduled;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use epgs_graph::{height, Graph};
+use epgs_solver::ordering;
+
+use crate::config::FrameworkConfig;
+use crate::error::FrameworkError;
+use crate::framework::Compiled;
+
+/// Execution counters of one [`Pipeline`], incremented once per stage run.
+///
+/// These make sweep-reuse claims checkable: after a k-budget sweep off one
+/// [`Planned`] artifact, `partition == plan == 1` while `schedule == k`.
+#[derive(Debug, Default)]
+pub(crate) struct StageCounters {
+    pub(crate) partition: AtomicUsize,
+    pub(crate) plan: AtomicUsize,
+    pub(crate) schedule: AtomicUsize,
+    pub(crate) recombine: AtomicUsize,
+    pub(crate) verify: AtomicUsize,
+}
+
+/// A point-in-time snapshot of a pipeline's [stage counters](StageCounters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Completed partition stages.
+    pub partition: usize,
+    /// Completed leaf-planning stages.
+    pub plan: usize,
+    /// Completed scheduling stages.
+    pub schedule: usize,
+    /// Completed recombination stages.
+    pub recombine: usize,
+    /// Completed verification stages.
+    pub verify: usize,
+}
+
+/// Configuration + counters shared by every artifact of one pipeline.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) config: FrameworkConfig,
+    pub(crate) counters: StageCounters,
+}
+
+/// The staged compilation pipeline front-end.
+///
+/// Construct once per configuration, then drive targets through the stages.
+/// [`crate::Framework`] wraps this type for the one-shot monolithic call;
+/// use `Pipeline` directly when intermediate artifacts are worth keeping —
+/// budget sweeps, schedule inspection, or recombination experiments.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: FrameworkConfig) -> Self {
+        Pipeline {
+            shared: Arc::new(Shared {
+                config,
+                counters: StageCounters::default(),
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.shared.config
+    }
+
+    /// Snapshot of how many times each stage has executed on this pipeline.
+    pub fn counters(&self) -> StageCounts {
+        let c = &self.shared.counters;
+        StageCounts {
+            partition: c.partition.load(Ordering::Relaxed),
+            plan: c.plan.load(Ordering::Relaxed),
+            schedule: c.schedule.load(Ordering::Relaxed),
+            recombine: c.recombine.load(Ordering::Relaxed),
+            verify: c.verify.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stage 1: partitions `target` with depth-limited local
+    /// complementation (paper §IV.A) and computes its `Ne_min` reference.
+    pub fn partition(&self, target: &Graph) -> Partitioned {
+        Partitioned::build(Arc::clone(&self.shared), target)
+    }
+
+    /// Runs all five stages for `target` under the configured emitter
+    /// budget — the staged equivalent of [`crate::Framework::compile`].
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::Framework::compile`].
+    pub fn compile(&self, target: &Graph) -> Result<Compiled, FrameworkError> {
+        let planned = self.partition(target).plan_leaves()?;
+        let ne_limit = self.shared.config.emitter_budget.resolve(planned.ne_min());
+        planned.schedule(ne_limit).recombine()?.verify()
+    }
+
+    /// Compiles `target` once per budget in `budgets`, running partition and
+    /// leaf compilation exactly once (the §V.B.2 sweep fast path).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::Framework::compile`]; the first failing budget aborts.
+    pub fn sweep(
+        &self,
+        target: &Graph,
+        budgets: &[usize],
+    ) -> Result<Vec<Compiled>, FrameworkError> {
+        let planned = self.partition(target).plan_leaves()?;
+        budgets
+            .iter()
+            .map(|&b| planned.schedule(b).recombine()?.verify())
+            .collect()
+    }
+}
+
+/// Minimal emitter count of `g` over the deterministic ordering strategies —
+/// the paper's `Ne_min` reference point.
+pub(crate) fn ne_min_of(g: &Graph) -> usize {
+    [
+        ordering::natural(g),
+        ordering::bfs(g),
+        ordering::degree_dfs(g),
+    ]
+    .iter()
+    .map(|ord| height::min_emitters(g, ord))
+    .min()
+    .unwrap_or(0)
+    .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epgs_graph::generators;
+
+    fn quick_pipeline() -> Pipeline {
+        Pipeline::new(
+            FrameworkConfig::builder()
+                .g_max(5)
+                .lc_budget(3)
+                .partition_effort(4)
+                .orderings_per_subgraph(4)
+                .flexible_slack(1)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn staged_run_matches_monolithic_compile() {
+        let p = quick_pipeline();
+        let g = generators::lattice(3, 3);
+        let staged = p.compile(&g).expect("staged compiles");
+        let fw = crate::Framework::new(p.config().clone());
+        let monolith = fw.compile(&g).expect("wrapper compiles");
+        assert_eq!(staged.circuit, monolith.circuit);
+        assert_eq!(staged.metrics, monolith.metrics);
+        assert_eq!(staged.partition, monolith.partition);
+        assert_eq!(staged.global_ordering, monolith.global_ordering);
+    }
+
+    #[test]
+    fn counters_track_stage_executions() {
+        let p = quick_pipeline();
+        let g = generators::tree(10, 2);
+        let planned = p.partition(&g).plan_leaves().unwrap();
+        for budget in [1, 2, 3] {
+            planned
+                .schedule(budget)
+                .recombine()
+                .unwrap()
+                .verify()
+                .unwrap();
+        }
+        let c = p.counters();
+        assert_eq!(c.partition, 1);
+        assert_eq!(c.plan, 1);
+        assert_eq!(c.schedule, 3);
+        assert_eq!(c.recombine, 3);
+        assert_eq!(c.verify, 3);
+    }
+
+    #[test]
+    fn sweep_reuses_partition_and_plan() {
+        let p = quick_pipeline();
+        let g = generators::lattice(3, 4);
+        let compiled = p.sweep(&g, &[2, 3, 4]).unwrap();
+        assert_eq!(compiled.len(), 3);
+        let c = p.counters();
+        assert_eq!((c.partition, c.plan), (1, 1));
+        assert_eq!(c.schedule, 3);
+        // Budgets land in the artifacts in order.
+        assert_eq!(
+            compiled.iter().map(|c| c.ne_limit).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn ne_min_of_known_families() {
+        assert_eq!(ne_min_of(&generators::path(6)), 1);
+        // Any prefix cut of a complete graph has rank 1: one emitter suffices.
+        assert_eq!(ne_min_of(&generators::complete(5)), 1);
+        assert!(ne_min_of(&generators::lattice(3, 4)) >= 2);
+        assert_eq!(ne_min_of(&Graph::new(0)), 1, "degenerate floor");
+    }
+}

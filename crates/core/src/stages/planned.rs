@@ -1,0 +1,263 @@
+//! Stage 2 artifact: per-leaf compilation plans (paper §IV.B).
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use epgs_graph::{ops, Graph};
+use epgs_partition::Partition;
+
+use crate::error::FrameworkError;
+use crate::schedule::{schedule, Schedule};
+use crate::stages::partitioned::Partitioned;
+use crate::stages::scheduled::Scheduled;
+use crate::stages::Shared;
+use crate::subgraph::{compile_subgraph, SubgraphPlan};
+
+/// Partition plus plans, shared immutably by every schedule derived from it.
+#[derive(Debug)]
+pub(crate) struct PlannedData {
+    pub(crate) partition: Partition,
+    pub(crate) plans: Vec<SubgraphPlan>,
+    pub(crate) ne_min: usize,
+}
+
+/// Every leaf subgraph compiled near-optimally, with flexible emitter
+/// variants, plus the block-locally refined partition.
+///
+/// This is the expensive prefix of the pipeline — the artifact to keep when
+/// sweeping emitter budgets. [`Planned::schedule`] takes `&self`, so any
+/// number of budgets can be scheduled off one plan:
+///
+/// ```
+/// use epgs::{FrameworkConfig, Pipeline};
+/// use epgs_graph::generators;
+///
+/// # fn main() -> Result<(), epgs::FrameworkError> {
+/// let pipeline = Pipeline::new(FrameworkConfig::builder().g_max(4).build());
+/// let planned = pipeline.partition(&generators::tree(9, 2)).plan_leaves()?;
+/// assert!(!planned.plans().is_empty());
+/// let tight = planned.schedule(1);
+/// let loose = planned.schedule(4);
+/// assert!(loose.schedule().makespan <= tight.schedule().makespan + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Planned {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) target: Arc<Graph>,
+    pub(crate) data: Arc<PlannedData>,
+}
+
+impl Planned {
+    pub(crate) fn build(stage: &Partitioned) -> Result<Self, FrameworkError> {
+        let shared = Arc::clone(&stage.shared);
+        let cfg = &shared.config;
+        let mut partition = stage.partition_clone();
+
+        let blocks: Vec<Vec<usize>> = partition
+            .blocks()
+            .into_iter()
+            .filter(|b| !b.is_empty())
+            .collect();
+
+        let compile_block = |graph: &Graph,
+                             block: &[usize],
+                             i: usize,
+                             seed_extra: u64|
+         -> Result<SubgraphPlan, FrameworkError> {
+            let (sub, vertices) = graph.induced_subgraph(block);
+            compile_subgraph(
+                &sub,
+                &vertices,
+                &cfg.hardware,
+                cfg.orderings_per_subgraph,
+                cfg.flexible_slack,
+                cfg.seed.wrapping_add(i as u64).wrapping_add(seed_extra),
+            )
+            .map_err(FrameworkError::from)
+        };
+
+        // Initial compile of every leaf, in parallel. Interior-vertex LC
+        // refinements (below) never touch another block's induced subgraph,
+        // so these solves are independent of the refinement order and the
+        // result is identical to the sequential interleaving.
+        let mut plans: Vec<SubgraphPlan> = {
+            let transformed = &partition.transformed;
+            blocks
+                .iter()
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(i, block)| compile_block(transformed, block, i, 0))
+                .collect::<Result<Vec<_>, FrameworkError>>()?
+        };
+
+        // Block-local LC refinement at *interior* vertices (no cut edges),
+        // where subgraph-level local complementation coincides with the
+        // global one: fewer intra-block edges → fewer emitter-emitter
+        // CNOTs. Sequential because it draws on the global LC budget.
+        for (i, block) in blocks.iter().enumerate() {
+            if cfg.partition.lc_budget <= partition.lc_sequence.len() {
+                continue;
+            }
+            let in_block: std::collections::BTreeSet<usize> = block.iter().copied().collect();
+            let interior: Vec<usize> = block
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    partition.transformed.degree(v) >= 2
+                        && partition
+                            .transformed
+                            .neighbors(v)
+                            .iter()
+                            .all(|w| in_block.contains(w))
+                })
+                .collect();
+            for &v in &interior {
+                if partition.lc_sequence.len() >= cfg.partition.lc_budget {
+                    break;
+                }
+                let mut trial = partition.transformed.clone();
+                ops::local_complement(&mut trial, v).expect("vertex in range");
+                // Densifying LCs help a single leaf but hurt the global
+                // solve; only keep transforms that also shed edges.
+                if trial.edge_count() > partition.transformed.edge_count() {
+                    continue;
+                }
+                if let Ok(candidate) = compile_block(&trial, block, i, 1 + v as u64) {
+                    if candidate.variants[0].ee_cnots < plans[i].variants[0].ee_cnots {
+                        partition.transformed = trial;
+                        partition.lc_sequence.push(v);
+                        plans[i] = candidate;
+                    }
+                }
+            }
+        }
+        partition.cut = partition.recompute_cut();
+
+        shared
+            .counters
+            .plan
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Planned {
+            shared,
+            target: Arc::clone(&stage.target),
+            data: Arc::new(PlannedData {
+                partition,
+                plans,
+                ne_min: stage.ne_min(),
+            }),
+        })
+    }
+
+    /// The original target graph.
+    pub fn target(&self) -> &Graph {
+        &self.target
+    }
+
+    /// The partition after block-local LC refinement.
+    pub fn partition(&self) -> &Partition {
+        &self.data.partition
+    }
+
+    /// Per-block compilation plans, aligned with
+    /// [`Partition::blocks`](epgs_partition::Partition::blocks) (empty
+    /// blocks dropped).
+    pub fn plans(&self) -> &[SubgraphPlan] {
+        &self.data.plans
+    }
+
+    /// Minimal emitter count `Ne_min` of the target.
+    pub fn ne_min(&self) -> usize {
+        self.data.ne_min
+    }
+
+    /// Resolves the configured [`EmitterBudget`](crate::EmitterBudget)
+    /// against this target's `Ne_min`.
+    pub fn configured_budget(&self) -> usize {
+        self.shared.config.emitter_budget.resolve(self.data.ne_min)
+    }
+
+    /// Stage 3: packs the leaf circuits as-late-as-possible under
+    /// `ne_limit` emitters (paper §IV.C), including the flexible-variant
+    /// improvement pass. `ne_limit` is clamped to at least 1.
+    pub fn schedule(&self, ne_limit: usize) -> Scheduled {
+        let ne_limit = ne_limit.max(1);
+        let sched: Schedule = schedule(&self.data.plans, ne_limit);
+        self.shared
+            .counters
+            .schedule
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Scheduled::new(self, sched, ne_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::FrameworkConfig;
+    use crate::stages::Pipeline;
+    use epgs_graph::generators;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            FrameworkConfig::builder()
+                .g_max(5)
+                .lc_budget(3)
+                .partition_effort(4)
+                .orderings_per_subgraph(4)
+                .flexible_slack(1)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn plans_align_with_blocks_and_cover_all_vertices() {
+        let p = pipeline();
+        let planned = p
+            .partition(&generators::lattice(3, 4))
+            .plan_leaves()
+            .unwrap();
+        let mut covered: Vec<usize> = planned
+            .plans()
+            .iter()
+            .flat_map(|plan| plan.vertices.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replanning_from_cached_partitioned_is_reproducible() {
+        let p = pipeline();
+        let partitioned = p.partition(&generators::cycle(12));
+        let a = partitioned.plan_leaves().unwrap();
+        let b = partitioned.plan_leaves().unwrap();
+        assert_eq!(a.partition(), b.partition());
+        assert_eq!(a.plans().len(), b.plans().len());
+        for (x, y) in a.plans().iter().zip(b.plans()) {
+            assert_eq!(x.vertices, y.vertices);
+            assert_eq!(x.variants.len(), y.variants.len());
+            for (vx, vy) in x.variants.iter().zip(&y.variants) {
+                assert_eq!(vx.solved.circuit, vy.solved.circuit);
+                assert_eq!(vx.emitters, vy.emitters);
+            }
+        }
+        assert_eq!(p.counters().plan, 2, "both runs really executed");
+    }
+
+    #[test]
+    fn refinement_never_exceeds_global_lc_budget() {
+        let p = Pipeline::new(
+            FrameworkConfig::builder()
+                .g_max(3)
+                .lc_budget(5)
+                .partition_effort(6)
+                .build(),
+        );
+        let planned = p.partition(&generators::complete(6)).plan_leaves().unwrap();
+        assert!(planned.partition().lc_sequence.len() <= 5);
+        assert_eq!(planned.partition().cut, planned.partition().recompute_cut());
+    }
+}

@@ -1,0 +1,459 @@
+//! Stage 4 artifact: the recombined global circuit (paper §IV.D) and the
+//! pluggable recombination strategies.
+
+use std::sync::Arc;
+
+use epgs_circuit::{circuit_metrics, simulate, Circuit, CircuitMetrics, Op, Qubit};
+use epgs_graph::{height, ops, Graph};
+use epgs_solver::ordering;
+use epgs_solver::reverse::{solve_with_ordering, Affinity, SolveOptions};
+
+use crate::error::FrameworkError;
+use crate::framework::Compiled;
+use crate::schedule::{Placement, Schedule};
+use crate::stages::planned::PlannedData;
+use crate::stages::scheduled::Scheduled;
+use crate::stages::Shared;
+use crate::subgraph::SubgraphPlan;
+
+/// How the scheduled leaf circuits are recombined into one global circuit.
+///
+/// Strategies are tried in the configured order and compete under the
+/// paper's lexicographic objective (#ee-CNOT, then `T_loss`, then duration);
+/// see [`crate::FrameworkConfig::recombine`]. The default order — scheduled
+/// interleave, block-sequential, direct solve — reproduces the original
+/// hard-coded candidate list, letting the framework degenerate gracefully
+/// when partitioning does not pay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecombineStrategy {
+    /// One global time-reversed solve over the transformed graph in the
+    /// schedule-induced interleaved emission order, with the schedule's
+    /// emitter affinity (overlapping blocks on disjoint emitters).
+    ScheduledInterleave,
+    /// The same global solve with blocks emitted back-to-back in schedule
+    /// start order — no interleaving friction, same emitter affinity.
+    BlockSequential,
+    /// A direct whole-graph solve of the *original* target (no partition,
+    /// no LC) over the deterministic ordering heuristics.
+    DirectSolve,
+}
+
+impl RecombineStrategy {
+    /// All strategies in the default competition order.
+    pub fn all() -> Vec<RecombineStrategy> {
+        vec![
+            RecombineStrategy::ScheduledInterleave,
+            RecombineStrategy::BlockSequential,
+            RecombineStrategy::DirectSolve,
+        ]
+    }
+}
+
+/// The best recombined circuit, pre-verification.
+///
+/// Produced by [`Scheduled::recombine`]; [`Recombined::verify`] closes the
+/// pipeline. The artifact records which strategy won, which makes the
+/// degenerate-partition case observable:
+///
+/// ```
+/// use epgs::{FrameworkConfig, Pipeline, RecombineStrategy};
+/// use epgs_graph::generators;
+///
+/// # fn main() -> Result<(), epgs::FrameworkError> {
+/// let pipeline = Pipeline::new(FrameworkConfig::builder().g_max(4).build());
+/// let recombined = pipeline
+///     .partition(&generators::path(6))
+///     .plan_leaves()?
+///     .schedule(2)
+///     .recombine()?;
+/// assert_eq!(recombined.circuit().emission_count(), 6);
+/// assert!(RecombineStrategy::all().contains(&recombined.strategy()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recombined {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) target: Arc<Graph>,
+    pub(crate) data: Arc<PlannedData>,
+    pub(crate) sched: Schedule,
+    pub(crate) ne_limit: usize,
+    circuit: Circuit,
+    metrics: CircuitMetrics,
+    global_ordering: Vec<usize>,
+    strategy: RecombineStrategy,
+}
+
+impl Recombined {
+    pub(crate) fn build(
+        stage: &Scheduled,
+        strategies: &[RecombineStrategy],
+    ) -> Result<Self, FrameworkError> {
+        let shared = Arc::clone(&stage.shared);
+        let cfg = &shared.config;
+        let data = &stage.data;
+        let plans = &data.plans;
+        let partition = &data.partition;
+        let target: &Graph = &stage.target;
+        let sched = &stage.sched;
+        let ne_limit = stage.ne_limit;
+
+        // The schedule induces the interleaved global emission ordering; the
+        // affinity maps each block onto the concrete emitters the schedule
+        // reserved for it, so overlapping blocks use disjoint emitters
+        // (parallel in time) while each block's internal work stays
+        // emitter-local. Both are only needed by the schedule-driven
+        // strategies; a DirectSolve-only run skips their construction (and
+        // its pool is sized by the direct orderings alone).
+        let global_ordering = sched.global_ordering(plans);
+        let uses_schedule = strategies.iter().any(|s| {
+            matches!(
+                s,
+                RecombineStrategy::ScheduledInterleave | RecombineStrategy::BlockSequential
+            )
+        });
+        let (pool, affinity) = if uses_schedule {
+            let needed = height::min_emitters(&partition.transformed, &global_ordering).max(1);
+            let pool = ne_limit.max(needed);
+            let affinity = build_affinity(sched, plans, pool, partition.transformed.vertex_count());
+            (pool, Some(affinity))
+        } else {
+            (ne_limit, None)
+        };
+
+        // (graph, ordering, affinity, LC sequence to undo) per candidate.
+        type Candidate<'a> = (&'a Graph, Vec<usize>, Option<Affinity>, &'a [usize]);
+        let mut candidates: Vec<(RecombineStrategy, Candidate)> = Vec::new();
+        for &strategy in strategies {
+            match strategy {
+                RecombineStrategy::ScheduledInterleave => candidates.push((
+                    strategy,
+                    (
+                        &partition.transformed,
+                        global_ordering.clone(),
+                        affinity.clone(),
+                        &partition.lc_sequence,
+                    ),
+                )),
+                RecombineStrategy::BlockSequential => candidates.push((
+                    strategy,
+                    (
+                        &partition.transformed,
+                        sequential_ordering(sched, plans),
+                        affinity.clone(),
+                        &partition.lc_sequence,
+                    ),
+                )),
+                RecombineStrategy::DirectSolve => {
+                    for ord in [
+                        ordering::degree_dfs(target),
+                        ordering::natural(target),
+                        ordering::bfs(target),
+                    ] {
+                        candidates.push((strategy, (target, ord, None, &[])));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(FrameworkError::NoRecombineStrategy);
+        }
+
+        let mut best: Option<(RecombineStrategy, Circuit, CircuitMetrics)> = None;
+        let mut last_err = None;
+        for (strategy, (graph, ord, aff, lc_seq)) in candidates {
+            // Each candidate sizes its own pool: the shared budget, raised to
+            // that ordering's height-function demand.
+            let candidate_pool = pool.max(height::min_emitters(graph, &ord).max(1));
+            let opts = SolveOptions {
+                emitters: Some(candidate_pool),
+                max_pool_growth: 8,
+                verify: false,
+                affinity: aff,
+                ..SolveOptions::default()
+            };
+            match solve_with_ordering(graph, &ord, &opts) {
+                Ok(solved) => {
+                    let mut circuit = solved.circuit;
+                    // Undo the LC sequence with single-qubit photon gates so
+                    // the circuit delivers |target⟩, not |transformed⟩.
+                    append_lc_inverse(&mut circuit, target, lc_seq);
+                    let metrics = circuit_metrics(&cfg.hardware, &circuit);
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, b)) => {
+                            (metrics.ee_two_qubit_count, metrics.t_loss, metrics.duration)
+                                < (b.ee_two_qubit_count, b.t_loss, b.duration)
+                        }
+                    };
+                    if better {
+                        best = Some((strategy, circuit, metrics));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (strategy, mut circuit, _) = best.ok_or_else(|| {
+            FrameworkError::from(last_err.expect("at least one candidate attempted"))
+        })?;
+        // Peephole cleanup: the reverse solver's rotation bookkeeping leaves
+        // cancellable single-qubit pairs behind.
+        epgs_circuit::optimize::cancel_inverse_pairs(&mut circuit);
+        let metrics = circuit_metrics(&cfg.hardware, &circuit);
+
+        shared
+            .counters
+            .recombine
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Recombined {
+            shared,
+            target: Arc::clone(&stage.target),
+            data: Arc::clone(&stage.data),
+            sched: stage.sched.clone(),
+            ne_limit,
+            circuit,
+            metrics,
+            global_ordering,
+            strategy,
+        })
+    }
+
+    /// The recombined generation circuit (after peephole cleanup).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Metrics of [`Recombined::circuit`].
+    pub fn metrics(&self) -> &CircuitMetrics {
+        &self.metrics
+    }
+
+    /// The strategy whose candidate won the competition.
+    pub fn strategy(&self) -> RecombineStrategy {
+        self.strategy
+    }
+
+    /// Stage 5: checks the circuit against the original target with the
+    /// stabilizer simulator (when the configuration asks for verification)
+    /// and assembles the final [`Compiled`] artifact.
+    ///
+    /// Consumes the artifact so the circuit and schedule move (not clone)
+    /// into the result; `clone()` the `Recombined` first to keep it.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::VerificationFailed`] if the circuit does not
+    /// regenerate the target — an internal bug by definition.
+    pub fn verify(self) -> Result<Compiled, FrameworkError> {
+        let cfg = &self.shared.config;
+        if cfg.verify {
+            let ok = simulate::verify_circuit(&self.circuit, &self.target)
+                .map_err(|_| FrameworkError::VerificationFailed)?;
+            if !ok {
+                return Err(FrameworkError::VerificationFailed);
+            }
+        }
+        self.shared
+            .counters
+            .verify
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Shared plan data moves too when this was its last reference
+        // (one-shot compiles); sweeps keep the artifact alive and clone.
+        let (partition, plans, ne_min) = match Arc::try_unwrap(self.data) {
+            Ok(data) => (data.partition, data.plans, data.ne_min),
+            Err(data) => (data.partition.clone(), data.plans.clone(), data.ne_min),
+        };
+        Ok(Compiled {
+            circuit: self.circuit,
+            metrics: self.metrics,
+            partition,
+            plans,
+            schedule: self.sched,
+            global_ordering: self.global_ordering,
+            ne_limit: self.ne_limit,
+            ne_min,
+            strategy: self.strategy,
+        })
+    }
+}
+
+/// The schedule-ordered block-sequential emission ordering: blocks sorted by
+/// absolute start time, each block's photons in its solved local order.
+fn sequential_ordering(sched: &Schedule, plans: &[SubgraphPlan]) -> Vec<usize> {
+    let mut placements: Vec<&Placement> = sched.placements.iter().collect();
+    placements.sort_by(|a, b| {
+        sched
+            .start_time(a, plans)
+            .partial_cmp(&sched.start_time(b, plans))
+            .expect("finite times")
+    });
+    let mut out = Vec::new();
+    for p in placements {
+        let plan = &plans[p.block];
+        for &local in &plan.variants[p.variant].solved.ordering {
+            out.push(plan.vertices[local]);
+        }
+    }
+    out
+}
+
+/// Assigns concrete emitters to each scheduled block: blocks are processed
+/// by start time and greedily take the emitters that free up earliest, so
+/// time-overlapping blocks end up on disjoint sets whenever the budget
+/// allows (mirroring the schedule's usage packing).
+fn build_affinity(
+    sched: &Schedule,
+    plans: &[SubgraphPlan],
+    pool: usize,
+    photons: usize,
+) -> Affinity {
+    let mut photon_group = vec![0usize; photons];
+    for p in &sched.placements {
+        for &global in &plans[p.block].vertices {
+            photon_group[global] = p.block;
+        }
+    }
+    // Sort placements by absolute start time.
+    let mut order: Vec<&Placement> = sched.placements.iter().collect();
+    order.sort_by(|a, b| {
+        sched
+            .start_time(a, plans)
+            .partial_cmp(&sched.start_time(b, plans))
+            .expect("finite times")
+    });
+    let mut busy_until = vec![f64::NEG_INFINITY; pool];
+    let mut group_emitters = vec![Vec::new(); plans.len()];
+    for p in order {
+        let start = sched.start_time(p, plans);
+        let end = start + plans[p.block].variants[p.variant].duration;
+        let demand = plans[p.block].variants[p.variant].emitters.min(pool).max(1);
+        // Emitters free at `start` first, then the earliest to free up.
+        let mut candidates: Vec<usize> = (0..pool).collect();
+        candidates.sort_by(|&a, &b| {
+            busy_until[a]
+                .partial_cmp(&busy_until[b])
+                .expect("finite times")
+                .then(a.cmp(&b))
+        });
+        let chosen: Vec<usize> = candidates.into_iter().take(demand).collect();
+        for &e in &chosen {
+            busy_until[e] = busy_until[e].max(end);
+        }
+        group_emitters[p.block] = chosen;
+    }
+    Affinity {
+        photon_group,
+        group_emitters,
+    }
+}
+
+/// Appends the inverse of the LC unitary sequence to `circuit`.
+///
+/// The LC unitary at `v` on graph `H` is `(H·S†·H)_v ⊗ Π_{w∈N_H(v)} S_w`
+/// (see the stabilizer crate's property tests); with |G_k⟩ = U_k … U_1
+/// |G_0⟩, the circuit generating |G_k⟩ is extended by U_k† … U_1† applied in
+/// that order. All gates are single-qubit photon gates, the "only cost" the
+/// paper attributes to LC optimization.
+fn append_lc_inverse(circuit: &mut Circuit, original: &Graph, lc_sequence: &[usize]) {
+    if lc_sequence.is_empty() {
+        return;
+    }
+    // Rebuild the intermediate graphs G_0 … G_{k-1}.
+    let mut graphs = Vec::with_capacity(lc_sequence.len());
+    let mut cur = original.clone();
+    for &v in lc_sequence {
+        graphs.push(cur.clone());
+        ops::local_complement(&mut cur, v).expect("vertex in range");
+    }
+    // Append U_i† for i = k … 1; U† = (H·S·H) on v and S† on N_{G_{i-1}}(v).
+    for (i, &v) in lc_sequence.iter().enumerate().rev() {
+        let before = &graphs[i];
+        circuit.push(Op::H(Qubit::Photon(v)));
+        circuit.push(Op::S(Qubit::Photon(v)));
+        circuit.push(Op::H(Qubit::Photon(v)));
+        for &w in before.neighbors(v) {
+            circuit.push(Op::Sdg(Qubit::Photon(w)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameworkConfig;
+    use crate::stages::Pipeline;
+    use epgs_graph::generators;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            FrameworkConfig::builder()
+                .g_max(5)
+                .lc_budget(3)
+                .partition_effort(4)
+                .orderings_per_subgraph(4)
+                .flexible_slack(1)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn default_strategies_match_explicit_all() {
+        let p = pipeline();
+        let g = generators::lattice(3, 3);
+        let scheduled = p.partition(&g).plan_leaves().unwrap().schedule(3);
+        let a = scheduled.recombine().unwrap();
+        let b = scheduled.recombine_with(&RecombineStrategy::all()).unwrap();
+        assert_eq!(a.circuit(), b.circuit());
+        assert_eq!(a.strategy(), b.strategy());
+    }
+
+    #[test]
+    fn single_strategy_runs_alone() {
+        let p = pipeline();
+        let g = generators::tree(9, 2);
+        let scheduled = p.partition(&g).plan_leaves().unwrap().schedule(2);
+        for strategy in RecombineStrategy::all() {
+            let r = scheduled.recombine_with(&[strategy]).unwrap();
+            assert_eq!(r.strategy(), strategy);
+            assert_eq!(r.circuit().emission_count(), 9, "{strategy:?}");
+            // Every single-strategy circuit must itself verify.
+            r.verify().unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn empty_strategy_list_is_an_error() {
+        let p = pipeline();
+        let scheduled = p
+            .partition(&generators::path(5))
+            .plan_leaves()
+            .unwrap()
+            .schedule(1);
+        assert!(matches!(
+            scheduled.recombine_with(&[]),
+            Err(FrameworkError::NoRecombineStrategy)
+        ));
+    }
+
+    #[test]
+    fn restricted_strategies_never_beat_the_full_competition() {
+        let p = pipeline();
+        let g = generators::lattice(3, 4);
+        let scheduled = p.partition(&g).plan_leaves().unwrap().schedule(3);
+        let full = scheduled.recombine().unwrap();
+        for strategy in RecombineStrategy::all() {
+            let solo = scheduled.recombine_with(&[strategy]).unwrap();
+            let solo_key = (
+                solo.metrics().ee_two_qubit_count,
+                solo.metrics().t_loss,
+                solo.metrics().duration,
+            );
+            let full_key = (
+                full.metrics().ee_two_qubit_count,
+                full.metrics().t_loss,
+                full.metrics().duration,
+            );
+            assert!(full_key <= solo_key, "{strategy:?} beat the competition");
+        }
+    }
+}

@@ -16,7 +16,7 @@ use epgs_circuit::{circuit_metrics, timeline};
 use epgs_graph::Graph;
 use epgs_hardware::HardwareModel;
 use epgs_solver::cost::estimate_ordering;
-use epgs_solver::reverse::{solve_with_ordering, Solved, SolveOptions};
+use epgs_solver::reverse::{solve_with_ordering, SolveOptions, Solved};
 use epgs_solver::{ordering, SolverError};
 
 /// One compiled variant of a subgraph at a fixed emitter limit.
@@ -192,17 +192,10 @@ mod tests {
 
     #[test]
     fn priority_favors_many_photons_short_duration() {
-        let short = compile_subgraph(&generators::path(5), &[0, 1, 2, 3, 4], &hw(), 4, 0, 3)
-            .unwrap();
-        let long = compile_subgraph(
-            &generators::complete(5),
-            &[5, 6, 7, 8, 9],
-            &hw(),
-            4,
-            0,
-            3,
-        )
-        .unwrap();
+        let short =
+            compile_subgraph(&generators::path(5), &[0, 1, 2, 3, 4], &hw(), 4, 0, 3).unwrap();
+        let long =
+            compile_subgraph(&generators::complete(5), &[5, 6, 7, 8, 9], &hw(), 4, 0, 3).unwrap();
         // Same photon count; the path compiles to a shorter circuit, so its
         // priority must be higher.
         assert!(short.priority() > long.priority());
@@ -212,12 +205,8 @@ mod tests {
     fn search_beats_or_matches_natural_order_on_star() {
         let sub = generators::star(6);
         let plan = compile_subgraph(&sub, &[0, 1, 2, 3, 4, 5], &hw(), 8, 0, 4).unwrap();
-        let natural = solve_with_ordering(
-            &sub,
-            &ordering::natural(&sub),
-            &SolveOptions::default(),
-        )
-        .unwrap();
+        let natural =
+            solve_with_ordering(&sub, &ordering::natural(&sub), &SolveOptions::default()).unwrap();
         assert!(plan.variants[0].ee_cnots <= natural.circuit.ee_two_qubit_count());
     }
 

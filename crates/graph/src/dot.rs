@@ -17,7 +17,14 @@ use crate::graph::Graph;
 /// ```
 pub fn to_dot(g: &Graph, block_of: Option<&[usize]>) -> String {
     const PALETTE: [&str; 8] = [
-        "lightblue", "lightgreen", "lightsalmon", "plum", "khaki", "lightcyan", "pink", "wheat",
+        "lightblue",
+        "lightgreen",
+        "lightsalmon",
+        "plum",
+        "khaki",
+        "lightcyan",
+        "pink",
+        "wheat",
     ];
     let mut out = String::from("graph G {\n  node [style=filled];\n");
     for v in 0..g.vertex_count() {

@@ -33,7 +33,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, count } => {
-                write!(f, "vertex {vertex} out of range for graph with {count} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {count} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop on vertex {vertex} is not allowed")
@@ -56,8 +59,14 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_specific() {
-        let e = GraphError::VertexOutOfRange { vertex: 7, count: 3 };
-        assert_eq!(e.to_string(), "vertex 7 out of range for graph with 3 vertices");
+        let e = GraphError::VertexOutOfRange {
+            vertex: 7,
+            count: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "vertex 7 out of range for graph with 3 vertices"
+        );
         let e = GraphError::SelfLoop { vertex: 1 };
         assert!(e.to_string().contains("self-loop"));
     }

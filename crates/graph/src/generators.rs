@@ -113,7 +113,9 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
 /// preserves the distance-dependent flavor of the model while guaranteeing a
 /// usable benchmark instance (the paper's workloads are connected).
 pub fn waxman<R: Rng + ?Sized>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> Graph {
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let dist = |a: usize, b: usize| -> f64 {
         let dx = pts[a].0 - pts[b].0;
         let dy = pts[a].1 - pts[b].1;

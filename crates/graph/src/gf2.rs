@@ -63,10 +63,7 @@ impl BitMatrix {
         I: IntoIterator<Item = R>,
         R: IntoIterator<Item = bool>,
     {
-        let rows: Vec<Vec<bool>> = rows
-            .into_iter()
-            .map(|r| r.into_iter().collect())
-            .collect();
+        let rows: Vec<Vec<bool>> = rows.into_iter().map(|r| r.into_iter().collect()).collect();
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
         assert!(
@@ -201,12 +198,12 @@ impl BitMatrix {
         assert_eq!(b.len(), self.rows, "rhs length must match row count");
         // Augment with b as an extra column, then RREF.
         let mut aug = BitMatrix::zeros(self.rows, self.cols + 1);
-        for r in 0..self.rows {
+        for (r, &rhs) in b.iter().enumerate() {
             for w in 0..self.words_per_row {
                 aug.data[r * aug.words_per_row + w] = self.data[r * self.words_per_row + w];
             }
             // Clear any stray bits beyond self.cols (none: zero-padded), set rhs.
-            aug.set(r, self.cols, b[r]);
+            aug.set(r, self.cols, rhs);
         }
         let pivots = aug.rref();
         // Inconsistent iff a pivot lands in the augmented column.

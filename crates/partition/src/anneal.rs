@@ -42,7 +42,7 @@ impl Default for AnnealOptions {
 ///
 /// Panics if `assign.len() != g.vertex_count()` or the assignment violates
 /// `g_max` on entry.
-pub fn anneal(g: &Graph, assign: &mut Vec<usize>, g_max: usize, options: &AnnealOptions) -> usize {
+pub fn anneal(g: &Graph, assign: &mut [usize], g_max: usize, options: &AnnealOptions) -> usize {
     let n = g.vertex_count();
     assert_eq!(assign.len(), n, "assignment must cover every vertex");
     let num_blocks = assign.iter().copied().max().map_or(1, |m| m + 1);
@@ -61,7 +61,7 @@ pub fn anneal(g: &Graph, assign: &mut Vec<usize>, g_max: usize, options: &Anneal
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut cut = metrics::cut_edges(g, assign) as isize;
     let mut best_cut = cut;
-    let mut best = assign.clone();
+    let mut best = assign.to_vec();
     let cool = (options.t_end / options.t_start).powf(1.0 / options.steps.max(1) as f64);
     let mut temp = options.t_start;
 
@@ -119,7 +119,11 @@ pub fn anneal(g: &Graph, assign: &mut Vec<usize>, g_max: usize, options: &Anneal
                 cut += d;
             }
         }
-        debug_assert_eq!(cut, metrics::cut_edges(g, assign) as isize, "incremental cut drifted");
+        debug_assert_eq!(
+            cut,
+            metrics::cut_edges(g, assign) as isize,
+            "incremental cut drifted"
+        );
         if cut < best_cut {
             best_cut = cut;
             best.copy_from_slice(assign);
@@ -159,7 +163,15 @@ mod tests {
     fn capacity_is_respected_throughout() {
         let g = generators::complete(9);
         let mut assign = bfs_seed(&g, 3, 3);
-        anneal(&g, &mut assign, 3, &AnnealOptions { steps: 1500, ..Default::default() });
+        anneal(
+            &g,
+            &mut assign,
+            3,
+            &AnnealOptions {
+                steps: 1500,
+                ..Default::default()
+            },
+        );
         let mut sizes = vec![0usize; 3];
         for &b in &assign {
             sizes[b] += 1;

@@ -25,6 +25,7 @@ pub fn exact_min_cut(g: &Graph, num_blocks: usize, g_max: usize) -> (Vec<usize>,
     let mut assign = vec![usize::MAX; n];
     let mut sizes = vec![0usize; num_blocks];
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         g: &Graph,
         v: usize,

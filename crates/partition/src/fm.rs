@@ -145,7 +145,7 @@ fn swap_pass(g: &Graph, assign: &mut [usize]) -> bool {
     swapped
 }
 
-fn refine(g: &Graph, assign: &mut Vec<usize>, num_blocks: usize, g_max: usize, rng: &mut StdRng) {
+fn refine(g: &Graph, assign: &mut [usize], num_blocks: usize, g_max: usize, rng: &mut StdRng) {
     let n = g.vertex_count();
     let mut sizes = vec![0usize; num_blocks];
     for &b in assign.iter() {

@@ -120,7 +120,13 @@ mod tests {
             effort: 10,
             seed: 7,
         };
-        let without = partition_with_lc(&g, &PartitionSpec { lc_budget: 0, ..spec.clone() });
+        let without = partition_with_lc(
+            &g,
+            &PartitionSpec {
+                lc_budget: 0,
+                ..spec.clone()
+            },
+        );
         let with = partition_with_lc(&g, &spec);
         assert!(
             with.cut < without.cut,

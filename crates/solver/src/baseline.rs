@@ -19,7 +19,7 @@ use epgs_graph::{ops, Graph};
 use epgs_hardware::HardwareModel;
 
 use crate::error::SolverError;
-use crate::reverse::{solve_with_ordering, Solved, SolveOptions};
+use crate::reverse::{solve_with_ordering, SolveOptions, Solved};
 
 /// Configuration of the baseline solver.
 #[derive(Debug, Clone)]
@@ -90,9 +90,9 @@ pub fn solve_baseline(
         // (its height function differs); the pool is the larger of the two,
         // as real hardware would simply refuse the variant otherwise.
         let solve_opts = SolveOptions {
-            emitters: options.emitters.map(|req| {
-                req.max(epgs_graph::height::min_emitters(&variant, &natural).max(1))
-            }),
+            emitters: options
+                .emitters
+                .map(|req| req.max(epgs_graph::height::min_emitters(&variant, &natural).max(1))),
             verify: false, // verified below, after LC corrections are appended
             vanilla_elements: true,
             max_pool_growth: 6,
@@ -102,8 +102,7 @@ pub fn solve_baseline(
             Ok(mut s) => {
                 append_lc_inverse(&mut s.circuit, target, &applied);
                 if options.verify
-                    && !epgs_circuit::simulate::verify_circuit(&s.circuit, target)
-                        .unwrap_or(false)
+                    && !epgs_circuit::simulate::verify_circuit(&s.circuit, target).unwrap_or(false)
                 {
                     last_err = Some(SolverError::VerificationFailed);
                     continue;
@@ -111,8 +110,10 @@ pub fn solve_baseline(
                 let better = match &best {
                     None => true,
                     Some(b) => {
-                        let (sc, bc) =
-                            (s.circuit.ee_two_qubit_count(), b.circuit.ee_two_qubit_count());
+                        let (sc, bc) = (
+                            s.circuit.ee_two_qubit_count(),
+                            b.circuit.ee_two_qubit_count(),
+                        );
                         let st = epgs_circuit::timeline(hw, &s.circuit).duration;
                         let bt = epgs_circuit::timeline(hw, &b.circuit).duration;
                         sc < bc || (sc == bc && st < bt)
@@ -174,19 +175,23 @@ mod tests {
         let plain = solve_baseline(
             &g,
             &hw(),
-            &BaselineOptions { restarts: 0, ..BaselineOptions::default() },
+            &BaselineOptions {
+                restarts: 0,
+                ..BaselineOptions::default()
+            },
         )
         .unwrap();
         let searched = solve_baseline(&g, &hw(), &BaselineOptions::default()).unwrap();
-        assert!(
-            searched.circuit.ee_two_qubit_count() <= plain.circuit.ee_two_qubit_count()
-        );
+        assert!(searched.circuit.ee_two_qubit_count() <= plain.circuit.ee_two_qubit_count());
     }
 
     #[test]
     fn zero_restarts_is_deterministic() {
         let g = generators::tree(9, 2);
-        let opts = BaselineOptions { restarts: 0, ..BaselineOptions::default() };
+        let opts = BaselineOptions {
+            restarts: 0,
+            ..BaselineOptions::default()
+        };
         let a = solve_baseline(&g, &hw(), &opts).unwrap();
         let b = solve_baseline(&g, &hw(), &opts).unwrap();
         assert_eq!(a.circuit, b.circuit);
@@ -209,7 +214,10 @@ mod tests {
         let s = solve_baseline(
             &g,
             &hw(),
-            &BaselineOptions { restarts: 6, ..BaselineOptions::default() },
+            &BaselineOptions {
+                restarts: 6,
+                ..BaselineOptions::default()
+            },
         )
         .unwrap();
         assert!(epgs_circuit::simulate::verify_circuit(&s.circuit, &g).unwrap());

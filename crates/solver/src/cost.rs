@@ -55,7 +55,7 @@ pub fn estimate_ordering(g: &Graph, ordering: &[usize]) -> OrderingEstimate {
 }
 
 /// Ranks `orderings` by estimated cost, cheapest first (stable for ties).
-pub fn rank_orderings(g: &Graph, orderings: &mut Vec<Vec<usize>>) {
+pub fn rank_orderings(g: &Graph, orderings: &mut [Vec<usize>]) {
     orderings.sort_by_key(|ord| estimate_ordering(g, ord).score);
 }
 
@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn rank_orders_cheapest_first() {
         let g = generators::path(6);
-        let mut orderings = vec![
-            vec![0, 2, 4, 1, 3, 5],
-            vec![0, 1, 2, 3, 4, 5],
-        ];
+        let mut orderings = vec![vec![0, 2, 4, 1, 3, 5], vec![0, 1, 2, 3, 4, 5]];
         rank_orderings(&g, &mut orderings);
         assert_eq!(orderings[0], vec![0, 1, 2, 3, 4, 5]);
     }

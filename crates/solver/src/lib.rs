@@ -35,4 +35,4 @@ pub mod reverse;
 
 pub use baseline::{solve_baseline, BaselineOptions};
 pub use error::SolverError;
-pub use reverse::{solve, solve_with_ordering, Solved, SolveOptions};
+pub use reverse::{solve, solve_with_ordering, SolveOptions, Solved};

@@ -59,7 +59,12 @@ pub fn degree_dfs(g: &Graph) -> Vec<usize> {
         seen[start] = true;
         while let Some(v) = stack.pop() {
             order.push(v);
-            let mut nbrs: Vec<usize> = g.neighbors(v).iter().copied().filter(|&w| !seen[w]).collect();
+            let mut nbrs: Vec<usize> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| !seen[w])
+                .collect();
             // Highest degree deepest in the stack → lowest degree popped first.
             nbrs.sort_by_key(|&w| std::cmp::Reverse(g.degree(w)));
             for w in nbrs {

@@ -60,7 +60,11 @@ impl Affinity {
     /// Weight of emitter `e` for a photon of group `g`: cheap in-group,
     /// expensive outside.
     fn weight(&self, g: usize, e: usize) -> usize {
-        if self.group_emitters.get(g).is_some_and(|set| set.contains(&e)) {
+        if self
+            .group_emitters
+            .get(g)
+            .is_some_and(|set| set.contains(&e))
+        {
             1
         } else {
             8
@@ -147,7 +151,14 @@ pub fn solve_with_ordering(
     let mut last_err = None;
     for grow in 0..=options.max_pool_growth {
         let pool = base_pool + grow;
-        match ReverseSolver::new(target, ordering, pool, options.affinity.as_ref(), options.vanilla_elements).run()
+        match ReverseSolver::new(
+            target,
+            ordering,
+            pool,
+            options.affinity.as_ref(),
+            options.vanilla_elements,
+        )
+        .run()
         {
             Ok(circuit) => {
                 if options.verify {
@@ -333,7 +344,10 @@ impl<'g> ReverseSolver<'g> {
         self.t.set_x_bit(ze_row, wire, true);
         self.t.set_z_bit(ze_row, j, true);
         debug_assert!(self.t.is_valid_state(), "TRM broke the stabilizer group");
-        self.ops.push(RevOp::Measure { emitter: e, photon: j });
+        self.ops.push(RevOp::Measure {
+            emitter: e,
+            photon: j,
+        });
     }
 
     /// Absorbs photon `j` (the last unabsorbed photon of the ordering).
@@ -359,7 +373,10 @@ impl<'g> ReverseSolver<'g> {
             None => {
                 let free = self
                     .find_free_emitter(j)
-                    .ok_or(SolverError::InsufficientEmitters { pool: self.pool, photon: j })?;
+                    .ok_or(SolverError::InsufficientEmitters {
+                        pool: self.pool,
+                        photon: j,
+                    })?;
                 self.time_reversed_measure(free, j);
                 find(&self.t, self.vanilla_elements)
                     .expect("TRM guarantees X_e Z_j is in the group")
@@ -386,7 +403,10 @@ impl<'g> ReverseSolver<'g> {
             // Product photon: emit it from a free emitter via g := Z_e · g.
             let free = self
                 .find_free_emitter(j)
-                .ok_or(SolverError::InsufficientEmitters { pool: self.pool, photon: j })?;
+                .ok_or(SolverError::InsufficientEmitters {
+                    pool: self.pool,
+                    photon: j,
+                })?;
             let wire = self.emitter_wire(free);
             let ze_row = self.isolate_free_wire_row(wire);
             debug_assert_ne!(ze_row, rg, "Z_e row cannot be the photon row");
@@ -445,7 +465,10 @@ impl<'g> ReverseSolver<'g> {
         // Reversed emission. Commutation with g = Z_e Z_j forces every other
         // row touching j to carry X_j together with X/Y on e, and the CNOT
         // clears both simultaneously.
-        self.apply(RevOp::Emit { emitter: target_e, photon: j });
+        self.apply(RevOp::Emit {
+            emitter: target_e,
+            photon: j,
+        });
 
         // The photon must now be fully disentangled: its row is +Z_j.
         debug_assert_eq!(self.t.support(rg), vec![j]);
@@ -483,8 +506,7 @@ impl<'g> ReverseSolver<'g> {
         if entangled.is_empty() {
             return;
         }
-        let entangled_wires: Vec<usize> =
-            entangled.iter().map(|&e| self.emitter_wire(e)).collect();
+        let entangled_wires: Vec<usize> = entangled.iter().map(|&e| self.emitter_wire(e)).collect();
         // Rows of the residual state: support non-empty and inside the
         // entangled wire set (every other wire owns an isolated ±Z row).
         let residual_rows: Vec<usize> = (0..self.t.num_qubits())
@@ -717,8 +739,8 @@ mod tests {
     fn measurements_appear_for_emitter_reuse() {
         // A long path with an interleaved ordering forces TRMs.
         let g = generators::path(8);
-        let s = solve_with_ordering(&g, &[0, 2, 4, 6, 1, 3, 5, 7], &SolveOptions::default())
-            .unwrap();
+        let s =
+            solve_with_ordering(&g, &[0, 2, 4, 6, 1, 3, 5, 7], &SolveOptions::default()).unwrap();
         assert!(s.circuit.measurement_count() > 0);
     }
 }

@@ -88,7 +88,10 @@ fn interleaved_components_without_affinity_still_verify() {
     let solved = solve_with_ordering(
         &g,
         &ordering,
-        &SolveOptions { emitters: Some(2), ..SolveOptions::default() },
+        &SolveOptions {
+            emitters: Some(2),
+            ..SolveOptions::default()
+        },
     )
     .unwrap();
     assert!(verify_circuit(&solved.circuit, &g).unwrap());

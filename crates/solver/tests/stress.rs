@@ -74,7 +74,10 @@ fn benchmark_families_compile_at_benchmark_sizes() {
         ("lattice 4x5".into(), generators::lattice(4, 5)),
         ("tree 20/2".into(), generators::tree(20, 2)),
         ("tree 16/3".into(), generators::tree(16, 3)),
-        ("waxman 18".into(), generators::waxman(18, 0.5, 0.2, &mut rng)),
+        (
+            "waxman 18".into(),
+            generators::waxman(18, 0.5, 0.2, &mut rng),
+        ),
         ("rgs m=3".into(), generators::repeater_graph_state(3)),
         ("cycle 16".into(), generators::cycle(16)),
         ("complete 8".into(), generators::complete(8)),

@@ -103,7 +103,7 @@ pub fn to_graph_form(t: &mut Tableau) -> Result<GraphForm, StabilizerError> {
     // Phase 3: normalize signs with Pauli Z gates (row q is X_q Z_N(q), which
     // contains no Y, so its phase is 0 or 2).
     for q in 0..n {
-        debug_assert!(t.phase_of(q) % 2 == 0, "rows must be Hermitian");
+        debug_assert!(t.phase_of(q).is_multiple_of(2), "rows must be Hermitian");
         if t.phase_of(q) == 2 {
             t.pz(q);
             gates.push(LocalGate::Z(q));

@@ -256,8 +256,7 @@ impl Tableau {
                 swaps ^= 1;
             }
         }
-        self.phase[dst] =
-            (self.phase[dst] + self.phase[src] + if swaps == 1 { 2 } else { 0 }) % 4;
+        self.phase[dst] = (self.phase[dst] + self.phase[src] + if swaps == 1 { 2 } else { 0 }) % 4;
         self.x.xor_rows(dst, src);
         self.z.xor_rows(dst, src);
     }
@@ -290,7 +289,7 @@ impl Tableau {
             let ys = (0..self.n)
                 .filter(|&q| self.x.get(row, q) && self.z.get(row, q))
                 .count();
-            if (self.phase[row] as usize + ys) % 2 != 0 {
+            if !(self.phase[row] as usize + ys).is_multiple_of(2) {
                 return false;
             }
         }
@@ -375,8 +374,8 @@ impl Tableau {
                 continue;
             }
             let mut swaps = 0u8;
-            for col in 0..self.n {
-                if acc_z[col] && self.x.get(r, col) {
+            for (col, &az) in acc_z.iter().enumerate() {
+                if az && self.x.get(r, col) {
                     swaps ^= 1;
                 }
             }
@@ -388,7 +387,7 @@ impl Tableau {
         }
         debug_assert!(acc_x.iter().all(|&b| !b));
         debug_assert!((0..self.n).all(|col| acc_z[col] == (col == q)));
-        debug_assert!(phase % 2 == 0);
+        debug_assert!(phase.is_multiple_of(2));
         Some(phase == 2)
     }
 
@@ -617,7 +616,9 @@ impl Tableau {
     ///
     /// Panics if `rows` is empty.
     pub fn combine_rows(&mut self, rows: &[usize]) -> usize {
-        let (&dst, rest) = rows.split_first().expect("combine_rows needs at least one row");
+        let (&dst, rest) = rows
+            .split_first()
+            .expect("combine_rows needs at least one row");
         for &src in rest {
             self.row_mul(dst, src);
         }
@@ -929,9 +930,7 @@ mod tests {
         // on {2} alone, so the solver must use an emitter; with vertex 1
         // allowed, g = X_2 Z_1 qualifies.
         let t = Tableau::graph_state(&generators::path(3));
-        assert!(t
-            .find_element_supported_on(&[0, 1, 2], 2, &[])
-            .is_none());
+        assert!(t.find_element_supported_on(&[0, 1, 2], 2, &[]).is_none());
         let rows = t
             .find_element_supported_on(&[0, 2], 2, &[1])
             .expect("X_2 Z_1 exists");

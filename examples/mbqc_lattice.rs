@@ -5,7 +5,7 @@
 //! renders the emitter-usage-over-time curve of the compiled circuit as
 //! ASCII art, visualizing the utilization the Tetris scheduler achieves.
 //!
-//! Run with: `cargo run -p epgs --example mbqc_lattice`
+//! Run with: `cargo run --release --example mbqc_lattice`
 
 use epgs::{Framework, FrameworkConfig};
 use epgs_circuit::usage_curve;
@@ -32,17 +32,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareModel::quantum_dot();
     let g = generators::lattice(4, 5);
     let fw = Framework::new(FrameworkConfig::default());
-    let ne_min = fw.ne_min(&g);
+
+    // Budget sweep through the staged pipeline: the 4x5 lattice is
+    // partitioned and leaf-compiled once; each budget point only re-runs
+    // schedule → recombine → verify.
+    let planned = fw.pipeline().partition(&g).plan_leaves()?;
+    let ne_min = planned.ne_min();
     println!("4x5 lattice, Ne_min = {ne_min}\n");
 
     for factor in [1.5f64, 2.0] {
         let budget = ((ne_min as f64 * factor).ceil() as usize).max(1);
-        let compiled = fw.compile_with_budget(&g, budget)?;
+        let compiled = planned.schedule(budget).recombine()?.verify()?;
         println!(
             "Ne_limit = {budget} ({factor}x): duration {:.2} τ, {} ee-CNOTs, T_loss {:.2} τ",
-            compiled.metrics.duration,
-            compiled.metrics.ee_two_qubit_count,
-            compiled.metrics.t_loss
+            compiled.metrics.duration, compiled.metrics.ee_two_qubit_count, compiled.metrics.t_loss
         );
         let (times, counts) = usage_curve(&hw, &compiled.circuit);
         plot_usage(&times, &counts, compiled.metrics.duration);

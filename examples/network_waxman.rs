@@ -6,7 +6,7 @@
 //! and a Graphviz rendering of the partition, then compiles and verifies the
 //! full circuit.
 //!
-//! Run with: `cargo run -p epgs --example network_waxman`
+//! Run with: `cargo run --release --example network_waxman`
 
 use epgs::{Framework, FrameworkConfig};
 use epgs_graph::{dot, generators};
@@ -17,16 +17,30 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
     let g = generators::waxman(16, 0.5, 0.2, &mut rng);
-    println!("Waxman graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "Waxman graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
-    let spec_no_lc = PartitionSpec { lc_budget: 0, ..PartitionSpec::default() };
+    let spec_no_lc = PartitionSpec {
+        lc_budget: 0,
+        ..PartitionSpec::default()
+    };
     let spec_lc = PartitionSpec::default();
     let p0 = partition_with_lc(&g, &spec_no_lc);
     let p1 = partition_with_lc(&g, &spec_lc);
     println!("cut without LC (l=0):  {}", p0.cut);
-    println!("cut with LC (l=15):    {} ({} LC ops)", p1.cut, p1.lc_sequence.len());
+    println!(
+        "cut with LC (l=15):    {} ({} LC ops)",
+        p1.cut,
+        p1.lc_sequence.len()
+    );
 
-    println!("\nGraphviz of the LC-optimized partition:\n{}", dot::to_dot(&p1.transformed, Some(&p1.block_of)));
+    println!(
+        "\nGraphviz of the LC-optimized partition:\n{}",
+        dot::to_dot(&p1.transformed, Some(&p1.block_of))
+    );
 
     let fw = Framework::new(FrameworkConfig::default());
     let compiled = fw.compile(&g)?;

@@ -5,7 +5,7 @@
 //! binary trees of growing depth and reports the emitter-emitter CNOT count,
 //! duration, and photon-loss figures for the baseline and the framework.
 //!
-//! Run with: `cargo run -p epgs --example qram_tree`
+//! Run with: `cargo run --release --example qram_tree`
 
 use epgs::{Framework, FrameworkConfig};
 use epgs_circuit::circuit_metrics;
@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareModel::quantum_dot();
     let fw = Framework::new(FrameworkConfig::default());
 
-    println!("{:>7} {:>14} {:>14} {:>12} {:>12}", "qubits", "base ee-CNOT", "ours ee-CNOT", "base loss", "ours loss");
+    println!(
+        "{:>7} {:>14} {:>14} {:>12} {:>12}",
+        "qubits", "base ee-CNOT", "ours ee-CNOT", "base loss", "ours loss"
+    );
     for n in [7usize, 10, 15, 21, 31] {
         let g = generators::tree(n, 2);
         let base = solve_baseline(&g, &hw, &BaselineOptions::default())?;

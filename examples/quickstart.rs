@@ -1,14 +1,14 @@
 //! Quickstart: compile the paper's Figure 1(b) four-photon graph state.
 //!
 //! The target entangles photons p0–p3 with edges {p0-p1, p0-p2, p1-p3,
-//! p2-p3} (a 4-cycle). The example compiles it with the full framework,
-//! prints the resulting circuit and report, and cross-checks against the
-//! plain time-reversed baseline — reproducing the Fig. 1(c) vs Fig. 1(d)
-//! contrast of the paper.
+//! p2-p3} (a 4-cycle). The example walks the staged pipeline explicitly —
+//! partition → plan leaves → schedule → recombine → verify — printing what
+//! each stage produced, then cross-checks against the plain time-reversed
+//! baseline, reproducing the Fig. 1(c) vs Fig. 1(d) contrast of the paper.
 //!
-//! Run with: `cargo run -p epgs --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
-use epgs::{Framework, FrameworkConfig};
+use epgs::{EmitterBudget, FrameworkConfig, Pipeline};
 use epgs_graph::Graph;
 use epgs_hardware::HardwareModel;
 use epgs_solver::{solve_baseline, BaselineOptions};
@@ -16,19 +16,68 @@ use epgs_solver::{solve_baseline, BaselineOptions};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1(b): p0-p1, p0-p2, p1-p3, p2-p3.
     let target = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])?;
-    println!("target: 4 photons, {} entanglement edges\n", target.edge_count());
+    println!(
+        "target: 4 photons, {} entanglement edges\n",
+        target.edge_count()
+    );
 
     let hw = HardwareModel::quantum_dot();
 
     // Unoptimized reference (Fig. 1c): plain time-reversed solve.
-    let baseline = solve_baseline(&target, &hw, &BaselineOptions { restarts: 0, ..BaselineOptions::default() })?;
+    let baseline = solve_baseline(
+        &target,
+        &hw,
+        &BaselineOptions {
+            restarts: 0,
+            ..BaselineOptions::default()
+        },
+    )?;
     println!("--- baseline (Li et al. / GraphiQ-style) ---");
     println!("{}", baseline.circuit);
 
-    // Framework-compiled circuit (Fig. 1d flavor).
-    let fw = Framework::new(FrameworkConfig::default());
-    let compiled = fw.compile(&target)?;
-    println!("--- framework ---");
+    // Framework-compiled circuit (Fig. 1d flavor), stage by stage.
+    let pipeline = Pipeline::new(
+        FrameworkConfig::builder()
+            .g_max(7)
+            .lc_budget(15)
+            .emitter_budget(EmitterBudget::Factor(1.5))
+            .build(),
+    );
+
+    // 1. Partition (§IV.A): split into ≤ g_max blocks, shrinking the cut
+    //    with depth-limited local complementation.
+    let partitioned = pipeline.partition(&target);
+    println!("--- staged pipeline ---");
+    println!(
+        "partition: {} blocks, cut {}, Ne_min {}",
+        partitioned
+            .partition()
+            .blocks()
+            .iter()
+            .filter(|b| !b.is_empty())
+            .count(),
+        partitioned.partition().cut,
+        partitioned.ne_min()
+    );
+
+    // 2. Plan leaves (§IV.B): near-optimal circuit per block, in parallel.
+    let planned = partitioned.plan_leaves()?;
+    println!("planned:   {} leaf plans", planned.plans().len());
+
+    // 3. Schedule (§IV.C): Tetris-pack under the resolved emitter budget.
+    let scheduled = planned.schedule(planned.configured_budget());
+    println!(
+        "scheduled: makespan {:.2} τ under {} emitters",
+        scheduled.schedule().makespan,
+        scheduled.ne_limit()
+    );
+
+    // 4. Recombine (§IV.D): strategies compete for the global circuit.
+    let recombined = scheduled.recombine()?;
+    println!("recombined via {:?}", recombined.strategy());
+
+    // 5. Verify (§IV.E): stabilizer check against the original target.
+    let compiled = recombined.verify()?;
     println!("{}", compiled.circuit);
     println!("{}", epgs::report::render(&compiled));
 

@@ -6,7 +6,7 @@
 //! compiles an RGS, prints the loss report, and exports the circuit as
 //! OpenQASM-flavored text.
 //!
-//! Run with: `cargo run -p epgs --example repeater_state`
+//! Run with: `cargo run --release --example repeater_state`
 
 use epgs::{Framework, FrameworkConfig};
 use epgs_circuit::qasm;
@@ -14,13 +14,20 @@ use epgs_graph::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = generators::repeater_graph_state(2); // 8 photons
-    println!("RGS m=2: {} photons, {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "RGS m=2: {} photons, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
     let fw = Framework::new(FrameworkConfig::default());
     let compiled = fw.compile(&g)?;
     println!("{}", epgs::report::render(&compiled));
 
-    println!("survival probability of all photons: {:.4}", 1.0 - compiled.metrics.loss.any_photon_loss);
+    println!(
+        "survival probability of all photons: {:.4}",
+        1.0 - compiled.metrics.loss.any_photon_loss
+    );
     println!("\nOpenQASM export:\n{}", qasm::to_qasm(&compiled.circuit));
     Ok(())
 }

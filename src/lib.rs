@@ -1,0 +1,6 @@
+//! `epgs-suite` — the workspace umbrella package.
+//!
+//! This crate has no code of its own: it exists so the repository-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) have a
+//! Cargo package to live in. The library surface is re-exported from
+//! [`epgs`](https://docs.rs/epgs) and its sibling crates under `crates/`.

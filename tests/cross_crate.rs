@@ -65,17 +65,10 @@ fn manual_cz_circuit_agrees_with_solver_output_state() {
     // Build |G⟩ naively on photon wires of a tableau and compare with the
     // state the compiled circuit produces.
     let g = generators::lattice(2, 3);
-    let solved = solve_with_ordering(
-        &g,
-        &[0, 1, 2, 3, 4, 5],
-        &SolveOptions::default(),
-    )
-    .unwrap();
+    let solved = solve_with_ordering(&g, &[0, 1, 2, 3, 4, 5], &SolveOptions::default()).unwrap();
     let mut outcomes = simulate::ConstantOutcomes(false);
     let t = simulate::run(&solved.circuit, &mut outcomes).unwrap();
-    let photon_wires: Vec<usize> = (0..6)
-        .map(|p| solved.circuit.num_emitters() + p)
-        .collect();
+    let photon_wires: Vec<usize> = (0..6).map(|p| solved.circuit.num_emitters() + p).collect();
     assert!(verify::is_graph_state_on(&t, &g, &photon_wires));
 }
 
@@ -84,8 +77,14 @@ fn timeline_duration_lower_bounded_by_gate_sum_over_parallelism() {
     let hw = HardwareModel::quantum_dot();
     let mut c = Circuit::new(2, 2);
     c.push(Op::Cz(0, 1));
-    c.push(Op::Emit { emitter: 0, photon: 0 });
-    c.push(Op::Emit { emitter: 1, photon: 1 });
+    c.push(Op::Emit {
+        emitter: 0,
+        photon: 0,
+    });
+    c.push(Op::Emit {
+        emitter: 1,
+        photon: 1,
+    });
     c.push(Op::H(Qubit::Photon(0)));
     let tl = timeline(&hw, &c);
     // Serial lower bound: CZ then one emission.
@@ -119,7 +118,6 @@ fn isolated_vertices_become_plus_states() {
     // A graph with isolated vertices still compiles; isolated photons end in
     // |+⟩ (the 1-vertex graph state).
     let g = Graph::from_edges(4, [(0, 1)]).unwrap();
-    let solved =
-        solve_with_ordering(&g, &[0, 1, 2, 3], &SolveOptions::default()).unwrap();
+    let solved = solve_with_ordering(&g, &[0, 1, 2, 3], &SolveOptions::default()).unwrap();
     assert!(simulate::verify_circuit(&solved.circuit, &g).unwrap());
 }

@@ -33,13 +33,22 @@ fn family_targets() -> Vec<(String, Graph)> {
         ("lattice 4x4".into(), generators::lattice(4, 4)),
         ("tree 15/2".into(), generators::tree(15, 2)),
         ("tree 13/3".into(), generators::tree(13, 3)),
-        ("waxman 15".into(), generators::waxman(15, 0.5, 0.2, &mut rng)),
-        ("waxman 12 dense".into(), generators::waxman(12, 0.9, 0.4, &mut rng)),
+        (
+            "waxman 15".into(),
+            generators::waxman(15, 0.5, 0.2, &mut rng),
+        ),
+        (
+            "waxman 12 dense".into(),
+            generators::waxman(12, 0.9, 0.4, &mut rng),
+        ),
         ("cycle 12".into(), generators::cycle(12)),
         ("rgs m=2".into(), generators::repeater_graph_state(2)),
         ("complete 7".into(), generators::complete(7)),
         ("star 12".into(), generators::star(12)),
-        ("fig1b".into(), Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()),
+        (
+            "fig1b".into(),
+            Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap(),
+        ),
     ]
 }
 
@@ -52,7 +61,11 @@ fn framework_compiles_and_independently_verifies_every_family() {
             verify_circuit(&compiled.circuit, &g).unwrap(),
             "{name}: independent verification failed"
         );
-        assert_eq!(compiled.circuit.emission_count(), g.vertex_count(), "{name}");
+        assert_eq!(
+            compiled.circuit.emission_count(),
+            g.vertex_count(),
+            "{name}"
+        );
     }
 }
 

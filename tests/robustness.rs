@@ -83,12 +83,19 @@ fn degenerate_partition_configs_do_not_crash() {
     let g = generators::lattice(3, 3);
     for (g_max, lc, effort) in [(1usize, 0usize, 1usize), (2, 1, 1), (100, 0, 1)] {
         let fw = Framework::new(FrameworkConfig {
-            partition: PartitionSpec { g_max, lc_budget: lc, effort, seed: 1 },
+            partition: PartitionSpec {
+                g_max,
+                lc_budget: lc,
+                effort,
+                seed: 1,
+            },
             orderings_per_subgraph: 2,
             flexible_slack: 0,
             ..FrameworkConfig::default()
         });
-        let c = fw.compile(&g).unwrap_or_else(|e| panic!("g_max={g_max}: {e}"));
+        let c = fw
+            .compile(&g)
+            .unwrap_or_else(|e| panic!("g_max={g_max}: {e}"));
         assert!(verify_circuit(&c.circuit, &g).unwrap(), "g_max={g_max}");
     }
 }
