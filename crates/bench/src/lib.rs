@@ -4,7 +4,10 @@
 //! these fixed, seeded workloads (Fig. 9 families: 2D lattice for MBQC,
 //! trees for QRAM/tree codes, Waxman random graphs for distributed QC).
 //! Sizes track the paper's sweeps: lattices 12–60 qubits, trees 10–40,
-//! Waxman 10–35.
+//! Waxman 10–35. Beyond the figure binaries, `corpus_run` drives the batch
+//! engine (`epgs::BatchCompiler`) over a serializable `epgs_corpus`
+//! instance grid and emits per-pass JSON reports, including the artifact
+//! cache's hit/miss counters.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +70,24 @@ pub fn bench_framework() -> Framework {
         },
         orderings_per_subgraph: 8,
         flexible_slack: 2,
+        verify: true,
+        ..FrameworkConfig::default()
+    })
+}
+
+/// Framework configuration for corpus batch runs ([`bench_framework`] with
+/// the search effort trimmed so a 20+ instance corpus — see
+/// `epgs_corpus::CorpusSpec::default_corpus` — compiles in seconds).
+pub fn corpus_framework() -> Framework {
+    Framework::new(FrameworkConfig {
+        partition: epgs_partition::PartitionSpec {
+            g_max: 6,
+            lc_budget: 4,
+            effort: 5,
+            seed: SEED,
+        },
+        orderings_per_subgraph: 6,
+        flexible_slack: 1,
         verify: true,
         ..FrameworkConfig::default()
     })

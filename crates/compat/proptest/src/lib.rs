@@ -3,7 +3,7 @@
 //! The build environment has no network access, so this workspace ships the
 //! subset of the proptest 1.x API its property tests use: the [`Strategy`]
 //! trait with `prop_map` / `prop_flat_map`, [`any`], integer-range
-//! strategies, [`collection::vec`], [`prelude::ProptestConfig`], and the
+//! strategies, [`collection::vec()`], [`prelude::ProptestConfig`], and the
 //! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
 //!
 //! Differences from real proptest: cases are drawn from a deterministic
@@ -202,7 +202,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: usize,

@@ -1,0 +1,966 @@
+//! The batch compilation engine: corpus-scale compilation with a
+//! content-addressed artifact cache.
+//!
+//! [`crate::Framework::compile`] handles one target; production evaluation
+//! sweeps hundreds. [`BatchCompiler`] compiles a whole instance list in
+//! parallel, deduplicating work through an [`ArtifactCache`] keyed by the
+//! *content* of each job — the label-invariant [`canonical_hash`] of the
+//! target graph plus a [`config_fingerprint`] of the framework
+//! configuration. A
+//! cache hit reuses the stored [`Planned`] artifact, skipping the two
+//! expensive pipeline stages (partition search and per-leaf solving) and
+//! rerunning only the cheap suffix (schedule → recombine → verify).
+//!
+//! Because Weisfeiler–Lehman hashing is one-sided (equal hashes do not
+//! prove equal graphs), every lookup confirms the candidate entry by exact
+//! graph comparison before reuse: a hash bucket shared by two distinct
+//! labelings is observable in [`CacheStats::bucket_collisions`] but can
+//! never leak a wrong artifact. A corrupted entry — one whose stored
+//! artifact no longer matches its own graph — is discarded on lookup and
+//! the instance recompiles.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use epgs_graph::canon::{canonical_hash, fnv1a_all};
+use epgs_graph::Graph;
+
+use crate::config::{EmitterBudget, FrameworkConfig};
+use crate::framework::Compiled;
+use crate::stages::{Pipeline, Planned, RecombineStrategy};
+
+/// Stable 64-bit fingerprint of every compilation-relevant configuration
+/// knob (FNV-1a; float knobs enter via their bit patterns).
+///
+/// Two configurations with equal fingerprints compile any graph
+/// identically, so the fingerprint is the config half of the cache key.
+pub fn config_fingerprint(cfg: &FrameworkConfig) -> u64 {
+    let strategy_code = |s: &RecombineStrategy| -> u64 {
+        match s {
+            RecombineStrategy::ScheduledInterleave => 1,
+            RecombineStrategy::BlockSequential => 2,
+            RecombineStrategy::DirectSolve => 3,
+        }
+    };
+    let budget_words = match cfg.emitter_budget {
+        EmitterBudget::Factor(f) => [1u64, f.to_bits()],
+        EmitterBudget::Absolute(n) => [2u64, n as u64],
+    };
+    let hw = &cfg.hardware;
+    let words = [
+        cfg.partition.g_max as u64,
+        cfg.partition.lc_budget as u64,
+        cfg.partition.effort as u64,
+        cfg.partition.seed,
+        cfg.orderings_per_subgraph as u64,
+        cfg.flexible_slack as u64,
+        u64::from(cfg.verify),
+        cfg.seed,
+        fnv1a_all(hw.name.bytes().map(u64::from)),
+        hw.ee_two_qubit.to_bits(),
+        hw.emission.to_bits(),
+        hw.emitter_single.to_bits(),
+        hw.photon_single.to_bits(),
+        hw.measurement.to_bits(),
+        hw.photon_loss_per_tau.to_bits(),
+        hw.ee_fidelity.to_bits(),
+    ]
+    .into_iter()
+    .chain(budget_words)
+    .chain(cfg.recombine.iter().map(strategy_code));
+    fnv1a_all(words)
+}
+
+/// Cache key: content hash of the target × fingerprint of the config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Label-invariant graph hash ([`canonical_hash`]).
+    pub canonical: u64,
+    /// Configuration fingerprint ([`config_fingerprint`]).
+    pub config: u64,
+}
+
+/// One cached prefix: the exact graph it was computed for and its
+/// [`Planned`] artifact.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    graph: Graph,
+    planned: Planned,
+    last_used: u64,
+}
+
+/// Cumulative counters of one [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that reused a stored artifact.
+    pub hits: usize,
+    /// Lookups that found nothing reusable.
+    pub misses: usize,
+    /// Lookups whose hash bucket held only differently-labeled graphs
+    /// (isomorphic or WL-colliding) — counted within `misses`.
+    pub bucket_collisions: usize,
+    /// Entries dropped — by the LRU capacity bound or by explicit
+    /// [`ArtifactCache::evict`] / [`ArtifactCache::clear`] calls.
+    pub evictions: usize,
+    /// Entries discarded because their artifact no longer matched their
+    /// graph (corruption guard) — counted within `misses`.
+    pub corrupt_discarded: usize,
+}
+
+/// Content-addressed store of [`Planned`] artifacts with an LRU capacity
+/// bound.
+///
+/// Buckets are keyed by [`CacheKey`]; each bucket holds the entries for the
+/// distinct exact graphs that share the key (normally one). Lookup is
+/// hit-only-on-exact-match, so the cache can never substitute an artifact
+/// across labelings, and a corrupted entry degrades to a recompile instead
+/// of a panic.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    buckets: HashMap<CacheKey, Vec<CacheEntry>>,
+    /// Running entry count across all buckets — kept so `len()` (and the
+    /// capacity check every `insert` performs) is O(1), not a bucket walk.
+    entries: usize,
+    capacity: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl ArtifactCache {
+    /// An empty cache holding at most `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            buckets: HashMap::new(),
+            entries: 0,
+            capacity: capacity.max(1),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the artifact for exactly `graph` under `key`.
+    ///
+    /// Entries under the right key but for a different exact graph (a
+    /// relabeling or WL collision) do not hit; an entry whose artifact
+    /// fails the self-consistency check is discarded.
+    pub fn lookup(&mut self, key: CacheKey, graph: &Graph) -> Option<Planned> {
+        self.clock += 1;
+        let clock = self.clock;
+        let bucket = match self.buckets.get_mut(&key) {
+            Some(b) => b,
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        // Corruption guard: an entry must still describe its own graph.
+        let before = bucket.len();
+        bucket.retain(|e| e.planned.target() == &e.graph);
+        self.stats.corrupt_discarded += before - bucket.len();
+        self.entries -= before - bucket.len();
+        if let Some(entry) = bucket.iter_mut().find(|e| &e.graph == graph) {
+            entry.last_used = clock;
+            self.stats.hits += 1;
+            return Some(entry.planned.clone());
+        }
+        if !bucket.is_empty() {
+            self.stats.bucket_collisions += 1;
+        } else {
+            self.buckets.remove(&key);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores `planned` for `graph` under `key`, evicting the
+    /// least-recently-used entry when the capacity bound is exceeded.
+    ///
+    /// Inserting an artifact that does not belong to `graph` is not an
+    /// error here: the lookup-time corruption guard will discard it.
+    pub fn insert(&mut self, key: CacheKey, graph: Graph, planned: Planned) {
+        self.clock += 1;
+        let bucket = self.buckets.entry(key).or_default();
+        if let Some(entry) = bucket.iter_mut().find(|e| e.graph == graph) {
+            entry.planned = planned;
+            entry.last_used = self.clock;
+            return;
+        }
+        bucket.push(CacheEntry {
+            graph,
+            planned,
+            last_used: self.clock,
+        });
+        self.entries += 1;
+        while self.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Removes every entry stored under `key`; returns how many were
+    /// dropped.
+    pub fn evict(&mut self, key: CacheKey) -> usize {
+        let dropped = self.buckets.remove(&key).map_or(0, |b| b.len());
+        self.stats.evictions += dropped;
+        self.entries -= dropped;
+        dropped
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.stats.evictions += self.len();
+        self.buckets.clear();
+        self.entries = 0;
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .buckets
+            .iter()
+            .flat_map(|(k, b)| b.iter().map(move |e| (*k, e.last_used)))
+            .min_by_key(|&(_, used)| used)
+            .map(|(k, _)| k);
+        if let Some(key) = victim {
+            let bucket = self.buckets.get_mut(&key).expect("victim bucket exists");
+            let oldest = bucket
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("victim bucket is non-empty");
+            bucket.remove(oldest);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+            self.entries -= 1;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// One named compilation job for [`BatchCompiler::run`].
+#[derive(Debug, Clone)]
+pub struct BatchInstance {
+    /// Stable identifier carried into the per-instance report.
+    pub id: String,
+    /// Family name used for the aggregate rollups.
+    pub family: String,
+    /// The target graph.
+    pub graph: Graph,
+}
+
+impl BatchInstance {
+    /// Builds a job from its parts.
+    pub fn new(id: impl Into<String>, family: impl Into<String>, graph: Graph) -> Self {
+        BatchInstance {
+            id: id.into(),
+            family: family.into(),
+            graph,
+        }
+    }
+}
+
+/// Whether an instance reused a cached prefix or compiled it fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Partition + leaf planning were served from the cache.
+    Hit,
+    /// The full pipeline ran.
+    Miss,
+}
+
+/// Success metrics of one compiled instance.
+#[derive(Debug, Clone)]
+pub struct InstanceMetrics {
+    /// Minimal emitter count of the target.
+    pub ne_min: usize,
+    /// Resolved emitter budget the schedule ran under.
+    pub ne_limit: usize,
+    /// Peak simultaneously-active emitters in the final circuit.
+    pub peak_emitters: usize,
+    /// Emitter-emitter CNOT count of the final circuit.
+    pub ee_cnots: usize,
+    /// Circuit duration in τ.
+    pub duration: f64,
+    /// Recombination strategy that won.
+    pub strategy: RecombineStrategy,
+}
+
+/// Everything recorded about one instance of a batch run.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Instance id (from [`BatchInstance::id`]).
+    pub id: String,
+    /// Family name (from [`BatchInstance::family`]).
+    pub family: String,
+    /// Vertex count of the target.
+    pub vertices: usize,
+    /// Edge count of the target.
+    pub edges: usize,
+    /// Label-invariant content hash of the target.
+    pub canonical_hash: u64,
+    /// Whether the expensive prefix came from the cache.
+    pub cache: CacheOutcome,
+    /// Compilation metrics, present on success.
+    pub metrics: Option<InstanceMetrics>,
+    /// Error rendering, present on failure.
+    pub error: Option<String>,
+    /// Wall time of this instance (µs), cache lookup included.
+    pub wall_micros: u128,
+}
+
+impl InstanceReport {
+    /// Whether the instance compiled and verified.
+    pub fn ok(&self) -> bool {
+        self.metrics.is_some()
+    }
+}
+
+/// Wall-time histogram bucket upper bounds (µs): 1 ms, 10 ms, 100 ms, 1 s,
+/// and the open overflow bucket.
+pub const WALL_BUCKET_BOUNDS: [u128; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Labels aligned with [`WALL_BUCKET_BOUNDS`] plus the overflow bucket.
+pub const WALL_BUCKET_LABELS: [&str; 5] = ["lt_1ms", "lt_10ms", "lt_100ms", "lt_1s", "ge_1s"];
+
+/// Per-family rollup inside a [`BatchReport`].
+#[derive(Debug, Clone)]
+pub struct FamilySummary {
+    /// Family name.
+    pub family: String,
+    /// Instances of this family in the run.
+    pub instances: usize,
+    /// How many compiled and verified.
+    pub succeeded: usize,
+    /// How many reused a cached prefix.
+    pub cache_hits: usize,
+    /// Mean emitter-emitter CNOTs over the successful instances.
+    pub mean_ee_cnots: f64,
+    /// Mean circuit duration (τ) over the successful instances.
+    pub mean_duration: f64,
+}
+
+/// Aggregate result of one [`BatchCompiler::run`].
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-instance reports, in input order.
+    pub instances: Vec<InstanceReport>,
+    /// Instances that compiled and verified.
+    pub succeeded: usize,
+    /// Instances that failed.
+    pub failed: usize,
+    /// Cache hits within this run.
+    pub cache_hits: usize,
+    /// Cache misses within this run.
+    pub cache_misses: usize,
+    /// Distinct canonical graph hashes in this run — the run's content
+    /// diversity.
+    pub distinct_canonical: usize,
+    /// Rollups per family, in first-appearance order.
+    pub families: Vec<FamilySummary>,
+    /// Instance-wall-time histogram over
+    /// [`WALL_BUCKET_LABELS`](constant@WALL_BUCKET_LABELS).
+    pub wall_histogram: [usize; 5],
+    /// Sum of instance wall times (µs). The run's own wall clock is lower
+    /// under parallel execution.
+    pub total_wall_micros: u128,
+    /// Cumulative cache counters at the end of the run.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    fn from_instances(instances: Vec<InstanceReport>, cache: CacheStats) -> Self {
+        let succeeded = instances.iter().filter(|r| r.ok()).count();
+        let cache_hits = instances
+            .iter()
+            .filter(|r| r.cache == CacheOutcome::Hit)
+            .count();
+        let mut canonical: Vec<u64> = instances.iter().map(|r| r.canonical_hash).collect();
+        canonical.sort_unstable();
+        canonical.dedup();
+
+        let mut families: Vec<FamilySummary> = Vec::new();
+        for r in &instances {
+            if !families.iter().any(|f| f.family == r.family) {
+                families.push(FamilySummary {
+                    family: r.family.clone(),
+                    instances: 0,
+                    succeeded: 0,
+                    cache_hits: 0,
+                    mean_ee_cnots: 0.0,
+                    mean_duration: 0.0,
+                });
+            }
+            let f = families
+                .iter_mut()
+                .find(|f| f.family == r.family)
+                .expect("just inserted");
+            f.instances += 1;
+            f.succeeded += usize::from(r.ok());
+            f.cache_hits += usize::from(r.cache == CacheOutcome::Hit);
+            if let Some(m) = &r.metrics {
+                f.mean_ee_cnots += m.ee_cnots as f64;
+                f.mean_duration += m.duration;
+            }
+        }
+        for f in &mut families {
+            if f.succeeded > 0 {
+                f.mean_ee_cnots /= f.succeeded as f64;
+                f.mean_duration /= f.succeeded as f64;
+            }
+        }
+
+        let mut wall_histogram = [0usize; 5];
+        let mut total_wall_micros = 0u128;
+        for r in &instances {
+            total_wall_micros += r.wall_micros;
+            let slot = WALL_BUCKET_BOUNDS
+                .iter()
+                .position(|&b| r.wall_micros < b)
+                .unwrap_or(WALL_BUCKET_BOUNDS.len());
+            wall_histogram[slot] += 1;
+        }
+
+        BatchReport {
+            failed: instances.len() - succeeded,
+            succeeded,
+            cache_hits,
+            cache_misses: instances.len() - cache_hits,
+            distinct_canonical: canonical.len(),
+            families,
+            wall_histogram,
+            total_wall_micros,
+            cache,
+            instances,
+        }
+    }
+
+    /// Renders the report as a JSON document (instances included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"succeeded\":{},\"failed\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"distinct_canonical\":{},\"total_wall_micros\":{}",
+            self.succeeded,
+            self.failed,
+            self.cache_hits,
+            self.cache_misses,
+            self.distinct_canonical,
+            self.total_wall_micros,
+        ));
+        out.push_str(&format!(
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"bucket_collisions\":{},\
+             \"evictions\":{},\"corrupt_discarded\":{}}}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.bucket_collisions,
+            self.cache.evictions,
+            self.cache.corrupt_discarded,
+        ));
+        out.push_str(",\"wall_histogram\":{");
+        for (i, (label, count)) in WALL_BUCKET_LABELS
+            .iter()
+            .zip(self.wall_histogram)
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{label}\":{count}"));
+        }
+        out.push_str("},\"families\":[");
+        for (i, f) in self.families.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"family\":{},\"instances\":{},\"succeeded\":{},\"cache_hits\":{},\
+                 \"mean_ee_cnots\":{:.3},\"mean_duration\":{:.3}}}",
+                json_str(&f.family),
+                f.instances,
+                f.succeeded,
+                f.cache_hits,
+                f.mean_ee_cnots,
+                f.mean_duration,
+            ));
+        }
+        out.push_str("],\"instances\":[");
+        for (i, r) in self.instances.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"family\":{},\"vertices\":{},\"edges\":{},\
+                 \"canonical_hash\":\"{:016x}\",\"cache\":\"{}\",\"ok\":{},\"wall_micros\":{}",
+                json_str(&r.id),
+                json_str(&r.family),
+                r.vertices,
+                r.edges,
+                r.canonical_hash,
+                match r.cache {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Miss => "miss",
+                },
+                r.ok(),
+                r.wall_micros,
+            ));
+            if let Some(m) = &r.metrics {
+                out.push_str(&format!(
+                    ",\"ne_min\":{},\"ne_limit\":{},\"peak_emitters\":{},\"ee_cnots\":{},\
+                     \"duration\":{:.3},\"strategy\":\"{:?}\"",
+                    m.ne_min, m.ne_limit, m.peak_emitters, m.ee_cnots, m.duration, m.strategy,
+                ));
+            }
+            if let Some(e) = &r.error {
+                out.push_str(&format!(",\"error\":{}", json_str(e)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for report fields.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The batch compilation engine: one configuration, many targets, shared
+/// artifact cache, parallel execution.
+///
+/// # Examples
+///
+/// Two jobs over the same graph: the second reuses the first's partition +
+/// leaf-planning prefix through the content-addressed cache.
+///
+/// ```
+/// use epgs::{BatchCompiler, BatchInstance, FrameworkConfig};
+/// use epgs_graph::generators;
+///
+/// let batch = BatchCompiler::new(FrameworkConfig::builder().g_max(4).build());
+/// let report = batch.run(&[
+///     BatchInstance::new("path-6", "path", generators::path(6)),
+///     BatchInstance::new("path-6-again", "path", generators::path(6)),
+/// ]);
+/// assert_eq!(report.succeeded, 2);
+/// assert_eq!(report.cache_hits, 1, "identical content compiles once");
+/// assert_eq!(report.distinct_canonical, 1);
+/// assert!(report.to_json().contains("\"cache\":\"hit\""));
+/// ```
+#[derive(Debug)]
+pub struct BatchCompiler {
+    pipeline: Pipeline,
+    config_fp: u64,
+    cache: Mutex<ArtifactCache>,
+}
+
+impl BatchCompiler {
+    /// Default artifact-cache capacity (entries).
+    pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+    /// A batch compiler with the default cache capacity.
+    pub fn new(config: FrameworkConfig) -> Self {
+        Self::with_cache_capacity(config, Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A batch compiler whose cache holds at most `capacity` artifacts.
+    pub fn with_cache_capacity(config: FrameworkConfig, capacity: usize) -> Self {
+        let config_fp = config_fingerprint(&config);
+        BatchCompiler {
+            pipeline: Pipeline::new(config),
+            config_fp,
+            cache: Mutex::new(ArtifactCache::new(capacity)),
+        }
+    }
+
+    /// The underlying staged pipeline (stage counters aggregate across the
+    /// whole batch: after a run, `counters().plan` equals the cache misses
+    /// that planned successfully).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Fingerprint of this compiler's configuration (the config half of
+    /// every cache key).
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fp
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Number of artifacts currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops every cached artifact (counters survive).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Evicts the cache entries for `graph`; returns how many were
+    /// dropped. Exposed so harnesses can exercise recompile-after-eviction.
+    pub fn evict(&self, graph: &Graph) -> usize {
+        let key = CacheKey {
+            canonical: canonical_hash(graph),
+            config: self.config_fp,
+        };
+        self.cache.lock().expect("cache lock").evict(key)
+    }
+
+    /// Compiles one instance, going through the artifact cache.
+    ///
+    /// Returns the instance report and, on success, the compiled artifact.
+    /// Compilation errors are captured in the report, not propagated —
+    /// batch runs keep going.
+    pub fn compile_instance(
+        &self,
+        id: &str,
+        family: &str,
+        graph: &Graph,
+    ) -> (InstanceReport, Option<Compiled>) {
+        self.compile_with_hash(id, family, graph, canonical_hash(graph))
+    }
+
+    /// [`BatchCompiler::compile_instance`] with the WL hash precomputed —
+    /// [`BatchCompiler::run`] groups instances by that hash first, so
+    /// recomputing it per member would double the refinement work.
+    fn compile_with_hash(
+        &self,
+        id: &str,
+        family: &str,
+        graph: &Graph,
+        canonical: u64,
+    ) -> (InstanceReport, Option<Compiled>) {
+        let start = Instant::now();
+        let key = CacheKey {
+            canonical,
+            config: self.config_fp,
+        };
+        let cached = self.cache.lock().expect("cache lock").lookup(key, graph);
+        let outcome = if cached.is_some() {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        // The planning stage runs outside the cache lock: concurrent misses
+        // on the same content may plan twice, but never block each other.
+        let planned = match cached {
+            Some(p) => Ok(p),
+            None => self.pipeline.partition(graph).plan_leaves().inspect(|p| {
+                self.cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, graph.clone(), p.clone());
+            }),
+        };
+        let compiled =
+            planned.and_then(|p| p.schedule(p.configured_budget()).recombine()?.verify());
+        let report = InstanceReport {
+            id: id.to_string(),
+            family: family.to_string(),
+            vertices: graph.vertex_count(),
+            edges: graph.edge_count(),
+            canonical_hash: key.canonical,
+            cache: outcome,
+            metrics: compiled.as_ref().ok().map(|c| InstanceMetrics {
+                ne_min: c.ne_min,
+                ne_limit: c.ne_limit,
+                peak_emitters: c.metrics.peak_emitters,
+                ee_cnots: c.metrics.ee_two_qubit_count,
+                duration: c.metrics.duration,
+                strategy: c.strategy,
+            }),
+            error: compiled.as_ref().err().map(ToString::to_string),
+            wall_micros: start.elapsed().as_micros(),
+        };
+        (report, compiled.ok())
+    }
+
+    /// Compiles every instance in parallel and aggregates the reports.
+    ///
+    /// Instances are first grouped by cache identity (exact graph ×
+    /// config), and each group runs its members in order while distinct
+    /// groups run in parallel — so within-run duplicates deterministically
+    /// reuse the first member's artifact instead of racing it. Failures
+    /// never abort the batch: a failing instance contributes a report with
+    /// its error and the run continues.
+    pub fn run(&self, instances: &[BatchInstance]) -> BatchReport {
+        let mut groups: Vec<(u64, &Graph, Vec<usize>)> = Vec::new();
+        for (i, inst) in instances.iter().enumerate() {
+            let canonical = canonical_hash(&inst.graph);
+            match groups
+                .iter_mut()
+                .find(|(c, g, _)| *c == canonical && *g == &inst.graph)
+            {
+                Some((_, _, members)) => members.push(i),
+                None => groups.push((canonical, &inst.graph, vec![i])),
+            }
+        }
+        let grouped: Vec<Vec<(usize, InstanceReport)>> = groups
+            .par_iter()
+            .map(|(canonical, _, members)| {
+                members
+                    .iter()
+                    .map(|&i| {
+                        let inst = &instances[i];
+                        (
+                            i,
+                            self.compile_with_hash(&inst.id, &inst.family, &inst.graph, *canonical)
+                                .0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut slots: Vec<Option<InstanceReport>> = vec![None; instances.len()];
+        for group in grouped {
+            for (i, report) in group {
+                slots[i] = Some(report);
+            }
+        }
+        let reports = slots
+            .into_iter()
+            .map(|r| r.expect("every instance reported"))
+            .collect();
+        BatchReport::from_instances(reports, self.cache_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameworkConfig;
+    use epgs_graph::canon::relabel;
+    use epgs_graph::generators;
+
+    fn quick_config() -> FrameworkConfig {
+        FrameworkConfig::builder()
+            .g_max(5)
+            .lc_budget(3)
+            .partition_effort(4)
+            .orderings_per_subgraph(4)
+            .flexible_slack(1)
+            .build()
+    }
+
+    #[test]
+    fn repeated_content_hits_the_cache_and_matches_fresh_compiles() {
+        let batch = BatchCompiler::new(quick_config());
+        let g = generators::lattice(3, 3);
+        let (first, compiled_first) = batch.compile_instance("a", "lattice", &g);
+        let (second, compiled_second) = batch.compile_instance("b", "lattice", &g);
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        // The cached prefix must not change the output.
+        assert_eq!(
+            compiled_first.unwrap().circuit,
+            compiled_second.unwrap().circuit
+        );
+        // Only the miss ran partition + planning.
+        let counts = batch.pipeline().counters();
+        assert_eq!((counts.partition, counts.plan), (1, 1));
+        assert_eq!(counts.verify, 2);
+    }
+
+    #[test]
+    fn relabeled_graphs_share_a_key_but_never_an_artifact() {
+        let batch = BatchCompiler::new(quick_config());
+        let g = generators::tree(9, 2);
+        let perm: Vec<usize> = (0..9).map(|v| (v + 4) % 9).collect();
+        let h = relabel(&g, &perm);
+        assert_ne!(g, h, "permutation must change the labeling");
+        assert_eq!(canonical_hash(&g), canonical_hash(&h), "same content hash");
+
+        let (a, ca) = batch.compile_instance("orig", "tree", &g);
+        let (b, cb) = batch.compile_instance("relabel", "tree", &h);
+        assert_eq!(a.cache, CacheOutcome::Miss);
+        // Same bucket, different exact graph: observable collision, no
+        // unsound reuse.
+        assert_eq!(b.cache, CacheOutcome::Miss);
+        assert_eq!(batch.cache_stats().bucket_collisions, 1);
+        // Both compile and verify against their own labeling.
+        assert!(ca.is_some() && cb.is_some());
+        // Both labelings are now cached independently; each hits.
+        assert_eq!(
+            batch.compile_instance("g2", "tree", &g).0.cache,
+            CacheOutcome::Hit
+        );
+        assert_eq!(
+            batch.compile_instance("h2", "tree", &h).0.cache,
+            CacheOutcome::Hit
+        );
+    }
+
+    #[test]
+    fn different_configs_fingerprint_and_cache_separately() {
+        let a = config_fingerprint(&quick_config());
+        let b = config_fingerprint(&FrameworkConfig::builder().g_max(4).build());
+        assert_ne!(a, b, "distinct configs must not share a fingerprint");
+        assert_eq!(
+            a,
+            config_fingerprint(&quick_config()),
+            "fingerprint is deterministic"
+        );
+
+        // Same graph under two compilers with different configs: both miss.
+        let g = generators::path(6);
+        let batch_a = BatchCompiler::new(quick_config());
+        let batch_b = BatchCompiler::new(FrameworkConfig::builder().g_max(4).build());
+        assert_eq!(
+            batch_a.compile_instance("a", "path", &g).0.cache,
+            CacheOutcome::Miss
+        );
+        assert_eq!(
+            batch_b.compile_instance("b", "path", &g).0.cache,
+            CacheOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn evicted_entries_recompile_without_panicking() {
+        let batch = BatchCompiler::new(quick_config());
+        let g = generators::cycle(8);
+        assert_eq!(
+            batch.compile_instance("a", "cycle", &g).0.cache,
+            CacheOutcome::Miss
+        );
+        assert_eq!(batch.evict(&g), 1);
+        let (again, compiled) = batch.compile_instance("b", "cycle", &g);
+        assert_eq!(
+            again.cache,
+            CacheOutcome::Miss,
+            "eviction forces a recompile"
+        );
+        assert!(compiled.is_some());
+        assert!(batch.cache_stats().evictions >= 1);
+    }
+
+    #[test]
+    fn corrupted_entries_are_discarded_not_trusted() {
+        let config = quick_config();
+        let pipeline = Pipeline::new(config.clone());
+        let g = generators::path(7);
+        let wrong = generators::cycle(7);
+        // Plan the WRONG graph and file it under `g`'s slot: the entry's
+        // artifact no longer matches its graph.
+        let planned_wrong = pipeline.partition(&wrong).plan_leaves().unwrap();
+        let key = CacheKey {
+            canonical: canonical_hash(&g),
+            config: config_fingerprint(&config),
+        };
+        let mut cache = ArtifactCache::new(8);
+        cache.insert(key, g.clone(), planned_wrong);
+        // Lookup detects the inconsistency, discards, and reports a miss …
+        assert!(cache.lookup(key, &g).is_none());
+        assert_eq!(cache.stats().corrupt_discarded, 1);
+        assert!(cache.is_empty());
+        // … so the batch path recompiles and still verifies.
+        let batch = BatchCompiler::new(config);
+        let (report, compiled) = batch.compile_instance("g", "path", &g);
+        assert!(report.ok());
+        assert!(compiled.is_some());
+    }
+
+    #[test]
+    fn lru_capacity_bound_holds() {
+        let batch = BatchCompiler::with_cache_capacity(quick_config(), 2);
+        for (i, g) in [
+            generators::path(5),
+            generators::path(6),
+            generators::path(7),
+        ]
+        .iter()
+        .enumerate()
+        {
+            batch.compile_instance(&format!("p{i}"), "path", g);
+        }
+        assert_eq!(batch.cache_len(), 2, "capacity bound enforced");
+        assert_eq!(batch.cache_stats().evictions, 1);
+        // The oldest entry (path-5) was evicted; the newest still hits.
+        assert_eq!(
+            batch
+                .compile_instance("again", "path", &generators::path(7))
+                .0
+                .cache,
+            CacheOutcome::Hit
+        );
+        assert_eq!(
+            batch
+                .compile_instance("reload", "path", &generators::path(5))
+                .0
+                .cache,
+            CacheOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn batch_report_aggregates_families_and_histogram() {
+        let batch = BatchCompiler::new(quick_config());
+        let jobs = vec![
+            BatchInstance::new("p5", "path", generators::path(5)),
+            BatchInstance::new("p5-dup", "path", generators::path(5)),
+            BatchInstance::new("t9", "tree", generators::tree(9, 2)),
+            BatchInstance::new("l33", "lattice", generators::lattice(3, 3)),
+        ];
+        let report = batch.run(&jobs);
+        assert_eq!(report.succeeded, 4);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.distinct_canonical, 3);
+        assert_eq!(report.families.len(), 3);
+        let path = &report.families[0];
+        assert_eq!((path.family.as_str(), path.instances), ("path", 2));
+        assert_eq!(path.cache_hits, 1);
+        assert_eq!(report.wall_histogram.iter().sum::<usize>(), 4);
+        assert_eq!(report.instances.len(), 4);
+
+        // JSON renders and mentions every instance id.
+        let json = report.to_json();
+        for id in ["p5", "p5-dup", "t9", "l33"] {
+            assert!(json.contains(&format!("\"id\":\"{id}\"")), "{id}");
+        }
+        assert!(json.contains("\"succeeded\":4"));
+    }
+
+    #[test]
+    fn json_escaping_handles_awkward_ids() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+}

@@ -69,7 +69,29 @@
 //! direct solve), configured per run via
 //! [`FrameworkConfig::recombine`] or per call via
 //! [`Scheduled::recombine_with`].
+//!
+//! # The batch engine
+//!
+//! [`BatchCompiler`] (module [`batch`]) scales the pipeline from one target
+//! to a corpus: instances compile in parallel, and a content-addressed
+//! [`ArtifactCache`] — keyed by the label-invariant canonical graph hash
+//! plus a configuration fingerprint — lets repeated content skip the
+//! partition and leaf-planning stages entirely:
+//!
+//! ```
+//! use epgs::{BatchCompiler, BatchInstance, FrameworkConfig};
+//! use epgs_graph::generators;
+//!
+//! let batch = BatchCompiler::new(FrameworkConfig::builder().g_max(4).build());
+//! let jobs = vec![
+//!     BatchInstance::new("ring-8", "cycle", generators::cycle(8)),
+//!     BatchInstance::new("ring-8-dup", "cycle", generators::cycle(8)),
+//! ];
+//! let report = batch.run(&jobs);
+//! assert_eq!((report.succeeded, report.cache_hits), (2, 1));
+//! ```
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod framework;
@@ -78,6 +100,10 @@ pub mod schedule;
 pub mod stages;
 pub mod subgraph;
 
+pub use batch::{
+    config_fingerprint, ArtifactCache, BatchCompiler, BatchInstance, BatchReport, CacheKey,
+    CacheOutcome, CacheStats, FamilySummary, InstanceMetrics, InstanceReport,
+};
 pub use config::{EmitterBudget, FrameworkConfig, FrameworkConfigBuilder};
 pub use error::FrameworkError;
 pub use framework::{compile, Compiled, Framework};

@@ -73,7 +73,7 @@ pub(crate) struct StageCounters {
     pub(crate) verify: AtomicUsize,
 }
 
-/// A point-in-time snapshot of a pipeline's [stage counters](StageCounters).
+/// A point-in-time snapshot of a pipeline's internal stage counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageCounts {
     /// Completed partition stages.

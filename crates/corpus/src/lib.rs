@@ -1,0 +1,60 @@
+//! Benchmark corpora for the `epgs` batch compilation engine.
+//!
+//! The paper evaluates the compiler on a handful of hand-picked targets;
+//! production-scale evaluation instead sweeps a *structured corpus* of
+//! instances under one harness. This crate defines that corpus layer:
+//!
+//! * [`FamilyKind`] — the generator families available to corpora, from the
+//!   paper's workloads (lattice, tree, Waxman, Erdős–Rényi) to the batch
+//!   zoo added for throughput work (random-regular, hypercube, heavy-hex,
+//!   Barabási–Albert, Watts–Strogatz);
+//! * [`FamilySpec`] / [`CorpusSpec`] — parameterized instance grids
+//!   (`sizes × seeds` per family), serializable to JSON and back so corpora
+//!   can be versioned next to benchmark results;
+//! * [`Instance`] — one materialized target graph with provenance;
+//! * [`json`] — the dependency-free JSON layer (the build environment is
+//!   air-gapped, so there is no `serde`).
+//!
+//! Everything is deterministic: enumeration order is declaration order, and
+//! instance graphs inherit the seeded-RNG contract of
+//! [`epgs_graph::generators`]. The batch driver (`BatchCompiler` in the
+//! `epgs` crate) consumes [`Instance`]s; the `corpus_run` binary in
+//! `epgs-bench` glues the two together.
+//!
+//! # Examples
+//!
+//! Enumerate the default corpus and round-trip it through JSON:
+//!
+//! ```
+//! use epgs_corpus::CorpusSpec;
+//!
+//! let spec = CorpusSpec::default_corpus();
+//! let instances = spec.instances();
+//! assert!(spec.families.len() >= 5 && instances.len() >= 20);
+//!
+//! let reloaded = CorpusSpec::from_json(&spec.to_json()).unwrap();
+//! assert_eq!(reloaded, spec);
+//! ```
+//!
+//! Define a custom two-family grid:
+//!
+//! ```
+//! use epgs_corpus::{CorpusSpec, FamilyKind, FamilySpec};
+//!
+//! let spec = CorpusSpec {
+//!     name: "smoke".into(),
+//!     families: vec![
+//!         FamilySpec::new(FamilyKind::Hypercube, vec![2, 3]),
+//!         FamilySpec::new(FamilyKind::RandomRegular { degree: 3 }, vec![8, 10])
+//!             .with_seeds(vec![1, 2]),
+//!     ],
+//! };
+//! // 2 hypercubes + 2 sizes × 2 seeds of random-regular graphs.
+//! assert_eq!(spec.instances().len(), 6);
+//! ```
+
+pub mod json;
+pub mod spec;
+
+pub use json::{JsonError, Value};
+pub use spec::{CorpusSpec, FamilyKind, FamilySpec, Instance, SpecError};

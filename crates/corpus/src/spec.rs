@@ -1,0 +1,648 @@
+//! Corpus specifications: parameterized instance grids over the generator
+//! zoo, serializable to and from JSON.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use epgs_graph::{generators, Graph};
+
+use crate::json::{JsonError, Value};
+
+/// One generator family with its fixed (non-grid) parameters.
+///
+/// The grid axes — instance size and RNG seed — live in [`FamilySpec`];
+/// everything here is held constant across a family's instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyKind {
+    /// Random `degree`-regular graphs; size is the vertex count.
+    RandomRegular {
+        /// Uniform vertex degree.
+        degree: usize,
+    },
+    /// Hypercube graphs Q_d; size is the dimension `d`.
+    Hypercube,
+    /// Heavy-hex lattices with `rows` rows of cells; size is the column
+    /// count.
+    HeavyHex {
+        /// Rows of hexagonal cells.
+        rows: usize,
+    },
+    /// Barabási–Albert preferential attachment; size is the vertex count.
+    BarabasiAlbert {
+        /// Edges attached per new vertex.
+        attach: usize,
+    },
+    /// Watts–Strogatz small-world rings; size is the vertex count.
+    WattsStrogatz {
+        /// Ring-lattice neighbor count `k` (even).
+        neighbors: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// 2D lattices with `rows` rows; size is the column count.
+    Lattice {
+        /// Lattice rows.
+        rows: usize,
+    },
+    /// Complete `arity`-ary trees; size is the vertex count.
+    Tree {
+        /// Branching factor.
+        arity: usize,
+    },
+    /// Erdős–Rényi G(n, p); size is the vertex count.
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+    },
+    /// Waxman random geometric graphs; size is the vertex count.
+    Waxman {
+        /// Waxman α (edge-probability scale).
+        alpha: f64,
+        /// Waxman β (distance decay).
+        beta: f64,
+    },
+}
+
+impl FamilyKind {
+    /// The family's wire name (used in JSON and instance ids).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FamilyKind::RandomRegular { .. } => "random_regular",
+            FamilyKind::Hypercube => "hypercube",
+            FamilyKind::HeavyHex { .. } => "heavy_hex",
+            FamilyKind::BarabasiAlbert { .. } => "barabasi_albert",
+            FamilyKind::WattsStrogatz { .. } => "watts_strogatz",
+            FamilyKind::Lattice { .. } => "lattice",
+            FamilyKind::Tree { .. } => "tree",
+            FamilyKind::ErdosRenyi { .. } => "erdos_renyi",
+            FamilyKind::Waxman { .. } => "waxman",
+        }
+    }
+
+    /// Whether instances draw randomness (and the seed grid therefore
+    /// multiplies the instance count).
+    pub fn is_random(&self) -> bool {
+        matches!(
+            self,
+            FamilyKind::RandomRegular { .. }
+                | FamilyKind::BarabasiAlbert { .. }
+                | FamilyKind::WattsStrogatz { .. }
+                | FamilyKind::ErdosRenyi { .. }
+                | FamilyKind::Waxman { .. }
+        )
+    }
+
+    /// Builds the instance graph for one `(size, seed)` grid point.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the generators' parameter assertions (e.g. a
+    /// Watts–Strogatz grid whose `neighbors ≥ size`); see
+    /// [`epgs_graph::generators`].
+    pub fn build(&self, size: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            FamilyKind::RandomRegular { degree } => {
+                generators::random_regular(size, degree, &mut rng)
+            }
+            FamilyKind::Hypercube => generators::hypercube(
+                u32::try_from(size).expect("hypercube dimension must fit in u32"),
+            ),
+            FamilyKind::HeavyHex { rows } => generators::heavy_hex(rows, size),
+            FamilyKind::BarabasiAlbert { attach } => {
+                generators::barabasi_albert(size, attach, &mut rng)
+            }
+            FamilyKind::WattsStrogatz { neighbors, beta } => {
+                generators::watts_strogatz(size, neighbors, beta, &mut rng)
+            }
+            FamilyKind::Lattice { rows } => generators::lattice(rows, size),
+            FamilyKind::Tree { arity } => generators::tree(size, arity),
+            FamilyKind::ErdosRenyi { p } => generators::erdos_renyi(size, p, &mut rng),
+            FamilyKind::Waxman { alpha, beta } => generators::waxman(size, alpha, beta, &mut rng),
+        }
+    }
+
+    /// One-letter label of the size axis in instance ids (`n` vertices,
+    /// `d` dimension, `c` columns).
+    fn size_label(&self) -> char {
+        match self {
+            FamilyKind::Hypercube => 'd',
+            FamilyKind::HeavyHex { .. } | FamilyKind::Lattice { .. } => 'c',
+            _ => 'n',
+        }
+    }
+
+    fn to_fields(&self) -> Vec<(String, Value)> {
+        let mut fields = vec![("family".to_string(), Value::Str(self.name().into()))];
+        match *self {
+            FamilyKind::RandomRegular { degree } => {
+                fields.push(("degree".into(), Value::Num(degree as f64)));
+            }
+            FamilyKind::Hypercube => {}
+            FamilyKind::HeavyHex { rows } => {
+                fields.push(("rows".into(), Value::Num(rows as f64)));
+            }
+            FamilyKind::BarabasiAlbert { attach } => {
+                fields.push(("attach".into(), Value::Num(attach as f64)));
+            }
+            FamilyKind::WattsStrogatz { neighbors, beta } => {
+                fields.push(("neighbors".into(), Value::Num(neighbors as f64)));
+                fields.push(("beta".into(), Value::Num(beta)));
+            }
+            FamilyKind::Lattice { rows } => {
+                fields.push(("rows".into(), Value::Num(rows as f64)));
+            }
+            FamilyKind::Tree { arity } => {
+                fields.push(("arity".into(), Value::Num(arity as f64)));
+            }
+            FamilyKind::ErdosRenyi { p } => {
+                fields.push(("p".into(), Value::Num(p)));
+            }
+            FamilyKind::Waxman { alpha, beta } => {
+                fields.push(("alpha".into(), Value::Num(alpha)));
+                fields.push(("beta".into(), Value::Num(beta)));
+            }
+        }
+        fields
+    }
+
+    fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let name = v
+            .get("family")
+            .and_then(Value::as_str)
+            .ok_or(SpecError::Missing("family"))?;
+        let usize_field = |key: &'static str| -> Result<usize, SpecError> {
+            v.get(key)
+                .and_then(Value::as_usize)
+                .ok_or(SpecError::Missing(key))
+        };
+        let f64_field = |key: &'static str| -> Result<f64, SpecError> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or(SpecError::Missing(key))
+        };
+        match name {
+            "random_regular" => Ok(FamilyKind::RandomRegular {
+                degree: usize_field("degree")?,
+            }),
+            "hypercube" => Ok(FamilyKind::Hypercube),
+            "heavy_hex" => Ok(FamilyKind::HeavyHex {
+                rows: usize_field("rows")?,
+            }),
+            "barabasi_albert" => Ok(FamilyKind::BarabasiAlbert {
+                attach: usize_field("attach")?,
+            }),
+            "watts_strogatz" => Ok(FamilyKind::WattsStrogatz {
+                neighbors: usize_field("neighbors")?,
+                beta: f64_field("beta")?,
+            }),
+            "lattice" => Ok(FamilyKind::Lattice {
+                rows: usize_field("rows")?,
+            }),
+            "tree" => Ok(FamilyKind::Tree {
+                arity: usize_field("arity")?,
+            }),
+            "erdos_renyi" => Ok(FamilyKind::ErdosRenyi { p: f64_field("p")? }),
+            "waxman" => Ok(FamilyKind::Waxman {
+                alpha: f64_field("alpha")?,
+                beta: f64_field("beta")?,
+            }),
+            other => Err(SpecError::UnknownFamily(other.to_string())),
+        }
+    }
+}
+
+/// One family's instance grid: fixed parameters × sizes × seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySpec {
+    /// The generator family and its fixed parameters.
+    pub kind: FamilyKind,
+    /// The size-axis grid (vertex count, dimension, or columns — see
+    /// [`FamilyKind`]).
+    pub sizes: Vec<usize>,
+    /// The seed-axis grid; ignored (one instance per size) for
+    /// deterministic families.
+    pub seeds: Vec<u64>,
+}
+
+impl FamilySpec {
+    /// A grid over `sizes` with the single default seed `1`.
+    pub fn new(kind: FamilyKind, sizes: Vec<usize>) -> Self {
+        FamilySpec {
+            kind,
+            sizes,
+            seeds: vec![1],
+        }
+    }
+
+    /// Replaces the seed grid.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Materializes the grid into concrete instances.
+    ///
+    /// Random families produce `sizes × seeds` instances; deterministic
+    /// families produce one instance per size (the seed axis would only
+    /// repeat identical graphs).
+    ///
+    /// # Panics
+    ///
+    /// Propagates generator parameter assertions; see
+    /// [`FamilyKind::build`].
+    pub fn instances(&self) -> Vec<Instance> {
+        let label = self.kind.size_label();
+        let name = self.kind.name();
+        let seeds: &[u64] = if self.kind.is_random() {
+            &self.seeds
+        } else {
+            &[0]
+        };
+        let mut out = Vec::with_capacity(self.sizes.len() * seeds.len());
+        for &size in &self.sizes {
+            for &seed in seeds {
+                let id = if self.kind.is_random() {
+                    format!("{name}-{label}{size}-s{seed}")
+                } else {
+                    format!("{name}-{label}{size}")
+                };
+                out.push(Instance {
+                    id,
+                    family: name.to_string(),
+                    size,
+                    seed,
+                    graph: self.kind.build(size, seed),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One concrete target: a generated graph plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Stable identifier, e.g. `random_regular-n12-s1`.
+    pub id: String,
+    /// Family wire name.
+    pub family: String,
+    /// Size-grid coordinate this instance came from.
+    pub size: usize,
+    /// Seed-grid coordinate (0 for deterministic families).
+    pub seed: u64,
+    /// The target graph state's graph.
+    pub graph: Graph,
+}
+
+/// A named collection of family grids — the unit the batch compiler sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Corpus name (carried into reports).
+    pub name: String,
+    /// The family grids.
+    pub families: Vec<FamilySpec>,
+}
+
+/// Errors turning JSON into a [`CorpusSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// A required field is missing or has the wrong type.
+    Missing(&'static str),
+    /// `family` names no known generator family.
+    UnknownFamily(String),
+    /// A seed exceeds 2^53 ([`crate::json::MAX_SAFE_INT`]) and would not
+    /// survive the `f64`-backed JSON layer faithfully.
+    SeedTooLarge,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::Missing(field) => {
+                write!(f, "missing or mistyped field '{field}'")
+            }
+            SpecError::UnknownFamily(name) => write!(f, "unknown family '{name}'"),
+            SpecError::SeedTooLarge => {
+                write!(
+                    f,
+                    "seeds above 2^53 are not faithfully representable in JSON"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+impl CorpusSpec {
+    /// The default corpus: the five batch families (random-regular,
+    /// hypercube, heavy-hex, Barabási–Albert, Watts–Strogatz), four
+    /// instances each, sized so the full corpus compiles in seconds.
+    pub fn default_corpus() -> Self {
+        CorpusSpec {
+            name: "default".into(),
+            families: vec![
+                FamilySpec::new(
+                    FamilyKind::RandomRegular { degree: 3 },
+                    vec![10, 12, 14, 16],
+                ),
+                FamilySpec::new(FamilyKind::Hypercube, vec![1, 2, 3, 4]),
+                FamilySpec::new(FamilyKind::HeavyHex { rows: 1 }, vec![1, 2, 3, 4]),
+                FamilySpec::new(
+                    FamilyKind::BarabasiAlbert { attach: 2 },
+                    vec![10, 12, 14, 16],
+                )
+                .with_seeds(vec![2]),
+                FamilySpec::new(
+                    FamilyKind::WattsStrogatz {
+                        neighbors: 4,
+                        beta: 0.2,
+                    },
+                    vec![10, 12, 14, 16],
+                )
+                .with_seeds(vec![3]),
+            ],
+        }
+    }
+
+    /// Materializes every family grid, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates generator parameter assertions; see
+    /// [`FamilyKind::build`].
+    pub fn instances(&self) -> Vec<Instance> {
+        self.families
+            .iter()
+            .flat_map(FamilySpec::instances)
+            .collect()
+    }
+
+    /// Serializes the spec to a JSON document (inverse of
+    /// [`CorpusSpec::from_json`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed exceeds 2^53 ([`crate::json::MAX_SAFE_INT`]): the
+    /// `f64`-backed JSON layer would silently round it, breaking the
+    /// round-trip guarantee (`from_json` rejects such seeds for the same
+    /// reason).
+    pub fn to_json(&self) -> String {
+        assert!(
+            self.families
+                .iter()
+                .flat_map(|f| &f.seeds)
+                .all(|&s| s <= crate::json::MAX_SAFE_INT),
+            "seeds above 2^53 are not faithfully representable in JSON"
+        );
+        let families: Vec<Value> = self
+            .families
+            .iter()
+            .map(|f| {
+                let mut fields = f.kind.to_fields();
+                fields.push((
+                    "sizes".into(),
+                    Value::Arr(f.sizes.iter().map(|&s| Value::Num(s as f64)).collect()),
+                ));
+                // Always serialized — deterministic families ignore seeds
+                // when enumerating, but dropping them here would break the
+                // to_json/from_json inverse for specs that set them.
+                fields.push((
+                    "seeds".into(),
+                    Value::Arr(f.seeds.iter().map(|&s| Value::Num(s as f64)).collect()),
+                ));
+                Value::Obj(fields)
+            })
+            .collect();
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("families".into(), Value::Arr(families)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a spec from JSON. `seeds` defaults to `[1]` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Json`] on malformed JSON, [`SpecError::Missing`] /
+    /// [`SpecError::UnknownFamily`] on schema violations, and
+    /// [`SpecError::SeedTooLarge`] for seeds above 2^53 (whose `f64` JSON
+    /// representation is already imprecise).
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let doc = Value::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(SpecError::Missing("name"))?
+            .to_string();
+        let mut families = Vec::new();
+        for fam in doc
+            .get("families")
+            .and_then(Value::as_arr)
+            .ok_or(SpecError::Missing("families"))?
+        {
+            let kind = FamilyKind::from_value(fam)?;
+            let sizes = fam
+                .get("sizes")
+                .and_then(Value::as_arr)
+                .ok_or(SpecError::Missing("sizes"))?
+                .iter()
+                .map(|s| s.as_usize().ok_or(SpecError::Missing("sizes")))
+                .collect::<Result<Vec<_>, _>>()?;
+            let seeds = match fam.get("seeds") {
+                None => vec![1],
+                Some(list) => list
+                    .as_arr()
+                    .ok_or(SpecError::Missing("seeds"))?
+                    .iter()
+                    .map(|s| match s.as_u64() {
+                        None => Err(SpecError::Missing("seeds")),
+                        Some(seed) if seed > crate::json::MAX_SAFE_INT => {
+                            Err(SpecError::SeedTooLarge)
+                        }
+                        Some(seed) => Ok(seed),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            families.push(FamilySpec { kind, sizes, seeds });
+        }
+        Ok(CorpusSpec { name, families })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_corpus_meets_the_batch_floor() {
+        let spec = CorpusSpec::default_corpus();
+        assert!(spec.families.len() >= 5, "at least five families");
+        for f in &spec.families {
+            assert!(
+                f.instances().len() >= 4,
+                "{}: at least four instances",
+                f.kind.name()
+            );
+        }
+        let instances = spec.instances();
+        assert!(instances.len() >= 20);
+        // Ids are unique and graphs non-trivial.
+        let mut ids: Vec<&str> = instances.iter().map(|i| i.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), instances.len(), "instance ids must be unique");
+        assert!(instances.iter().all(|i| i.graph.vertex_count() >= 2));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let a = CorpusSpec::default_corpus().instances();
+        let b = CorpusSpec::default_corpus().instances();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn seed_grid_multiplies_only_random_families() {
+        let rr = FamilySpec::new(FamilyKind::RandomRegular { degree: 2 }, vec![6, 8])
+            .with_seeds(vec![1, 2, 3]);
+        assert_eq!(rr.instances().len(), 6);
+        let hc = FamilySpec::new(FamilyKind::Hypercube, vec![2, 3]).with_seeds(vec![1, 2, 3]);
+        assert_eq!(
+            hc.instances().len(),
+            2,
+            "deterministic family ignores seeds"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_spec() {
+        let spec = CorpusSpec::default_corpus();
+        let text = spec.to_json();
+        let back = CorpusSpec::from_json(&text).unwrap();
+        assert_eq!(spec, back);
+        // And the instances generated from the reloaded spec are identical.
+        for (a, b) in spec.instances().iter().zip(back.instances()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.graph, b.graph);
+        }
+    }
+
+    #[test]
+    fn seeds_on_deterministic_families_survive_the_round_trip() {
+        // instances() ignores these seeds, but serialization must not: the
+        // round trip is an exact inverse for every well-formed spec.
+        let spec = CorpusSpec {
+            name: "seeded-hypercubes".into(),
+            families: vec![FamilySpec::new(FamilyKind::Hypercube, vec![2]).with_seeds(vec![7])],
+        };
+        let back = CorpusSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.families[0].seeds, vec![7]);
+    }
+
+    #[test]
+    fn seeds_beyond_f64_precision_are_rejected_loudly() {
+        // 2^53 − 1 round-trips exactly; anything above is refused in both
+        // directions (2^53 + 1 would otherwise silently round onto 2^53).
+        let max = crate::json::MAX_SAFE_INT;
+        let ok = CorpusSpec {
+            name: "edge".into(),
+            families: vec![FamilySpec::new(FamilyKind::Hypercube, vec![2]).with_seeds(vec![max])],
+        };
+        assert_eq!(CorpusSpec::from_json(&ok.to_json()).unwrap(), ok);
+
+        let too_big = CorpusSpec {
+            name: "edge".into(),
+            families: vec![
+                FamilySpec::new(FamilyKind::Hypercube, vec![2]).with_seeds(vec![max + 1])
+            ],
+        };
+        assert!(std::panic::catch_unwind(|| too_big.to_json()).is_err());
+        // 2^53 + 1 parses to an f64 that rounds onto 2^53 — still above
+        // MAX_SAFE_INT (2^53 − 1), so the silent-rounding case is caught.
+        for beyond in [max + 1, max + 2, max + 3] {
+            let text = format!(
+                r#"{{"name": "x", "families": [{{"family": "hypercube", "sizes": [2], "seeds": [{beyond}]}}]}}"#
+            );
+            assert_eq!(
+                CorpusSpec::from_json(&text),
+                Err(SpecError::SeedTooLarge),
+                "{beyond}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_reports_schema_violations() {
+        assert!(matches!(
+            CorpusSpec::from_json("{"),
+            Err(SpecError::Json(_))
+        ));
+        assert!(matches!(
+            CorpusSpec::from_json(r#"{"families": []}"#),
+            Err(SpecError::Missing("name"))
+        ));
+        assert!(matches!(
+            CorpusSpec::from_json(r#"{"name": "x"}"#),
+            Err(SpecError::Missing("families"))
+        ));
+        let unknown = r#"{"name": "x", "families": [{"family": "moebius", "sizes": [4]}]}"#;
+        assert!(matches!(
+            CorpusSpec::from_json(unknown),
+            Err(SpecError::UnknownFamily(f)) if f == "moebius"
+        ));
+        let missing_param = r#"{"name": "x", "families": [{"family": "tree", "sizes": [4]}]}"#;
+        assert!(matches!(
+            CorpusSpec::from_json(missing_param),
+            Err(SpecError::Missing("arity"))
+        ));
+    }
+
+    #[test]
+    fn every_family_kind_round_trips() {
+        let spec = CorpusSpec {
+            name: "all".into(),
+            families: vec![
+                FamilySpec::new(FamilyKind::RandomRegular { degree: 3 }, vec![8]),
+                FamilySpec::new(FamilyKind::Hypercube, vec![3]),
+                FamilySpec::new(FamilyKind::HeavyHex { rows: 1 }, vec![2]),
+                FamilySpec::new(FamilyKind::BarabasiAlbert { attach: 2 }, vec![9]),
+                FamilySpec::new(
+                    FamilyKind::WattsStrogatz {
+                        neighbors: 4,
+                        beta: 0.25,
+                    },
+                    vec![10],
+                ),
+                FamilySpec::new(FamilyKind::Lattice { rows: 3 }, vec![4]),
+                FamilySpec::new(FamilyKind::Tree { arity: 2 }, vec![7]),
+                FamilySpec::new(FamilyKind::ErdosRenyi { p: 0.3 }, vec![8]),
+                FamilySpec::new(
+                    FamilyKind::Waxman {
+                        alpha: 0.5,
+                        beta: 0.2,
+                    },
+                    vec![8],
+                ),
+            ],
+        };
+        let back = CorpusSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.instances().len(), 9);
+    }
+}

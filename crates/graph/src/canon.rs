@@ -1,0 +1,202 @@
+//! Label-invariant canonical hashing of graphs.
+//!
+//! The batch compiler's artifact cache is content-addressed: two corpus
+//! instances that denote the same graph must map to the same cache key even
+//! when their vertex labelings differ. [`canonical_hash`] provides that key
+//! through Weisfeiler–Lehman color refinement — every quantity it folds in
+//! (vertex count, edge count, sorted multisets of refined colors) is
+//! invariant under vertex relabeling, so `canonical_hash(g) ==
+//! canonical_hash(relabel(g, π))` for every permutation `π`.
+//!
+//! Like any hash, it is one-sided: equal hashes do **not** prove isomorphism
+//! (WL refinement cannot separate certain regular graphs), so cache lookups
+//! must confirm a candidate by exact comparison before reusing artifacts.
+//!
+//! # Examples
+//!
+//! ```
+//! use epgs_graph::{canon, generators};
+//!
+//! let g = generators::lattice(3, 3);
+//! // Cyclically shift the vertex labels: same graph, different labeling.
+//! let perm: Vec<usize> = (0..9).map(|v| (v + 1) % 9).collect();
+//! let h = canon::relabel(&g, &perm);
+//! assert_ne!(g, h, "labelings differ");
+//! assert_eq!(canon::canonical_hash(&g), canon::canonical_hash(&h));
+//! assert_ne!(
+//!     canon::canonical_hash(&g),
+//!     canon::canonical_hash(&generators::cycle(9)),
+//! );
+//! ```
+
+use crate::graph::Graph;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one `u64` into an FNV-1a state, bytewise.
+///
+/// FNV is used instead of `std`'s `DefaultHasher` because its output is
+/// specified: cache keys and report fields survive process restarts and
+/// cross-platform comparison.
+pub fn fnv1a(state: u64, word: u64) -> u64 {
+    let mut h = state;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes a sequence of words from the FNV-1a offset basis.
+pub fn fnv1a_all(words: impl IntoIterator<Item = u64>) -> u64 {
+    words.into_iter().fold(FNV_OFFSET, fnv1a)
+}
+
+/// Label-invariant hash of `g` via Weisfeiler–Lehman color refinement.
+///
+/// Vertices start colored by degree; each round recolors every vertex with a
+/// hash of its own color and the *sorted* multiset of its neighbors'
+/// colors. Refinement stops when the number of color classes stabilizes (at
+/// most `n` rounds); the final hash combines the vertex count, edge count,
+/// and the sorted multiset of stable colors — all relabeling-invariant.
+pub fn canonical_hash(g: &Graph) -> u64 {
+    let n = g.vertex_count();
+    let mut color: Vec<u64> = (0..n).map(|v| fnv1a_all([g.degree(v) as u64])).collect();
+    let mut classes = distinct(&color);
+    for _ in 0..n {
+        let next: Vec<u64> = (0..n)
+            .map(|v| {
+                let mut nbr: Vec<u64> = g.neighbors(v).iter().map(|&w| color[w]).collect();
+                nbr.sort_unstable();
+                fnv1a_all(std::iter::once(color[v]).chain(nbr))
+            })
+            .collect();
+        let next_classes = distinct(&next);
+        color = next;
+        if next_classes == classes {
+            break;
+        }
+        classes = next_classes;
+    }
+    color.sort_unstable();
+    fnv1a_all([n as u64, g.edge_count() as u64].into_iter().chain(color))
+}
+
+/// Number of distinct values in `colors`.
+fn distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// The graph with vertex `v` renamed to `perm[v]` (`perm` must be a
+/// permutation of `0..n`): the tool for exercising label invariance.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..g.vertex_count()`.
+pub fn relabel(g: &Graph, perm: &[usize]) -> Graph {
+    let n = g.vertex_count();
+    assert_eq!(perm.len(), n, "permutation must cover every vertex");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "perm must be a permutation of 0..n");
+        seen[p] = true;
+    }
+    Graph::from_edges(n, g.edges().map(|(a, b)| (perm[a], perm[b])))
+        .expect("permuted edges stay in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hash_is_invariant_under_random_relabelings() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for g in [
+            generators::lattice(3, 4),
+            generators::tree(13, 2),
+            generators::repeater_graph_state(2),
+            generators::waxman(14, 0.5, 0.2, &mut StdRng::seed_from_u64(3)),
+        ] {
+            let base = canonical_hash(&g);
+            for _ in 0..5 {
+                let mut perm: Vec<usize> = (0..g.vertex_count()).collect();
+                perm.shuffle(&mut rng);
+                assert_eq!(base, canonical_hash(&relabel(&g, &perm)));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_separates_structurally_different_graphs() {
+        let hashes: Vec<u64> = [
+            generators::path(8),
+            generators::cycle(8),
+            generators::star(8),
+            generators::complete(8),
+            generators::lattice(2, 4),
+            generators::tree(8, 2),
+            generators::hypercube(3),
+        ]
+        .iter()
+        .map(canonical_hash)
+        .collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len(), "families must not collide");
+    }
+
+    #[test]
+    fn hash_depends_on_size_and_density() {
+        assert_ne!(
+            canonical_hash(&generators::path(5)),
+            canonical_hash(&generators::path(6))
+        );
+        assert_ne!(
+            canonical_hash(&Graph::new(4)),
+            canonical_hash(&generators::path(4))
+        );
+    }
+
+    #[test]
+    fn empty_graph_hashes_consistently() {
+        assert_eq!(
+            canonical_hash(&Graph::new(0)),
+            canonical_hash(&Graph::new(0))
+        );
+        assert_ne!(
+            canonical_hash(&Graph::new(0)),
+            canonical_hash(&Graph::new(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn relabel_rejects_short_permutations() {
+        relabel(&generators::path(4), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "perm must be a permutation")]
+    fn relabel_rejects_duplicate_entries() {
+        relabel(&generators::path(3), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the specified FNV-1a stream so cache keys stay comparable
+        // across releases.
+        assert_eq!(fnv1a_all([0]), 0xa8c7_f832_281a_39c5);
+    }
+}

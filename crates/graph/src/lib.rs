@@ -7,9 +7,12 @@
 //! * [`ops`] — local complementation, pivot, and Pauli-measurement update
 //!   rules, the combinatorial shadows of local Clifford operations;
 //! * [`generators`] — the benchmark families of the paper (lattice, tree,
-//!   Waxman) and standard test graphs;
+//!   Waxman), the batch-corpus families (random-regular, hypercube,
+//!   heavy-hex, Barabási–Albert, Watts–Strogatz), and standard test graphs;
 //! * [`height`] — cut-rank / height function, which lower-bounds the emitter
 //!   count needed for deterministic emitter-photonic generation;
+//! * [`canon`] — label-invariant Weisfeiler–Lehman hashing, the key
+//!   function of the batch compiler's content-addressed artifact cache;
 //! * [`gf2`] — the dense GF(2) kernels shared with the stabilizer crate;
 //! * [`metrics`], [`dot`] — structural summaries and Graphviz export.
 //!
@@ -30,6 +33,7 @@
 //! # }
 //! ```
 
+pub mod canon;
 pub mod dot;
 pub mod error;
 pub mod generators;

@@ -1,10 +1,17 @@
-//! Quickstart: compile the paper's Figure 1(b) four-photon graph state.
+//! Quickstart: compile the paper's Figure 1(b) four-photon graph state,
+//! one pipeline stage at a time.
 //!
 //! The target entangles photons p0–p3 with edges {p0-p1, p0-p2, p1-p3,
-//! p2-p3} (a 4-cycle). The example walks the staged pipeline explicitly —
-//! partition → plan leaves → schedule → recombine → verify — printing what
-//! each stage produced, then cross-checks against the plain time-reversed
-//! baseline, reproducing the Fig. 1(c) vs Fig. 1(d) contrast of the paper.
+//! p2-p3} (a 4-cycle). Compilation is a five-stage pipeline (paper Fig. 6)
+//! and each stage below is called explicitly, so you can see the artifact
+//! it produces and what that artifact is for:
+//!
+//! ```text
+//! partition → plan_leaves → schedule → recombine → verify
+//! ```
+//!
+//! The example also runs the plain time-reversed baseline first,
+//! reproducing the Fig. 1(c) vs Fig. 1(d) contrast of the paper.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -23,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let hw = HardwareModel::quantum_dot();
 
-    // Unoptimized reference (Fig. 1c): plain time-reversed solve.
+    // Unoptimized reference (Fig. 1c): one whole-graph time-reversed solve
+    // with no partitioning, no local complementation, and no scheduling.
+    // Everything the pipeline does below is aimed at beating this circuit's
+    // emitter-emitter CNOT count and duration.
     let baseline = solve_baseline(
         &target,
         &hw,
@@ -35,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- baseline (Li et al. / GraphiQ-style) ---");
     println!("{}", baseline.circuit);
 
-    // Framework-compiled circuit (Fig. 1d flavor), stage by stage.
+    // A Pipeline is a FrameworkConfig plus stage counters; it is the staged
+    // alternative to the one-shot `Framework::compile`, and both produce
+    // bit-identical circuits. Use the pipeline when you want to hold on to
+    // an intermediate artifact — every stage method takes `&self`, so one
+    // expensive prefix can fan out into many cheap suffixes.
     let pipeline = Pipeline::new(
         FrameworkConfig::builder()
             .g_max(7)
@@ -44,8 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build(),
     );
 
-    // 1. Partition (§IV.A): split into ≤ g_max blocks, shrinking the cut
-    //    with depth-limited local complementation.
+    // Stage 1 — partition (§IV.A): split the target into blocks of at most
+    // g_max vertices, using up to lc_budget local complementations to
+    // shrink the number of edges crossing between blocks (each LC costs
+    // only single-qubit photon gates later, so trading LCs for cut edges is
+    // almost free). The artifact also records Ne_min, the smallest emitter
+    // count any known deterministic ordering needs for this target — the
+    // reference point emitter budgets are expressed against.
     let partitioned = pipeline.partition(&target);
     println!("--- staged pipeline ---");
     println!(
@@ -60,11 +79,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         partitioned.ne_min()
     );
 
-    // 2. Plan leaves (§IV.B): near-optimal circuit per block, in parallel.
+    // Stage 2 — plan leaves (§IV.B): compile each block's induced subgraph
+    // near-optimally, in parallel across blocks. Every block is also solved
+    // with a few extra "flexible" emitter counts (ne_min + slack), giving
+    // the scheduler variants to choose from. This is the expensive prefix:
+    // hold the returned `Planned` and you never pay for it again — the
+    // batch engine's artifact cache stores exactly this artifact.
     let planned = partitioned.plan_leaves()?;
     println!("planned:   {} leaf plans", planned.plans().len());
 
-    // 3. Schedule (§IV.C): Tetris-pack under the resolved emitter budget.
+    // Stage 3 — schedule (§IV.C): Tetris-pack the leaf circuits onto a
+    // shared timeline under the resolved emitter budget Ne_limit
+    // (1.5 × Ne_min here). Scheduling is the first budget-dependent stage,
+    // so an Ne_limit sweep calls `planned.schedule(b)` once per budget and
+    // reuses everything upstream.
     let scheduled = planned.schedule(planned.configured_budget());
     println!(
         "scheduled: makespan {:.2} τ under {} emitters",
@@ -72,11 +100,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scheduled.ne_limit()
     );
 
-    // 4. Recombine (§IV.D): strategies compete for the global circuit.
+    // Stage 4 — recombine (§IV.D): assemble one global circuit. Candidate
+    // strategies compete under the paper's lexicographic objective
+    // (#ee-CNOT, then T_loss, then duration): the schedule-interleaved
+    // solve, a block-sequential solve, and a direct whole-graph solve that
+    // lets the framework degrade gracefully when partitioning doesn't pay.
+    // The artifact records which strategy won.
     let recombined = scheduled.recombine()?;
     println!("recombined via {:?}", recombined.strategy());
 
-    // 5. Verify (§IV.E): stabilizer check against the original target.
+    // Stage 5 — verify (§IV.E): simulate the circuit with the stabilizer
+    // tableau and check it generates exactly |target⟩ — the acceptance
+    // oracle that makes every optimization above safe. The result bundles
+    // the circuit with its metrics, partition, schedule, and provenance.
     let compiled = recombined.verify()?;
     println!("{}", compiled.circuit);
     println!("{}", epgs::report::render(&compiled));
