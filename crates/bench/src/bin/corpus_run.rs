@@ -100,18 +100,33 @@ fn main() -> ExitCode {
         .into_iter()
         .map(|i| BatchInstance::new(i.id, i.family, i.graph))
         .collect();
+
+    // A corpus may pin a hardware preset; it overrides the bench default
+    // end to end (timings, loss figures, and any objective the config
+    // carries). `from_json` validated the key, but specs built in code
+    // reach here too.
+    let mut config = corpus_framework().config().clone();
+    match spec.hardware_model() {
+        Ok(None) => {}
+        Ok(Some(hw)) => config.set_platform(hw),
+        Err(e) => {
+            eprintln!("spec '{}': {e}", spec.name);
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
-        "corpus '{}': {} families, {} instances, {} passes",
+        "corpus '{}': {} families, {} instances, {} passes, hardware '{}'",
         spec.name,
         spec.families.len(),
         jobs.len(),
-        passes
+        passes,
+        config.hardware.name,
     );
 
     // Size the cache to the corpus: the default 256-entry bound would
     // thrash (and fail the repeated-pass hit check below) on larger specs.
     let batch = BatchCompiler::with_cache_capacity(
-        corpus_framework().config().clone(),
+        config,
         jobs.len().max(BatchCompiler::DEFAULT_CACHE_CAPACITY),
     );
     let mut reports: Vec<BatchReport> = Vec::with_capacity(passes);

@@ -1,6 +1,6 @@
 //! The evaluation metrics of the paper, computed from a circuit.
 
-use epgs_hardware::{loss_report, HardwareModel, LossReport};
+use epgs_hardware::{loss_report, HardwareModel, LossReport, ObjectiveFigures};
 
 use crate::circuit::Circuit;
 use crate::timeline::{peak_emitter_usage, timeline};
@@ -27,6 +27,20 @@ pub struct CircuitMetrics {
     /// State-fidelity estimate from imperfect emitter-emitter gates:
     /// `ee_fidelity ^ ee_two_qubit_count` (paper §III Challenge 2).
     pub ee_fidelity_estimate: f64,
+}
+
+impl CircuitMetrics {
+    /// The figures a [`epgs_hardware::CompileObjective`] scores, as
+    /// measured by these metrics — the single conversion point between
+    /// circuit metrics and objective inputs.
+    pub fn objective_figures(&self) -> ObjectiveFigures {
+        ObjectiveFigures {
+            ee_cnots: self.ee_two_qubit_count,
+            duration: self.duration,
+            t_loss: self.t_loss,
+            mean_photon_loss: self.loss.mean_photon_loss,
+        }
+    }
 }
 
 /// Computes every reported metric for `circuit` under `hw`.

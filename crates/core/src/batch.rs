@@ -27,6 +27,7 @@ use rayon::prelude::*;
 
 use epgs_graph::canon::{canonical_hash, fnv1a_all};
 use epgs_graph::Graph;
+use epgs_hardware::{CompileObjective, HardwareModel};
 
 use crate::config::{EmitterBudget, FrameworkConfig};
 use crate::framework::Compiled;
@@ -45,11 +46,39 @@ pub fn config_fingerprint(cfg: &FrameworkConfig) -> u64 {
             RecombineStrategy::DirectSolve => 3,
         }
     };
+    let hardware_words = |hw: &HardwareModel| -> [u64; 8] {
+        [
+            fnv1a_all(hw.name.bytes().map(u64::from)),
+            hw.ee_two_qubit.to_bits(),
+            hw.emission.to_bits(),
+            hw.emitter_single.to_bits(),
+            hw.photon_single.to_bits(),
+            hw.measurement.to_bits(),
+            hw.photon_loss_per_tau.to_bits(),
+            hw.ee_fidelity.to_bits(),
+        ]
+    };
     let budget_words = match cfg.emitter_budget {
         EmitterBudget::Factor(f) => [1u64, f.to_bits()],
         EmitterBudget::Absolute(n) => [2u64, n as u64],
     };
-    let hw = &cfg.hardware;
+    // Kind discriminant, then weights, then the objective's own hardware
+    // model (if any): objectives that differ in any scored dimension must
+    // fingerprint apart, because they can select different circuits.
+    let objective_words: Vec<u64> = match &cfg.objective {
+        CompileObjective::Emitters => vec![1],
+        CompileObjective::Duration(hw) => std::iter::once(2).chain(hardware_words(hw)).collect(),
+        CompileObjective::Loss(hw) => std::iter::once(3).chain(hardware_words(hw)).collect(),
+        CompileObjective::Weighted {
+            hardware,
+            ee,
+            duration,
+            loss,
+        } => [4, ee.to_bits(), duration.to_bits(), loss.to_bits()]
+            .into_iter()
+            .chain(hardware_words(hardware))
+            .collect(),
+    };
     let words = [
         cfg.partition.g_max as u64,
         cfg.partition.lc_budget as u64,
@@ -59,17 +88,11 @@ pub fn config_fingerprint(cfg: &FrameworkConfig) -> u64 {
         cfg.flexible_slack as u64,
         u64::from(cfg.verify),
         cfg.seed,
-        fnv1a_all(hw.name.bytes().map(u64::from)),
-        hw.ee_two_qubit.to_bits(),
-        hw.emission.to_bits(),
-        hw.emitter_single.to_bits(),
-        hw.photon_single.to_bits(),
-        hw.measurement.to_bits(),
-        hw.photon_loss_per_tau.to_bits(),
-        hw.ee_fidelity.to_bits(),
     ]
     .into_iter()
+    .chain(hardware_words(&cfg.hardware))
     .chain(budget_words)
+    .chain(objective_words)
     .chain(cfg.recombine.iter().map(strategy_code));
     fnv1a_all(words)
 }
@@ -299,6 +322,13 @@ pub struct InstanceMetrics {
     pub ee_cnots: usize,
     /// Circuit duration in τ.
     pub duration: f64,
+    /// Mean photon storage time `T_loss` in τ.
+    pub t_loss: f64,
+    /// Mean per-photon loss probability under the configured hardware.
+    pub mean_photon_loss: f64,
+    /// Probability at least one photon is lost under the configured
+    /// hardware.
+    pub any_photon_loss: f64,
     /// Recombination strategy that won.
     pub strategy: RecombineStrategy,
 }
@@ -360,6 +390,21 @@ pub struct FamilySummary {
 /// Aggregate result of one [`BatchCompiler::run`].
 #[derive(Debug, Clone)]
 pub struct BatchReport {
+    /// Name of the hardware model every instance compiled under.
+    pub hardware: String,
+    /// Wire name of the objective candidates competed under.
+    pub objective: String,
+    /// Name of the platform the objective scored under, when it carries
+    /// its own (`None` for [`CompileObjective::Emitters`], which scores
+    /// under [`BatchReport::hardware`]). Two runs with equal `hardware` +
+    /// `objective` but different scoring platforms select different
+    /// circuits; this field keeps them distinguishable.
+    pub objective_hardware: Option<String>,
+    /// The `(ee, duration, loss)` weights of a
+    /// [`CompileObjective::Weighted`] run (`None` otherwise) — two
+    /// weighted runs with different weights select different circuits, so
+    /// the weights are part of the report's identity too.
+    pub objective_weights: Option<[f64; 3]>,
     /// Per-instance reports, in input order.
     pub instances: Vec<InstanceReport>,
     /// Instances that compiled and verified.
@@ -386,7 +431,11 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    fn from_instances(instances: Vec<InstanceReport>, cache: CacheStats) -> Self {
+    fn from_instances(
+        config: &FrameworkConfig,
+        instances: Vec<InstanceReport>,
+        cache: CacheStats,
+    ) -> Self {
         let succeeded = instances.iter().filter(|r| r.ok()).count();
         let cache_hits = instances
             .iter()
@@ -439,6 +488,15 @@ impl BatchReport {
         }
 
         BatchReport {
+            hardware: config.hardware.name.to_string(),
+            objective: config.objective.kind_name().to_string(),
+            objective_hardware: config.objective.hardware().map(|hw| hw.name.to_string()),
+            objective_weights: match &config.objective {
+                CompileObjective::Weighted {
+                    ee, duration, loss, ..
+                } => Some([*ee, *duration, *loss]),
+                _ => None,
+            },
             failed: instances.len() - succeeded,
             succeeded,
             cache_hits,
@@ -456,7 +514,21 @@ impl BatchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
-            "\"succeeded\":{},\"failed\":{},\"cache_hits\":{},\"cache_misses\":{},\
+            "\"hardware\":{},\"objective\":{},",
+            json_str(&self.hardware),
+            json_str(&self.objective),
+        ));
+        if let Some(oh) = &self.objective_hardware {
+            out.push_str(&format!("\"objective_hardware\":{},", json_str(oh)));
+        }
+        if let Some([ee, duration, loss]) = self.objective_weights {
+            out.push_str(&format!(
+                "\"objective_weights\":{{\"ee\":{ee},\"duration\":{duration},\"loss\":{loss}}},"
+            ));
+        }
+        out.push_str(&format!(
+            "\"succeeded\":{},\"failed\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\
              \"distinct_canonical\":{},\"total_wall_micros\":{}",
             self.succeeded,
             self.failed,
@@ -524,8 +596,17 @@ impl BatchReport {
             if let Some(m) = &r.metrics {
                 out.push_str(&format!(
                     ",\"ne_min\":{},\"ne_limit\":{},\"peak_emitters\":{},\"ee_cnots\":{},\
-                     \"duration\":{:.3},\"strategy\":\"{:?}\"",
-                    m.ne_min, m.ne_limit, m.peak_emitters, m.ee_cnots, m.duration, m.strategy,
+                     \"duration\":{:.3},\"t_loss\":{:.3},\"mean_photon_loss\":{:.6},\
+                     \"any_photon_loss\":{:.6},\"strategy\":\"{:?}\"",
+                    m.ne_min,
+                    m.ne_limit,
+                    m.peak_emitters,
+                    m.ee_cnots,
+                    m.duration,
+                    m.t_loss,
+                    m.mean_photon_loss,
+                    m.any_photon_loss,
+                    m.strategy,
                 ));
             }
             if let Some(e) = &r.error {
@@ -704,6 +785,9 @@ impl BatchCompiler {
                 peak_emitters: c.metrics.peak_emitters,
                 ee_cnots: c.metrics.ee_two_qubit_count,
                 duration: c.metrics.duration,
+                t_loss: c.metrics.t_loss,
+                mean_photon_loss: c.metrics.loss.mean_photon_loss,
+                any_photon_loss: c.metrics.loss.any_photon_loss,
                 strategy: c.strategy,
             }),
             error: compiled.as_ref().err().map(ToString::to_string),
@@ -758,7 +842,7 @@ impl BatchCompiler {
             .into_iter()
             .map(|r| r.expect("every instance reported"))
             .collect();
-        BatchReport::from_instances(reports, self.cache_stats())
+        BatchReport::from_instances(self.pipeline.config(), reports, self.cache_stats())
     }
 }
 

@@ -1,6 +1,6 @@
 //! Framework configuration and its builder.
 
-use epgs_hardware::HardwareModel;
+use epgs_hardware::{CompileObjective, HardwareModel};
 use epgs_partition::PartitionSpec;
 
 use crate::stages::RecombineStrategy;
@@ -46,8 +46,15 @@ impl EmitterBudget {
 pub struct FrameworkConfig {
     /// Partitioning parameters (g_max, LC budget l, search effort).
     pub partition: PartitionSpec,
-    /// Hardware timing/loss model.
+    /// Hardware timing/loss model used for scheduling and reported metrics.
     pub hardware: HardwareModel,
+    /// What candidate circuits compete on — leaf-variant selection and
+    /// recombination both minimize this. Objectives that name a
+    /// [`HardwareModel`] score candidates under *that* platform;
+    /// [`CompileObjective::Emitters`] (the default) scores under
+    /// [`FrameworkConfig::hardware`] and reproduces the paper's
+    /// lexicographic (#ee-CNOT, `T_loss`, duration) order exactly.
+    pub objective: CompileObjective,
     /// Emitter budget Ne_limit.
     pub emitter_budget: EmitterBudget,
     /// Candidate emission orderings explored per subgraph.
@@ -69,6 +76,7 @@ impl Default for FrameworkConfig {
         FrameworkConfig {
             partition: PartitionSpec::default(),
             hardware: HardwareModel::quantum_dot(),
+            objective: CompileObjective::Emitters,
             emitter_budget: EmitterBudget::Factor(1.5),
             orderings_per_subgraph: 8,
             flexible_slack: 2,
@@ -85,6 +93,17 @@ impl FrameworkConfig {
         FrameworkConfigBuilder {
             config: FrameworkConfig::default(),
         }
+    }
+
+    /// Targets a platform end to end: sets [`FrameworkConfig::hardware`]
+    /// *and* re-targets any hardware-carrying objective at the same
+    /// preset, so scoring and reporting agree. The single owner of that
+    /// consistency invariant — prefer it over assigning the two fields
+    /// separately ([`FrameworkConfigBuilder::platform`] and the bench
+    /// drivers all route through here).
+    pub fn set_platform(&mut self, hardware: HardwareModel) {
+        self.objective = std::mem::take(&mut self.objective).with_hardware(hardware.clone());
+        self.hardware = hardware;
     }
 }
 
@@ -123,6 +142,32 @@ impl FrameworkConfigBuilder {
     /// Hardware timing/loss model.
     pub fn hardware(mut self, hardware: HardwareModel) -> Self {
         self.config.hardware = hardware;
+        self
+    }
+
+    /// Compilation objective (see [`FrameworkConfig::objective`]).
+    pub fn objective(mut self, objective: CompileObjective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Targets a platform end to end: sets [`FrameworkConfig::hardware`]
+    /// *and* re-targets any hardware-carrying objective at the same
+    /// preset, so scoring and reporting agree.
+    ///
+    /// ```
+    /// use epgs::{CompileObjective, FrameworkConfig};
+    /// use epgs_hardware::HardwareModel;
+    ///
+    /// let config = FrameworkConfig::builder()
+    ///     .objective(CompileObjective::Duration(HardwareModel::quantum_dot()))
+    ///     .platform(HardwareModel::rydberg())
+    ///     .build();
+    /// assert_eq!(config.hardware.name, "Rydberg superatom");
+    /// assert_eq!(config.objective.hardware().unwrap().name, "Rydberg superatom");
+    /// ```
+    pub fn platform(mut self, hardware: HardwareModel) -> Self {
+        self.config.set_platform(hardware);
         self
     }
 
@@ -189,6 +234,7 @@ mod tests {
         assert_eq!(c.partition.lc_budget, 15);
         assert_eq!(c.flexible_slack, 2);
         assert_eq!(c.recombine, RecombineStrategy::all());
+        assert_eq!(c.objective, CompileObjective::Emitters);
     }
 
     #[test]
@@ -214,9 +260,14 @@ mod tests {
             .orderings_per_subgraph(5)
             .flexible_slack(0)
             .recombine(vec![RecombineStrategy::DirectSolve])
+            .objective(CompileObjective::Duration(HardwareModel::rydberg()))
             .verify(false)
             .seed(99)
             .build();
+        assert_eq!(
+            c.objective,
+            CompileObjective::Duration(HardwareModel::rydberg())
+        );
         assert_eq!(c.partition.g_max, 4);
         assert_eq!(c.partition.lc_budget, 2);
         assert_eq!(c.partition.effort, 9);

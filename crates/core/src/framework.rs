@@ -9,6 +9,7 @@
 
 use epgs_circuit::{Circuit, CircuitMetrics};
 use epgs_graph::Graph;
+use epgs_hardware::{CompileObjective, LossReport};
 use epgs_partition::Partition;
 
 use crate::config::FrameworkConfig;
@@ -58,6 +59,16 @@ pub struct Compiled {
     pub ne_min: usize,
     /// The recombination strategy whose candidate won.
     pub strategy: RecombineStrategy,
+    /// The objective candidate circuits competed under.
+    pub objective: CompileObjective,
+}
+
+impl Compiled {
+    /// Per-photon and aggregate loss figures of the chosen circuit under
+    /// the configured hardware model (shorthand for `metrics.loss`).
+    pub fn loss_report(&self) -> &LossReport {
+        &self.metrics.loss
+    }
 }
 
 impl Framework {

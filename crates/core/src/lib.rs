@@ -70,6 +70,37 @@
 //! [`FrameworkConfig::recombine`] or per call via
 //! [`Scheduled::recombine_with`].
 //!
+//! # The hardware-aware objective layer
+//!
+//! What candidates compete *on* is itself configurable:
+//! [`FrameworkConfig::objective`] holds a [`CompileObjective`] consumed by
+//! leaf-variant selection and recombination scoring alike. The default,
+//! [`CompileObjective::Emitters`], is the paper's lexicographic
+//! (#ee-CNOT, `T_loss`, duration) order; `Duration(hw)` / `Loss(hw)` /
+//! `Weighted { .. }` re-target the competition at a concrete platform's
+//! timing and loss numbers, so the same graph can compile to different
+//! strategies on different hardware:
+//!
+//! ```
+//! use epgs::{CompileObjective, Framework, FrameworkConfig};
+//! use epgs_graph::generators;
+//! use epgs_hardware::HardwareModel;
+//!
+//! # fn main() -> Result<(), epgs::FrameworkError> {
+//! let rydberg = HardwareModel::rydberg();
+//! let fw = Framework::new(
+//!     FrameworkConfig::builder()
+//!         .objective(CompileObjective::Duration(rydberg.clone()))
+//!         .platform(rydberg)
+//!         .build(),
+//! );
+//! let compiled = fw.compile(&generators::lattice(3, 3))?;
+//! assert_eq!(compiled.objective.kind_name(), "duration");
+//! assert!(compiled.loss_report().mean_photon_loss < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # The batch engine
 //!
 //! [`BatchCompiler`] (module [`batch`]) scales the pipeline from one target
@@ -105,6 +136,7 @@ pub use batch::{
     CacheOutcome, CacheStats, FamilySummary, InstanceMetrics, InstanceReport,
 };
 pub use config::{EmitterBudget, FrameworkConfig, FrameworkConfigBuilder};
+pub use epgs_hardware::{CompileObjective, ObjectiveFigures, ObjectiveScore};
 pub use error::FrameworkError;
 pub use framework::{compile, Compiled, Framework};
 pub use schedule::{schedule, Placement, Schedule, StepFn};

@@ -46,7 +46,11 @@ pub fn render(c: &Compiled) -> String {
         "schedule: makespan estimate {:.2} τ under {} emitters\n",
         c.schedule.makespan, c.schedule.ne_limit
     ));
-    out.push_str(&format!("recombination: {:?} won\n", c.strategy));
+    out.push_str(&format!(
+        "recombination: {:?} won under the {} objective\n",
+        c.strategy,
+        c.objective.kind_name()
+    ));
     out.push_str(&format!(
         "final circuit: {} ee-CNOTs, {:.2} τ duration, T_loss {:.2} τ, \
          {} measurements, {} single-qubit gates\n",

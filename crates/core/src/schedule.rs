@@ -266,7 +266,16 @@ mod tests {
 
     fn plan_for(g: &epgs_graph::Graph, base: usize, seed: u64) -> SubgraphPlan {
         let vertices: Vec<usize> = (base..base + g.vertex_count()).collect();
-        compile_subgraph(g, &vertices, &HardwareModel::quantum_dot(), 4, 2, seed).unwrap()
+        compile_subgraph(
+            g,
+            &vertices,
+            &HardwareModel::quantum_dot(),
+            &epgs_hardware::CompileObjective::Emitters,
+            4,
+            2,
+            seed,
+        )
+        .unwrap()
     }
 
     #[test]

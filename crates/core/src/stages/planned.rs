@@ -72,6 +72,7 @@ impl Planned {
                 &sub,
                 &vertices,
                 &cfg.hardware,
+                &cfg.objective,
                 cfg.orderings_per_subgraph,
                 cfg.flexible_slack,
                 cfg.seed.wrapping_add(i as u64).wrapping_add(seed_extra),

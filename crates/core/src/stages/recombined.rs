@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use epgs_circuit::{circuit_metrics, simulate, Circuit, CircuitMetrics, Op, Qubit};
 use epgs_graph::{height, ops, Graph};
+use epgs_hardware::CompileObjective;
 use epgs_solver::ordering;
 use epgs_solver::reverse::{solve_with_ordering, Affinity, SolveOptions};
 
@@ -19,8 +20,11 @@ use crate::subgraph::SubgraphPlan;
 /// How the scheduled leaf circuits are recombined into one global circuit.
 ///
 /// Strategies are tried in the configured order and compete under the
-/// paper's lexicographic objective (#ee-CNOT, then `T_loss`, then duration);
-/// see [`crate::FrameworkConfig::recombine`]. The default order — scheduled
+/// configured [`CompileObjective`] (the default,
+/// [`CompileObjective::Emitters`], is the paper's lexicographic #ee-CNOT,
+/// then `T_loss`, then duration order); see
+/// [`crate::FrameworkConfig::recombine`] and
+/// [`crate::FrameworkConfig::objective`]. The default order — scheduled
 /// interleave, block-sequential, direct solve — reproduces the original
 /// hard-coded candidate list, letting the framework degenerate gracefully
 /// when partitioning does not pay.
@@ -82,12 +86,14 @@ pub struct Recombined {
     metrics: CircuitMetrics,
     global_ordering: Vec<usize>,
     strategy: RecombineStrategy,
+    objective: CompileObjective,
 }
 
 impl Recombined {
     pub(crate) fn build(
         stage: &Scheduled,
         strategies: &[RecombineStrategy],
+        objective: &CompileObjective,
     ) -> Result<Self, FrameworkError> {
         let shared = Arc::clone(&stage.shared);
         let cfg = &shared.config;
@@ -159,7 +165,11 @@ impl Recombined {
             return Err(FrameworkError::NoRecombineStrategy);
         }
 
-        let mut best: Option<(RecombineStrategy, Circuit, CircuitMetrics)> = None;
+        // The platform the objective scores under: its own, if it names
+        // one, else the configured model (Emitters scores the configured
+        // model's T_loss/duration — the paper's default).
+        let score_hw = objective.hardware().unwrap_or(&cfg.hardware);
+        let mut best: Option<(RecombineStrategy, Circuit, epgs_hardware::ObjectiveScore)> = None;
         let mut last_err = None;
         for (strategy, (graph, ord, aff, lc_seq)) in candidates {
             // Each candidate sizes its own pool: the shared budget, raised to
@@ -178,16 +188,14 @@ impl Recombined {
                     // Undo the LC sequence with single-qubit photon gates so
                     // the circuit delivers |target⟩, not |transformed⟩.
                     append_lc_inverse(&mut circuit, target, lc_seq);
-                    let metrics = circuit_metrics(&cfg.hardware, &circuit);
+                    let score =
+                        objective.score(&circuit_metrics(score_hw, &circuit).objective_figures());
                     let better = match &best {
                         None => true,
-                        Some((_, _, b)) => {
-                            (metrics.ee_two_qubit_count, metrics.t_loss, metrics.duration)
-                                < (b.ee_two_qubit_count, b.t_loss, b.duration)
-                        }
+                        Some((_, _, b)) => score < *b,
                     };
                     if better {
-                        best = Some((strategy, circuit, metrics));
+                        best = Some((strategy, circuit, score));
                     }
                 }
                 Err(e) => last_err = Some(e),
@@ -215,6 +223,7 @@ impl Recombined {
             metrics,
             global_ordering,
             strategy,
+            objective: objective.clone(),
         })
     }
 
@@ -231,6 +240,11 @@ impl Recombined {
     /// The strategy whose candidate won the competition.
     pub fn strategy(&self) -> RecombineStrategy {
         self.strategy
+    }
+
+    /// The objective the competition minimized.
+    pub fn objective(&self) -> &CompileObjective {
+        &self.objective
     }
 
     /// Stage 5: checks the circuit against the original target with the
@@ -273,6 +287,7 @@ impl Recombined {
             ne_limit: self.ne_limit,
             ne_min,
             strategy: self.strategy,
+            objective: self.objective,
         })
     }
 }

@@ -4,18 +4,20 @@
 //! by explicit search: candidate emission orderings (the low-degree-first DFS
 //! heuristic, BFS, natural, and connectivity-respecting random samples) are
 //! ranked by the height-function cost estimate, the best few are compiled
-//! for real, and among minimal-#CNOT candidates the one with the smallest
-//! photon-loss exposure T_loss wins. The flexible-resource policy compiles
-//! every survivor at `ne_min … ne_min + slack` emitters so the scheduler can
-//! trade emitters for parallelism (§IV.C).
+//! for real, and the winner minimizes the configured
+//! [`CompileObjective`] — under the paper's default that is the
+//! lexicographic (#ee-CNOT, `T_loss`, duration) order. The
+//! flexible-resource policy compiles every survivor at
+//! `ne_min … ne_min + slack` emitters so the scheduler can trade emitters
+//! for parallelism (§IV.C).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use epgs_circuit::{circuit_metrics, timeline};
+use epgs_circuit::{circuit_metrics, timeline, CircuitMetrics};
 use epgs_graph::Graph;
-use epgs_hardware::HardwareModel;
-use epgs_solver::cost::estimate_ordering;
+use epgs_hardware::{CompileObjective, HardwareModel, ObjectiveScore};
+use epgs_solver::cost::{rank_orderings_weighted, CostWeights};
 use epgs_solver::reverse::{solve_with_ordering, SolveOptions, Solved};
 use epgs_solver::{ordering, SolverError};
 
@@ -77,6 +79,7 @@ pub fn compile_subgraph(
     sub: &Graph,
     vertices: &[usize],
     hw: &HardwareModel,
+    objective: &CompileObjective,
     orderings_budget: usize,
     flexible_slack: usize,
     seed: u64,
@@ -94,36 +97,44 @@ pub fn compile_subgraph(
     candidates.sort();
     candidates.dedup();
     // Rank by the cheap estimate and keep the most promising half (at least
-    // the three deterministic ones).
-    candidates.sort_by_key(|ord| {
-        let e = estimate_ordering(sub, ord);
-        (e.score, e.emitters)
-    });
+    // the three deterministic ones). The pruning weights are the solver's
+    // objective hook: emitter-minimizing objectives weight emitters and
+    // stalls evenly (the paper's ranking, preserved bit for bit);
+    // duration/loss objectives punish stalls, which serialize the timeline.
+    rank_orderings_weighted(sub, &mut candidates, &pruning_weights(objective));
     candidates.truncate(orderings_budget.max(3).div_ceil(2).max(3));
 
-    // Compile every candidate at ne_min; keep the best by (#CNOT, T_loss).
+    // Compile every candidate at ne_min; keep the objective's minimum.
     let solve_opts = SolveOptions {
         verify: false, // the framework verifies the final global circuit
         ..SolveOptions::default()
     };
-    let mut best: Option<(Vec<usize>, SubgraphVariant)> = None;
+    let mut best: Option<(Vec<usize>, SubgraphVariant, ObjectiveScore)> = None;
     for ord in &candidates {
         let Ok(solved) = solve_with_ordering(sub, ord, &solve_opts) else {
             continue;
         };
-        let variant = make_variant(hw, solved);
+        let (variant, metrics) = make_variant(hw, solved);
+        // Score under the objective's own platform when it names a
+        // *different* one; the configured model's metrics (just computed
+        // for the variant) serve otherwise — no second metrics pass on
+        // the default or platform()-consistent paths.
+        let figures = match objective.hardware() {
+            Some(score_hw) if score_hw != hw => {
+                circuit_metrics(score_hw, &variant.solved.circuit).objective_figures()
+            }
+            _ => metrics.objective_figures(),
+        };
+        let score = objective.score(&figures);
         let better = match &best {
             None => true,
-            Some((_, b)) => {
-                (variant.ee_cnots, variant.t_loss, variant.duration)
-                    < (b.ee_cnots, b.t_loss, b.duration)
-            }
+            Some((_, _, b)) => score < *b,
         };
         if better {
-            best = Some((ord.clone(), variant));
+            best = Some((ord.clone(), variant, score));
         }
     }
-    let (chosen_ordering, base) =
+    let (chosen_ordering, base, _) =
         best.ok_or(SolverError::InsufficientEmitters { pool: 0, photon: 0 })?;
 
     // Flexible resource constraint: recompile at ne_min+1 … ne_min+slack.
@@ -135,7 +146,7 @@ pub fn compile_subgraph(
             ..SolveOptions::default()
         };
         if let Ok(solved) = solve_with_ordering(sub, &chosen_ordering, &opts) {
-            variants.push(make_variant(hw, solved));
+            variants.push(make_variant(hw, solved).0);
         }
     }
     Ok(SubgraphPlan {
@@ -144,10 +155,34 @@ pub fn compile_subgraph(
     })
 }
 
-fn make_variant(hw: &HardwareModel, solved: Solved) -> SubgraphVariant {
+/// Ordering-pruning weights for an objective: even weights for
+/// emitter-minimizing objectives (the paper's ranking), stall-heavy
+/// weights when the objective actually cares about the timeline. A
+/// `Weighted` objective follows its own weights — one that puts nothing
+/// on duration or loss is emitter-minimizing in substance, so it prunes
+/// like `Emitters` rather than like `Duration`.
+fn pruning_weights(objective: &CompileObjective) -> CostWeights {
+    match objective {
+        CompileObjective::Emitters => CostWeights::default(),
+        CompileObjective::Duration(_) | CompileObjective::Loss(_) => {
+            CostWeights::duration_focused()
+        }
+        CompileObjective::Weighted { duration, loss, .. } => {
+            if *duration == 0.0 && *loss == 0.0 {
+                CostWeights::default()
+            } else {
+                CostWeights::duration_focused()
+            }
+        }
+    }
+}
+
+/// Builds a variant and hands back the metrics it was derived from, so
+/// callers scoring under the same model need not recompute them.
+fn make_variant(hw: &HardwareModel, solved: Solved) -> (SubgraphVariant, CircuitMetrics) {
     let tl = timeline(hw, &solved.circuit);
     let m = circuit_metrics(hw, &solved.circuit);
-    SubgraphVariant {
+    let variant = SubgraphVariant {
         emitters: solved.emitters,
         duration: tl.duration,
         ee_cnots: m.ee_two_qubit_count,
@@ -155,7 +190,8 @@ fn make_variant(hw: &HardwareModel, solved: Solved) -> SubgraphVariant {
         emission_times: tl.emission_time.clone(),
         usage: epgs_circuit::usage_curve(hw, &solved.circuit),
         solved,
-    }
+    };
+    (variant, m)
 }
 
 #[cfg(test)]
@@ -171,7 +207,8 @@ mod tests {
     fn path_subgraph_compiles_optimally() {
         let sub = generators::path(6);
         let vertices: Vec<usize> = (10..16).collect();
-        let plan = compile_subgraph(&sub, &vertices, &hw(), 6, 2, 1).unwrap();
+        let plan =
+            compile_subgraph(&sub, &vertices, &hw(), &CompileObjective::Emitters, 6, 2, 1).unwrap();
         assert_eq!(plan.photon_count(), 6);
         assert_eq!(plan.variants[0].ee_cnots, 0, "paths need no ee-CNOTs");
         assert_eq!(plan.variants[0].emitters, 1);
@@ -183,7 +220,16 @@ mod tests {
     #[test]
     fn variant_emission_times_cover_all_photons() {
         let sub = generators::cycle(5);
-        let plan = compile_subgraph(&sub, &[0, 1, 2, 3, 4], &hw(), 6, 1, 2).unwrap();
+        let plan = compile_subgraph(
+            &sub,
+            &[0, 1, 2, 3, 4],
+            &hw(),
+            &CompileObjective::Emitters,
+            6,
+            1,
+            2,
+        )
+        .unwrap();
         for v in &plan.variants {
             assert_eq!(v.emission_times.len(), 5);
             assert!(v.emission_times.iter().all(|&t| t <= v.duration + 1e-9));
@@ -192,10 +238,26 @@ mod tests {
 
     #[test]
     fn priority_favors_many_photons_short_duration() {
-        let short =
-            compile_subgraph(&generators::path(5), &[0, 1, 2, 3, 4], &hw(), 4, 0, 3).unwrap();
-        let long =
-            compile_subgraph(&generators::complete(5), &[5, 6, 7, 8, 9], &hw(), 4, 0, 3).unwrap();
+        let short = compile_subgraph(
+            &generators::path(5),
+            &[0, 1, 2, 3, 4],
+            &hw(),
+            &CompileObjective::Emitters,
+            4,
+            0,
+            3,
+        )
+        .unwrap();
+        let long = compile_subgraph(
+            &generators::complete(5),
+            &[5, 6, 7, 8, 9],
+            &hw(),
+            &CompileObjective::Emitters,
+            4,
+            0,
+            3,
+        )
+        .unwrap();
         // Same photon count; the path compiles to a shorter circuit, so its
         // priority must be higher.
         assert!(short.priority() > long.priority());
@@ -204,7 +266,16 @@ mod tests {
     #[test]
     fn search_beats_or_matches_natural_order_on_star() {
         let sub = generators::star(6);
-        let plan = compile_subgraph(&sub, &[0, 1, 2, 3, 4, 5], &hw(), 8, 0, 4).unwrap();
+        let plan = compile_subgraph(
+            &sub,
+            &[0, 1, 2, 3, 4, 5],
+            &hw(),
+            &CompileObjective::Emitters,
+            8,
+            0,
+            4,
+        )
+        .unwrap();
         let natural =
             solve_with_ordering(&sub, &ordering::natural(&sub), &SolveOptions::default()).unwrap();
         assert!(plan.variants[0].ee_cnots <= natural.circuit.ee_two_qubit_count());
@@ -213,7 +284,8 @@ mod tests {
     #[test]
     fn single_vertex_subgraph() {
         let sub = Graph::new(1);
-        let plan = compile_subgraph(&sub, &[3], &hw(), 2, 1, 5).unwrap();
+        let plan =
+            compile_subgraph(&sub, &[3], &hw(), &CompileObjective::Emitters, 2, 1, 5).unwrap();
         assert_eq!(plan.photon_count(), 1);
         assert_eq!(plan.variants[0].solved.circuit.emission_count(), 1);
     }

@@ -36,21 +36,23 @@
 //! assert_eq!(reloaded, spec);
 //! ```
 //!
-//! Define a custom two-family grid:
+//! Define a custom two-family grid pinned to a hardware preset:
 //!
 //! ```
 //! use epgs_corpus::{CorpusSpec, FamilyKind, FamilySpec};
 //!
-//! let spec = CorpusSpec {
-//!     name: "smoke".into(),
-//!     families: vec![
+//! let spec = CorpusSpec::new(
+//!     "smoke",
+//!     vec![
 //!         FamilySpec::new(FamilyKind::Hypercube, vec![2, 3]),
 //!         FamilySpec::new(FamilyKind::RandomRegular { degree: 3 }, vec![8, 10])
 //!             .with_seeds(vec![1, 2]),
 //!     ],
-//! };
+//! )
+//! .with_hardware("nv_center");
 //! // 2 hypercubes + 2 sizes × 2 seeds of random-regular graphs.
 //! assert_eq!(spec.instances().len(), 6);
+//! assert_eq!(spec.hardware_model().unwrap().unwrap().name, "NV color center");
 //! ```
 
 pub mod json;

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use epgs_graph::{generators, Graph};
+use epgs_hardware::HardwareModel;
 
 use crate::json::{JsonError, Value};
 
@@ -302,6 +303,11 @@ pub struct CorpusSpec {
     pub name: String,
     /// The family grids.
     pub families: Vec<FamilySpec>,
+    /// Optional hardware preset the corpus should compile under — a key of
+    /// [`HardwareModel::presets`] (e.g. `"rydberg"`). `None` leaves the
+    /// driver's configured model in place. Validated on parse, so a loaded
+    /// spec's preset always resolves.
+    pub hardware: Option<String>,
 }
 
 /// Errors turning JSON into a [`CorpusSpec`].
@@ -313,6 +319,9 @@ pub enum SpecError {
     Missing(&'static str),
     /// `family` names no known generator family.
     UnknownFamily(String),
+    /// `hardware` names no known preset (see
+    /// [`HardwareModel::presets`]).
+    UnknownHardware(String),
     /// A seed exceeds 2^53 ([`crate::json::MAX_SAFE_INT`]) and would not
     /// survive the `f64`-backed JSON layer faithfully.
     SeedTooLarge,
@@ -326,6 +335,9 @@ impl std::fmt::Display for SpecError {
                 write!(f, "missing or mistyped field '{field}'")
             }
             SpecError::UnknownFamily(name) => write!(f, "unknown family '{name}'"),
+            SpecError::UnknownHardware(name) => {
+                write!(f, "unknown hardware preset '{name}'")
+            }
             SpecError::SeedTooLarge => {
                 write!(
                     f,
@@ -345,12 +357,63 @@ impl From<JsonError> for SpecError {
 }
 
 impl CorpusSpec {
+    /// A corpus with no hardware preset (the driver's model applies).
+    pub fn new(name: impl Into<String>, families: Vec<FamilySpec>) -> Self {
+        CorpusSpec {
+            name: name.into(),
+            families,
+            hardware: None,
+        }
+    }
+
+    /// Pins the corpus to a hardware preset key.
+    ///
+    /// The key is validated lazily: [`CorpusSpec::hardware_model`] and
+    /// [`CorpusSpec::from_json`] reject unknown keys, and
+    /// [`CorpusSpec::to_json`] panics on them (like over-wide seeds) so an
+    /// invalid spec cannot be serialized quietly.
+    pub fn with_hardware(mut self, key: impl Into<String>) -> Self {
+        self.hardware = Some(key.into());
+        self
+    }
+
+    /// Resolves the corpus's hardware preset, if one is named.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownHardware`] when the named key is not a
+    /// [`HardwareModel::presets`] entry (possible only for specs built in
+    /// code — parsed specs are validated).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use epgs_corpus::{CorpusSpec, SpecError};
+    ///
+    /// let spec = CorpusSpec::default_corpus().with_hardware("trapped_ion");
+    /// assert_eq!(spec.hardware_model().unwrap().unwrap().name, "trapped ion");
+    /// assert!(CorpusSpec::default_corpus().hardware_model().unwrap().is_none());
+    /// assert!(matches!(
+    ///     CorpusSpec::default_corpus().with_hardware("abacus").hardware_model(),
+    ///     Err(SpecError::UnknownHardware(_))
+    /// ));
+    /// ```
+    pub fn hardware_model(&self) -> Result<Option<HardwareModel>, SpecError> {
+        match &self.hardware {
+            None => Ok(None),
+            Some(key) => HardwareModel::by_name(key)
+                .map(Some)
+                .ok_or_else(|| SpecError::UnknownHardware(key.clone())),
+        }
+    }
+
     /// The default corpus: the five batch families (random-regular,
     /// hypercube, heavy-hex, Barabási–Albert, Watts–Strogatz), four
     /// instances each, sized so the full corpus compiles in seconds.
     pub fn default_corpus() -> Self {
         CorpusSpec {
             name: "default".into(),
+            hardware: None,
             families: vec![
                 FamilySpec::new(
                     FamilyKind::RandomRegular { degree: 3 },
@@ -396,7 +459,8 @@ impl CorpusSpec {
     /// Panics if a seed exceeds 2^53 ([`crate::json::MAX_SAFE_INT`]): the
     /// `f64`-backed JSON layer would silently round it, breaking the
     /// round-trip guarantee (`from_json` rejects such seeds for the same
-    /// reason).
+    /// reason). Also panics on an unknown hardware preset key, which
+    /// `from_json` would reject on reload.
     pub fn to_json(&self) -> String {
         assert!(
             self.families
@@ -405,6 +469,12 @@ impl CorpusSpec {
                 .all(|&s| s <= crate::json::MAX_SAFE_INT),
             "seeds above 2^53 are not faithfully representable in JSON"
         );
+        if let Some(key) = &self.hardware {
+            assert!(
+                HardwareModel::by_name(key).is_some(),
+                "unknown hardware preset '{key}'"
+            );
+        }
         let families: Vec<Value> = self
             .families
             .iter()
@@ -424,21 +494,23 @@ impl CorpusSpec {
                 Value::Obj(fields)
             })
             .collect();
-        Value::Obj(vec![
-            ("name".into(), Value::Str(self.name.clone())),
-            ("families".into(), Value::Arr(families)),
-        ])
-        .to_string()
+        let mut fields = vec![("name".into(), Value::Str(self.name.clone()))];
+        if let Some(hw) = &self.hardware {
+            fields.push(("hardware".into(), Value::Str(hw.clone())));
+        }
+        fields.push(("families".into(), Value::Arr(families)));
+        Value::Obj(fields).to_string()
     }
 
-    /// Parses a spec from JSON. `seeds` defaults to `[1]` when absent.
+    /// Parses a spec from JSON. `seeds` defaults to `[1]` when absent, and
+    /// the optional `hardware` key must name a built-in preset.
     ///
     /// # Errors
     ///
     /// [`SpecError::Json`] on malformed JSON, [`SpecError::Missing`] /
-    /// [`SpecError::UnknownFamily`] on schema violations, and
-    /// [`SpecError::SeedTooLarge`] for seeds above 2^53 (whose `f64` JSON
-    /// representation is already imprecise).
+    /// [`SpecError::UnknownFamily`] / [`SpecError::UnknownHardware`] on
+    /// schema violations, and [`SpecError::SeedTooLarge`] for seeds above
+    /// 2^53 (whose `f64` JSON representation is already imprecise).
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let doc = Value::parse(text)?;
         let name = doc
@@ -446,6 +518,16 @@ impl CorpusSpec {
             .and_then(Value::as_str)
             .ok_or(SpecError::Missing("name"))?
             .to_string();
+        let hardware = match doc.get("hardware") {
+            None => None,
+            Some(v) => {
+                let key = v.as_str().ok_or(SpecError::Missing("hardware"))?;
+                if HardwareModel::by_name(key).is_none() {
+                    return Err(SpecError::UnknownHardware(key.to_string()));
+                }
+                Some(key.to_string())
+            }
+        };
         let mut families = Vec::new();
         for fam in doc
             .get("families")
@@ -477,7 +559,11 @@ impl CorpusSpec {
             };
             families.push(FamilySpec { kind, sizes, seeds });
         }
-        Ok(CorpusSpec { name, families })
+        Ok(CorpusSpec {
+            name,
+            families,
+            hardware,
+        })
     }
 }
 
@@ -549,6 +635,7 @@ mod tests {
         let spec = CorpusSpec {
             name: "seeded-hypercubes".into(),
             families: vec![FamilySpec::new(FamilyKind::Hypercube, vec![2]).with_seeds(vec![7])],
+            hardware: None,
         };
         let back = CorpusSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
@@ -563,6 +650,7 @@ mod tests {
         let ok = CorpusSpec {
             name: "edge".into(),
             families: vec![FamilySpec::new(FamilyKind::Hypercube, vec![2]).with_seeds(vec![max])],
+            hardware: None,
         };
         assert_eq!(CorpusSpec::from_json(&ok.to_json()).unwrap(), ok);
 
@@ -571,6 +659,7 @@ mod tests {
             families: vec![
                 FamilySpec::new(FamilyKind::Hypercube, vec![2]).with_seeds(vec![max + 1])
             ],
+            hardware: None,
         };
         assert!(std::panic::catch_unwind(|| too_big.to_json()).is_err());
         // 2^53 + 1 parses to an f64 that rounds onto 2^53 — still above
@@ -585,6 +674,47 @@ mod tests {
                 "{beyond}"
             );
         }
+    }
+
+    #[test]
+    fn hardware_preset_round_trips_and_resolves() {
+        let spec = CorpusSpec::default_corpus().with_hardware("rydberg");
+        let text = spec.to_json();
+        assert!(text.contains("\"hardware\":\"rydberg\""), "{text}");
+        let back = CorpusSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(
+            back.hardware_model().unwrap(),
+            Some(epgs_hardware::HardwareModel::rydberg())
+        );
+        // Absent field stays absent.
+        let plain = CorpusSpec::default_corpus();
+        assert!(!plain.to_json().contains("hardware"));
+        assert_eq!(
+            CorpusSpec::from_json(&plain.to_json()).unwrap().hardware,
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_hardware_is_rejected_in_both_directions() {
+        let bad = CorpusSpec::default_corpus().with_hardware("abacus");
+        assert!(std::panic::catch_unwind(|| bad.to_json()).is_err());
+        assert_eq!(
+            bad.hardware_model(),
+            Err(SpecError::UnknownHardware("abacus".into()))
+        );
+        let text = r#"{"name": "x", "hardware": "abacus", "families": []}"#;
+        assert!(matches!(
+            CorpusSpec::from_json(text),
+            Err(SpecError::UnknownHardware(k)) if k == "abacus"
+        ));
+        // A mistyped hardware field is a schema violation, not a silent skip.
+        let mistyped = r#"{"name": "x", "hardware": 7, "families": []}"#;
+        assert!(matches!(
+            CorpusSpec::from_json(mistyped),
+            Err(SpecError::Missing("hardware"))
+        ));
     }
 
     #[test]
@@ -617,6 +747,7 @@ mod tests {
     fn every_family_kind_round_trips() {
         let spec = CorpusSpec {
             name: "all".into(),
+            hardware: Some("quantum_dot".into()),
             families: vec![
                 FamilySpec::new(FamilyKind::RandomRegular { degree: 3 }, vec![8]),
                 FamilySpec::new(FamilyKind::Hypercube, vec![3]),

@@ -88,6 +88,49 @@ mod tests {
     fn empty_photon_list_is_harmless() {
         let hw = HardwareModel::quantum_dot();
         let r = loss_report(&hw, &[], 3.0);
+        assert!(r.exposures.is_empty());
+        assert_eq!(r.mean_exposure, 0.0);
+        assert_eq!(r.mean_photon_loss, 0.0);
+        assert_eq!(r.any_photon_loss, 0.0);
+        assert_eq!(r, LossReport::default());
+    }
+
+    #[test]
+    fn emission_exactly_at_circuit_end_is_lossless() {
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[2.0, 5.0], 5.0);
+        assert_eq!(r.exposures, vec![3.0, 0.0]);
+        assert!(r.any_photon_loss > 0.0, "the early photon is exposed");
+        assert_eq!(
+            loss_report(&hw, &[5.0], 5.0).any_photon_loss,
+            0.0,
+            "the end-time photon alone is not"
+        );
+    }
+
+    #[test]
+    fn rounding_error_past_circuit_end_is_tolerated_and_clamped() {
+        // ALAP scheduling arithmetic can land an emission a few ulps past
+        // the computed end; that must clamp to zero exposure, not panic.
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[5.0 + 5e-10], 5.0);
+        assert_eq!(r.exposures, vec![0.0]);
+        assert_eq!(r.mean_photon_loss, 0.0);
+        assert_eq!(r.any_photon_loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "photon emitted after circuit end")]
+    fn emission_clearly_after_circuit_end_panics() {
+        let hw = HardwareModel::quantum_dot();
+        loss_report(&hw, &[5.001], 5.0);
+    }
+
+    #[test]
+    fn zero_duration_circuit_is_valid() {
+        let hw = HardwareModel::quantum_dot();
+        let r = loss_report(&hw, &[0.0, 0.0], 0.0);
+        assert_eq!(r.mean_exposure, 0.0);
         assert_eq!(r.any_photon_loss, 0.0);
     }
 }

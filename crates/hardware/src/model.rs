@@ -99,6 +99,82 @@ impl HardwareModel {
         }
     }
 
+    /// Trapped-ion emitters: excellent gate fidelity and photon memory,
+    /// but slow photonic interfaces — emission and readout dominate the
+    /// timeline, so duration-driven objectives behave very differently
+    /// here than on quantum dots.
+    pub fn trapped_ion() -> Self {
+        HardwareModel {
+            name: "trapped ion",
+            ee_two_qubit: 1.0,
+            emission: 0.5,
+            emitter_single: 0.02,
+            photon_single: 0.01,
+            measurement: 1.0,
+            photon_loss_per_tau: 0.001,
+            ee_fidelity: 0.998,
+        }
+    }
+
+    /// Neutral atoms in an optical cavity: moderate emission speed, slow
+    /// state readout, and mid-range storage loss.
+    pub fn atom_cavity() -> Self {
+        HardwareModel {
+            name: "neutral atom cavity",
+            ee_two_qubit: 1.0,
+            emission: 0.15,
+            emitter_single: 0.04,
+            photon_single: 0.01,
+            measurement: 0.6,
+            photon_loss_per_tau: 0.004,
+            ee_fidelity: 0.975,
+        }
+    }
+
+    /// Every built-in preset, keyed by its stable wire name.
+    ///
+    /// The keys are the names accepted by [`HardwareModel::by_name`] and
+    /// used in corpus specs and JSON reports; order is stable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use epgs_hardware::HardwareModel;
+    ///
+    /// let keys: Vec<&str> = HardwareModel::presets().iter().map(|(k, _)| *k).collect();
+    /// assert!(keys.contains(&"quantum_dot") && keys.contains(&"trapped_ion"));
+    /// ```
+    pub fn presets() -> Vec<(&'static str, HardwareModel)> {
+        vec![
+            ("quantum_dot", HardwareModel::quantum_dot()),
+            ("nv_center", HardwareModel::nv_center()),
+            ("siv_center", HardwareModel::siv_center()),
+            ("rydberg", HardwareModel::rydberg()),
+            ("trapped_ion", HardwareModel::trapped_ion()),
+            ("atom_cavity", HardwareModel::atom_cavity()),
+        ]
+    }
+
+    /// Looks up a preset by its wire name (the key column of
+    /// [`HardwareModel::presets`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use epgs_hardware::HardwareModel;
+    ///
+    /// assert_eq!(
+    ///     HardwareModel::by_name("rydberg"),
+    ///     Some(HardwareModel::rydberg())
+    /// );
+    /// assert_eq!(HardwareModel::by_name("abacus"), None);
+    /// ```
+    pub fn by_name(key: &str) -> Option<HardwareModel> {
+        HardwareModel::presets()
+            .into_iter()
+            .find_map(|(k, hw)| (k == key).then_some(hw))
+    }
+
     /// Probability that a single photon stored for `dt` (in τ) survives.
     pub fn photon_survival(&self, dt: f64) -> f64 {
         debug_assert!(dt >= -1e-9, "negative storage time");
@@ -153,16 +229,43 @@ mod tests {
 
     #[test]
     fn all_presets_have_sane_ratios() {
-        for hw in [
-            HardwareModel::quantum_dot(),
-            HardwareModel::nv_center(),
-            HardwareModel::siv_center(),
-            HardwareModel::rydberg(),
-        ] {
-            assert_eq!(hw.ee_two_qubit, 1.0, "{}: τ is the unit", hw.name);
-            assert!(hw.emission < 0.5, "{}: emission is fast", hw.name);
-            assert!(hw.photon_loss_per_tau < 0.05);
-            assert!(hw.ee_fidelity > 0.9 && hw.ee_fidelity <= 1.0);
+        for (key, hw) in HardwareModel::presets() {
+            assert_eq!(hw.ee_two_qubit, 1.0, "{key}: τ is the unit");
+            assert!(hw.emission <= 0.5, "{key}: emission within one gate");
+            assert!(hw.photon_loss_per_tau < 0.05, "{key}");
+            assert!(hw.ee_fidelity > 0.9 && hw.ee_fidelity <= 1.0, "{key}");
+        }
+    }
+
+    #[test]
+    fn preset_registry_is_consistent() {
+        let presets = HardwareModel::presets();
+        // Keys are unique and every key round-trips through by_name.
+        let mut keys: Vec<&str> = presets.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), presets.len());
+        for (key, hw) in presets {
+            assert_eq!(HardwareModel::by_name(key), Some(hw));
+        }
+        assert_eq!(HardwareModel::by_name("silicon quantum dot"), None);
+        assert_eq!(HardwareModel::by_name(""), None);
+    }
+
+    #[test]
+    fn presets_are_timing_distinct() {
+        // The sweep bin relies on presets producing different timelines:
+        // no two presets may share the same (emission, measurement, loss)
+        // triple, or a hardware sweep would emit duplicate fronts.
+        let presets = HardwareModel::presets();
+        for (i, (ka, a)) in presets.iter().enumerate() {
+            for (kb, b) in presets.iter().skip(i + 1) {
+                assert!(
+                    (a.emission, a.measurement, a.photon_loss_per_tau)
+                        != (b.emission, b.measurement, b.photon_loss_per_tau),
+                    "{ka} and {kb} are timing-identical"
+                );
+            }
         }
     }
 }

@@ -59,6 +59,91 @@ pub fn rank_orderings(g: &Graph, orderings: &mut [Vec<usize>]) {
     orderings.sort_by_key(|ord| estimate_ordering(g, ord).score);
 }
 
+/// Objective-dependent weights for the pruning score.
+///
+/// The unweighted [`OrderingEstimate::score`] treats an extra emitter and
+/// an extra stall as equally bad — the right call when minimizing emitter
+/// resources. Under a duration- or loss-driven objective the balance
+/// shifts: every stall serializes emitter-side work (lengthening the
+/// circuit and every photon's storage exposure), while an extra emitter
+/// mostly costs hardware. `CostWeights` lets the caller encode that
+/// preference without touching the sound underlying counts.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::generators;
+/// use epgs_solver::cost::{estimate_ordering, CostWeights};
+///
+/// let g = generators::path(6);
+/// let natural: Vec<usize> = (0..6).collect();
+/// let e = estimate_ordering(&g, &natural);
+/// // Default weights reproduce the unweighted score exactly.
+/// assert_eq!(CostWeights::default().score(&e), e.score as f64);
+/// // Duration-focused weights punish the stall harder.
+/// assert!(CostWeights::duration_focused().score(&e) > e.score as f64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight per emitter the ordering needs.
+    pub emitters: f64,
+    /// Weight per stalled absorption step.
+    pub stalls: f64,
+}
+
+impl Default for CostWeights {
+    /// Unit weights: with [`rank_orderings_weighted`] this reproduces the
+    /// subgraph compiler's historic `(score, emitters)` ranking — like
+    /// [`rank_orderings`] except that score ties break by emitter demand
+    /// rather than input order.
+    fn default() -> Self {
+        CostWeights {
+            emitters: 1.0,
+            stalls: 1.0,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Weights for duration/loss-driven objectives: stalls (which
+    /// serialize the timeline) count three times an emitter.
+    pub fn duration_focused() -> Self {
+        CostWeights {
+            emitters: 1.0,
+            stalls: 3.0,
+        }
+    }
+
+    /// The weighted pruning score of one estimate (lower is better).
+    pub fn score(&self, estimate: &OrderingEstimate) -> f64 {
+        self.emitters * estimate.emitters as f64 + self.stalls * estimate.stalls as f64
+    }
+}
+
+/// Ranks `orderings` by the weighted estimate, cheapest first, breaking
+/// weighted-score ties by raw emitter demand (stable beyond that). With
+/// [`CostWeights::default`] this is exactly the subgraph compiler's
+/// historic `(score, emitters)` ranking.
+///
+/// Each ordering is estimated once (not per comparison).
+pub fn rank_orderings_weighted(g: &Graph, orderings: &mut [Vec<usize>], weights: &CostWeights) {
+    let mut keyed: Vec<((f64, usize), Vec<usize>)> = orderings
+        .iter_mut()
+        .map(|ord| {
+            let e = estimate_ordering(g, ord);
+            ((weights.score(&e), e.emitters), std::mem::take(ord))
+        })
+        .collect();
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        ka.0.partial_cmp(&kb.0)
+            .expect("finite weighted scores")
+            .then(ka.1.cmp(&kb.1))
+    });
+    for (slot, (_, ord)) in orderings.iter_mut().zip(keyed) {
+        *slot = ord;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +181,47 @@ mod tests {
         let mut orderings = vec![vec![0, 2, 4, 1, 3, 5], vec![0, 1, 2, 3, 4, 5]];
         rank_orderings(&g, &mut orderings);
         assert_eq!(orderings[0], vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn default_weights_match_the_historic_subgraph_ranking() {
+        let g = generators::lattice(3, 3);
+        let orderings = vec![
+            (0..9).collect::<Vec<_>>(),
+            vec![0, 3, 6, 1, 4, 7, 2, 5, 8],
+            vec![8, 7, 6, 5, 4, 3, 2, 1, 0],
+            vec![0, 4, 8, 1, 5, 2, 6, 3, 7],
+        ];
+        let mut legacy = orderings.clone();
+        legacy.sort_by_key(|ord| {
+            let e = estimate_ordering(&g, ord);
+            (e.score, e.emitters)
+        });
+        let mut weighted = orderings;
+        rank_orderings_weighted(&g, &mut weighted, &CostWeights::default());
+        assert_eq!(legacy, weighted);
+    }
+
+    #[test]
+    fn duration_weights_can_flip_a_ranking() {
+        // Ordering A: fewer emitters, more stalls; ordering B: the reverse.
+        let a = OrderingEstimate {
+            emitters: 2,
+            stalls: 4,
+            score: 6,
+        };
+        let b = OrderingEstimate {
+            emitters: 5,
+            stalls: 1,
+            score: 6,
+        };
+        let default = CostWeights::default();
+        assert_eq!(default.score(&a), default.score(&b), "tied unweighted");
+        let duration = CostWeights::duration_focused();
+        assert!(
+            duration.score(&b) < duration.score(&a),
+            "stall-heavy ordering loses under duration weights"
+        );
     }
 
     #[test]

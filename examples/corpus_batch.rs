@@ -15,9 +15,9 @@ fn main() {
     // A three-family grid: hypercubes by dimension, 3-regular graphs and
     // small-world rings by vertex count. Serializable — print it to see the
     // JSON a corpus_run `--spec` file would contain.
-    let spec = CorpusSpec {
-        name: "three-family-demo".into(),
-        families: vec![
+    let spec = CorpusSpec::new(
+        "three-family-demo",
+        vec![
             FamilySpec::new(FamilyKind::Hypercube, vec![2, 3, 4]),
             FamilySpec::new(FamilyKind::RandomRegular { degree: 3 }, vec![10, 12, 14]),
             FamilySpec::new(
@@ -28,7 +28,7 @@ fn main() {
                 vec![10, 12, 14],
             ),
         ],
-    };
+    );
     println!("spec JSON: {}\n", spec.to_json());
 
     let jobs: Vec<BatchInstance> = spec

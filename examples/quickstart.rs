@@ -101,13 +101,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Stage 4 — recombine (§IV.D): assemble one global circuit. Candidate
-    // strategies compete under the paper's lexicographic objective
-    // (#ee-CNOT, then T_loss, then duration): the schedule-interleaved
-    // solve, a block-sequential solve, and a direct whole-graph solve that
-    // lets the framework degrade gracefully when partitioning doesn't pay.
-    // The artifact records which strategy won.
+    // strategies — the schedule-interleaved solve, a block-sequential
+    // solve, and a direct whole-graph solve that lets the framework
+    // degrade gracefully when partitioning doesn't pay — compete under the
+    // configured CompileObjective. The default, `Emitters`, is the paper's
+    // lexicographic (#ee-CNOT, then T_loss, then duration) order; swap in
+    // `CompileObjective::Duration(hw)` or `::Loss(hw)` and platform timing
+    // decides instead (try `scheduled.recombine_objective(..)` — the
+    // hardware_sweep bench bin does exactly that across presets). The
+    // artifact records which strategy and objective won.
     let recombined = scheduled.recombine()?;
-    println!("recombined via {:?}", recombined.strategy());
+    println!(
+        "recombined via {:?} under the {} objective",
+        recombined.strategy(),
+        recombined.objective().kind_name()
+    );
 
     // Stage 5 — verify (§IV.E): simulate the circuit with the stabilizer
     // tableau and check it generates exactly |target⟩ — the acceptance
