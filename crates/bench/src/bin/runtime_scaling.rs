@@ -3,11 +3,21 @@
 //! qubits on linear clusters) while the framework's divide-and-conquer
 //! compilation stays polynomial.
 //!
-//! Run with: `cargo run --release -p epgs-bench --bin runtime_scaling`
+//! Run with:
+//! `cargo run --release -p epgs-bench --bin runtime_scaling -- \
+//!     [--smoke] [--out FILE.json]`
+//!
+//! Besides the console tables, the run is recorded to `BENCH_runtime.json`
+//! (repo root by convention) so the scaling trajectory can be tracked across
+//! PRs alongside `BENCH_tableau.json`. `--smoke` shrinks both sweeps to CI
+//! scale.
 
+use std::fs;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use epgs_bench::bench_framework;
+use epgs_corpus::Value;
 use epgs_graph::generators;
 use epgs_solver::reverse::{solve_with_ordering, SolveOptions};
 
@@ -51,24 +61,56 @@ fn exhaustive(n: usize) -> (usize, usize) {
     (best, tried)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = "BENCH_runtime.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: runtime_scaling [--smoke] [--out FILE.json]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let exhaustive_sizes: &[usize] = if smoke { &[4, 5] } else { &[4, 5, 6, 7, 8] };
+    let framework_sizes: &[usize] = if smoke {
+        &[10, 20]
+    } else {
+        &[10, 20, 30, 40, 50, 60]
+    };
+
     println!("== exhaustive ordering search on linear clusters (brute-force regime) ==");
     println!(
         "{:>7} {:>12} {:>12} {:>12}",
         "#qubit", "orderings", "best CNOT", "seconds"
     );
-    for n in [4usize, 5, 6, 7, 8] {
+    let mut exhaustive_entries = Vec::new();
+    for &n in exhaustive_sizes {
         let t0 = Instant::now();
         let (best, tried) = exhaustive(n);
         let dt = t0.elapsed().as_secs_f64();
         println!("{n:>7} {tried:>12} {best:>12} {dt:>12.2}");
+        exhaustive_entries.push(format!(
+            "{{\"n\":{n},\"orderings\":{tried},\"best_ee_cnots\":{best},\"seconds\":{dt:.4}}}"
+        ));
     }
     println!("(n! growth: already >10³ s well before 12 qubits — the paper's Challenge 1)\n");
 
     println!("== framework compilation (divide-and-conquer) ==");
     println!("{:>7} {:>12} {:>12}", "#qubit", "ee-CNOT", "seconds");
     let fw = bench_framework();
-    for n in [10usize, 20, 30, 40, 50, 60] {
+    let mut framework_entries = Vec::new();
+    for &n in framework_sizes {
         let g = generators::path(n);
         let t0 = Instant::now();
         let compiled = fw.compile(&g).expect("framework compiles");
@@ -77,6 +119,33 @@ fn main() {
             "{n:>7} {:>12} {dt:>12.2}",
             compiled.metrics.ee_two_qubit_count
         );
+        framework_entries.push(format!(
+            "{{\"n\":{n},\"ee_cnots\":{},\"seconds\":{dt:.4}}}",
+            compiled.metrics.ee_two_qubit_count
+        ));
     }
     println!("(polynomial: entire 60-qubit compile, verification included, in seconds)");
+
+    let doc = format!(
+        "{{\"bench\":\"runtime\",\"mode\":{},\"exhaustive\":[{}],\"framework\":[{}]}}",
+        Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        exhaustive_entries.join(","),
+        framework_entries.join(",")
+    );
+    if let Err(e) = fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match fs::read_to_string(&out_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Value::parse(&t).map_err(|e| e.to_string()))
+    {
+        Ok(v) if v.get("bench").and_then(Value::as_str) == Some("runtime") => {}
+        Ok(_) | Err(_) => {
+            eprintln!("{out_path} failed self-validation");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("trajectory written to {out_path}");
+    ExitCode::SUCCESS
 }

@@ -192,6 +192,43 @@ impl Strategy for Any<u32> {
     }
 }
 
+impl Strategy for Any<u8> {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut StdRng) -> u8 {
+        rng.gen::<u32>() as u8
+    }
+}
+
+impl Strategy for Any<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+// Tuple strategies, as in real proptest: a tuple of strategies generates a
+// tuple of values, element-wise and left to right.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
 pub mod collection {
     //! Collection strategies.
 

@@ -1,11 +1,21 @@
 //! Dense linear algebra over GF(2) backed by 64-bit words.
 //!
-//! The compiler needs small, fast boolean matrix kernels in two places:
-//! the *height function* of a graph state (rank of an off-diagonal adjacency
-//! block, see [`crate::height`]) and the echelon-form manipulations of
-//! stabilizer tableaux in `epgs-stabilizer`. Matrices here are dense and
-//! row-major; all sizes in this workspace are at most a few hundred, so no
-//! sparse representation is warranted.
+//! The compiler needs small, fast boolean kernels in two places: the *height
+//! function* of a graph state (rank of an off-diagonal adjacency block, see
+//! [`crate::height`]) and the word-parallel stabilizer tableaux of
+//! `epgs-stabilizer`. Two containers cover both:
+//!
+//! * [`BitMatrix`] — a dense row-major matrix (rows are contiguous word
+//!   runs); the workhorse for rank / solve / null-space queries.
+//! * [`BitVec`] — a packed bit-vector with word-level iteration
+//!   ([`BitVec::ones`], [`BitVec::first_one`] via `trailing_zeros`) and
+//!   bulk boolean updates ([`BitVec::xor_with`], [`BitVec::parity_and`]).
+//!   The bit-sliced tableau stores one `BitVec` per qubit column, packed
+//!   over generator rows, so a Clifford gate touches `⌈n/64⌉` words instead
+//!   of `n` bits.
+//!
+//! All sizes in this workspace are at most a few hundred, so no sparse
+//! representation is warranted.
 //!
 //! # Examples
 //!
@@ -18,6 +28,262 @@
 //! m.set(1, 2, true);
 //! assert_eq!(m.rank(), 2);
 //! ```
+
+/// Iterator over the indices of set bits in a run of 64-bit words, produced
+/// by [`BitVec::ones`] and [`BitMatrix::row_ones`].
+///
+/// Words beyond the logical length must be zero-padded (both containers
+/// maintain that invariant), so the iterator never yields out-of-range
+/// indices.
+#[derive(Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    /// Remaining bits of the word currently being drained.
+    current: u64,
+    /// Index of the word after the current one.
+    next_word: usize,
+}
+
+impl<'a> Ones<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        let (&first, rest) = words.split_first().unwrap_or((&0, &[]));
+        Ones {
+            words: rest,
+            current: first,
+            next_word: 1,
+        }
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            let (&w, rest) = self.words.split_first()?;
+            self.words = rest;
+            self.current = w;
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some((self.next_word - 1) * 64 + bit)
+    }
+}
+
+/// A packed bit-vector over GF(2) with word-level access.
+///
+/// This is the bit-sliced storage unit of the stabilizer engine: one
+/// `BitVec` holds, say, the X bits of *every* generator row at one qubit, so
+/// a gate update is a handful of word operations rather than a loop of
+/// single-bit reads. Bits beyond [`BitVec::len`] are kept zero (the word
+/// formulas rely on it).
+///
+/// # Examples
+///
+/// ```
+/// use epgs_graph::gf2::BitVec;
+///
+/// let mut v = BitVec::zeros(130);
+/// v.set(3, true);
+/// v.set(129, true);
+/// assert_eq!(v.ones().collect::<Vec<_>>(), vec![3, 129]);
+/// assert_eq!(v.first_one(), Some(3));
+/// assert_eq!(v.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words, least-significant bit first.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words.
+    ///
+    /// Callers must keep bits at positions `>= len()` zero; every bulk
+    /// operation in this module preserves that invariant.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Returns bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Swaps bits `a` and `b`.
+    #[inline]
+    pub fn swap_bits(&mut self, a: usize, b: usize) {
+        let (ba, bb) = (self.get(a), self.get(b));
+        if ba != bb {
+            self.flip(a);
+            self.flip(b);
+        }
+    }
+
+    /// Zeroes every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of set bits in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones::new(&self.words)
+    }
+
+    /// Index of the first set bit, if any.
+    ///
+    /// ```
+    /// use epgs_graph::gf2::BitVec;
+    ///
+    /// let mut v = BitVec::zeros(200);
+    /// assert_eq!(v.first_one(), None);
+    /// v.set(70, true);
+    /// assert_eq!(v.first_one(), Some(70));
+    /// ```
+    pub fn first_one(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|k| k * 64 + self.words[k].trailing_zeros() as usize)
+    }
+
+    /// Index of the first set bit at position `start` or later, if any.
+    pub fn first_one_at_or_after(&self, start: usize) -> Option<usize> {
+        if start >= self.len {
+            return None;
+        }
+        let k0 = start / 64;
+        let masked = self.words[k0] & (u64::MAX << (start % 64));
+        if masked != 0 {
+            return Some(k0 * 64 + masked.trailing_zeros() as usize);
+        }
+        self.words[k0 + 1..]
+            .iter()
+            .position(|&w| w != 0)
+            .map(|k| (k0 + 1 + k) * 64 + self.words[k0 + 1 + k].trailing_zeros() as usize)
+    }
+
+    /// XORs `other` into `self` (`self ^= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// ORs `other` into `self` (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Parity of the AND with `other`: `popcount(self & other) mod 2`.
+    ///
+    /// This is the inner product over GF(2) — the word-parallel kernel behind
+    /// stabilizer sign tracking.
+    ///
+    /// ```
+    /// use epgs_graph::gf2::BitVec;
+    ///
+    /// let mut a = BitVec::zeros(100);
+    /// let mut b = BitVec::zeros(100);
+    /// a.set(5, true);
+    /// a.set(80, true);
+    /// b.set(80, true);
+    /// assert!(a.parity_and(&b)); // one shared bit → odd
+    /// b.set(5, true);
+    /// assert!(!a.parity_and(&b)); // two shared bits → even
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn parity_and(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut acc = 0u64;
+        for (&a, &b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
 
 /// A dense boolean matrix over GF(2).
 ///
@@ -156,12 +422,86 @@ impl BitMatrix {
         self.data[r * w..(r + 1) * w].iter().all(|&x| x == 0)
     }
 
+    /// The backing words of row `r`, least-significant bit first. Bits beyond
+    /// [`BitMatrix::cols`] are zero.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        let w = self.words_per_row;
+        &self.data[r * w..(r + 1) * w]
+    }
+
+    /// Iterates the column indices of set bits in row `r`, in increasing
+    /// order (word-at-a-time via `trailing_zeros`).
+    ///
+    /// ```
+    /// use epgs_graph::gf2::BitMatrix;
+    ///
+    /// let mut m = BitMatrix::zeros(1, 100);
+    /// m.set(0, 2, true);
+    /// m.set(0, 99, true);
+    /// assert_eq!(m.row_ones(0).collect::<Vec<_>>(), vec![2, 99]);
+    /// ```
+    pub fn row_ones(&self, r: usize) -> Ones<'_> {
+        Ones::new(self.row_words(r))
+    }
+
+    /// Number of set bits in row `r`.
+    pub fn row_count_ones(&self, r: usize) -> usize {
+        self.row_words(r)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Overwrites row `r` with the bits of `bits`; columns past `bits.len()`
+    /// are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() > self.cols()`.
+    pub fn copy_row_from(&mut self, r: usize, bits: &BitVec) {
+        assert!(bits.len() <= self.cols, "bit-vector wider than the matrix");
+        let w = self.words_per_row;
+        let dst = &mut self.data[r * w..(r + 1) * w];
+        dst.fill(0);
+        dst[..bits.words().len()].copy_from_slice(bits.words());
+    }
+
+    /// XORs the bits of row `r` into `acc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != self.cols()`.
+    pub fn xor_row_into(&self, r: usize, acc: &mut BitVec) {
+        assert_eq!(acc.len(), self.cols, "bit-vector length must match cols");
+        for (a, &w) in acc.words_mut().iter_mut().zip(self.row_words(r)) {
+            *a ^= w;
+        }
+    }
+
     /// Reduces the matrix in place to reduced row-echelon form and returns the
     /// pivot columns in order.
     pub fn rref(&mut self) -> Vec<usize> {
+        self.rref_within(self.cols)
+    }
+
+    /// Like [`BitMatrix::rref`], but only the first `lead_cols` columns are
+    /// eligible as pivots; trailing columns are carried along by the row
+    /// operations. This is the shared-factorization kernel: augment a
+    /// coefficient block with several right-hand-side columns, reduce once,
+    /// and read every solution (and the null space) out of the same
+    /// elimination. The row operations performed are exactly those of
+    /// `rref` on the leading block alone, so the leading block ends up in
+    /// its canonical reduced form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lead_cols > self.cols()`.
+    pub fn rref_within(&mut self, lead_cols: usize) -> Vec<usize> {
+        assert!(lead_cols <= self.cols, "lead_cols out of range");
         let mut pivots = Vec::new();
         let mut pivot_row = 0;
-        for col in 0..self.cols {
+        for col in 0..lead_cols {
             if pivot_row >= self.rows {
                 break;
             }
@@ -178,6 +518,50 @@ impl BitMatrix {
             pivot_row += 1;
         }
         pivots
+    }
+
+    /// Reads the solution of `A x = b_j` out of a matrix already reduced by
+    /// [`BitMatrix::rref_within`]`(lead_cols)`, where `b_j` lives in column
+    /// `lead_cols + j`. Returns `None` when the system is inconsistent, and
+    /// otherwise the same free-variables-zero solution [`BitMatrix::solve`]
+    /// produces for the equivalent single-rhs call.
+    pub fn solution_from_reduced(
+        &self,
+        pivots: &[usize],
+        lead_cols: usize,
+        j: usize,
+    ) -> Option<BitVec> {
+        let rhs_col = lead_cols + j;
+        // Inconsistent iff a zero leading row still carries a rhs bit.
+        for row in pivots.len()..self.rows {
+            if self.get(row, rhs_col) {
+                return None;
+            }
+        }
+        let mut x = BitVec::zeros(lead_cols);
+        for (row, &col) in pivots.iter().enumerate() {
+            x.set(col, self.get(row, rhs_col));
+        }
+        Some(x)
+    }
+
+    /// Null-space basis of the leading `lead_cols`-column block of a matrix
+    /// already reduced by [`BitMatrix::rref_within`], as the rows of a
+    /// matrix — the same basis (and order) [`BitMatrix::null_space_matrix`]
+    /// computes from scratch.
+    pub fn null_space_from_reduced(&self, pivots: &[usize], lead_cols: usize) -> BitMatrix {
+        let pivot_set: std::collections::BTreeSet<usize> = pivots.iter().copied().collect();
+        let free: Vec<usize> = (0..lead_cols).filter(|c| !pivot_set.contains(c)).collect();
+        let mut basis = BitMatrix::zeros(free.len(), lead_cols);
+        for (i, &fc) in free.iter().enumerate() {
+            basis.set(i, fc, true);
+            for (row, &pc) in pivots.iter().enumerate() {
+                if self.get(row, fc) {
+                    basis.set(i, pc, true);
+                }
+            }
+        }
+        basis
     }
 
     /// Returns the GF(2) rank without mutating the matrix.
@@ -215,6 +599,42 @@ impl BitMatrix {
             x[col] = aug.get(row, self.cols);
         }
         Some(x)
+    }
+
+    /// Solves `A x = b` over GF(2) like [`BitMatrix::solve`], but with packed
+    /// inputs and outputs (free variables zero). Produces exactly the same
+    /// solution as `solve` on the equivalent `&[bool]` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve_vec(&self, b: &BitVec) -> Option<BitVec> {
+        assert_eq!(b.len(), self.rows, "rhs length must match row count");
+        let mut aug = BitMatrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for w in 0..self.words_per_row {
+                aug.data[r * aug.words_per_row + w] = self.data[r * self.words_per_row + w];
+            }
+            aug.set(r, self.cols, b.get(r));
+        }
+        let pivots = aug.rref();
+        if pivots.last() == Some(&self.cols) {
+            return None;
+        }
+        let mut x = BitVec::zeros(self.cols);
+        for (row, &col) in pivots.iter().enumerate() {
+            x.set(col, aug.get(row, self.cols));
+        }
+        Some(x)
+    }
+
+    /// Returns a basis of the null space as the rows of a matrix, in the same
+    /// order as [`BitMatrix::null_space`] (one row per free column, ascending).
+    /// The row count is `cols - rank`.
+    pub fn null_space_matrix(&self) -> BitMatrix {
+        let mut m = self.clone();
+        let pivots = m.rref();
+        m.null_space_from_reduced(&pivots, self.cols)
     }
 
     /// Returns a basis of the null space (kernel) of the matrix, each element
@@ -385,6 +805,109 @@ mod tests {
     fn xor_rows_same_row_panics() {
         let mut m = BitMatrix::zeros(2, 2);
         m.xor_rows(1, 1);
+    }
+
+    #[test]
+    fn bitvec_ones_and_first_one() {
+        let mut v = BitVec::zeros(200);
+        assert!(v.is_zero());
+        assert_eq!(v.first_one(), None);
+        assert_eq!(v.ones().count(), 0);
+        for i in [0usize, 63, 64, 127, 199] {
+            v.set(i, true);
+        }
+        assert_eq!(v.ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 199]);
+        assert_eq!(v.first_one(), Some(0));
+        assert_eq!(v.first_one_at_or_after(1), Some(63));
+        assert_eq!(v.first_one_at_or_after(64), Some(64));
+        assert_eq!(v.first_one_at_or_after(128), Some(199));
+        assert_eq!(v.first_one_at_or_after(200), None);
+        assert_eq!(v.count_ones(), 5);
+    }
+
+    #[test]
+    fn bitvec_bulk_ops() {
+        let mut a = BitVec::zeros(130);
+        let mut b = BitVec::zeros(130);
+        a.set(5, true);
+        a.set(129, true);
+        b.set(5, true);
+        b.set(70, true);
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_eq!(x.ones().collect::<Vec<_>>(), vec![70, 129]);
+        let mut o = a.clone();
+        o.or_with(&b);
+        assert_eq!(o.count_ones(), 3);
+        assert!(a.parity_and(&b)); // bit 5 shared
+        a.set(70, true);
+        assert!(!a.parity_and(&b)); // bits 5 and 70 shared
+        a.swap_bits(70, 71);
+        assert!(!a.get(70) && a.get(71));
+        a.clear();
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn row_ones_matches_get() {
+        let mut m = BitMatrix::zeros(3, 150);
+        m.set(1, 0, true);
+        m.set(1, 64, true);
+        m.set(1, 149, true);
+        assert_eq!(m.row_ones(1).collect::<Vec<_>>(), vec![0, 64, 149]);
+        assert_eq!(m.row_count_ones(1), 3);
+        assert_eq!(m.row_ones(0).count(), 0);
+    }
+
+    #[test]
+    fn copy_row_from_and_xor_row_into() {
+        let mut v = BitVec::zeros(100);
+        v.set(3, true);
+        v.set(99, true);
+        let mut m = BitMatrix::zeros(2, 100);
+        m.copy_row_from(0, &v);
+        assert!(m.get(0, 3) && m.get(0, 99));
+        let mut acc = BitVec::zeros(100);
+        acc.set(3, true);
+        m.xor_row_into(0, &mut acc);
+        assert_eq!(acc.ones().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn solve_vec_matches_solve() {
+        let a = BitMatrix::from_rows(vec![
+            vec![true, false, true],
+            vec![false, true, false],
+            vec![true, true, true],
+        ]);
+        let mut b = BitVec::zeros(3);
+        b.set(0, true);
+        b.set(1, true);
+        let x = a.solve_vec(&b).expect("consistent");
+        let x_bools = a.solve(&[true, true, false]).expect("consistent");
+        for (i, &bit) in x_bools.iter().enumerate() {
+            assert_eq!(x.get(i), bit);
+        }
+        let bad = BitMatrix::from_rows(vec![vec![true], vec![true]]);
+        let mut rhs = BitVec::zeros(2);
+        rhs.set(1, true);
+        assert!(bad.solve_vec(&rhs).is_none());
+    }
+
+    #[test]
+    fn null_space_matrix_matches_null_space() {
+        let a = BitMatrix::from_rows(vec![
+            vec![true, true, false, true],
+            vec![false, true, true, true],
+        ]);
+        let basis = a.null_space();
+        let m = a.null_space_matrix();
+        assert_eq!(m.rows(), basis.len());
+        for (i, v) in basis.iter().enumerate() {
+            for (c, &bit) in v.iter().enumerate() {
+                assert_eq!(m.get(i, c), bit, "basis vector {i} bit {c}");
+            }
+        }
     }
 
     #[test]

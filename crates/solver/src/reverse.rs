@@ -24,6 +24,7 @@
 //! simulator in tests and (optionally) by [`SolveOptions::verify`].
 
 use epgs_circuit::{simulate, Circuit, Op, Qubit};
+use epgs_graph::gf2::BitVec;
 use epgs_graph::{height, Graph};
 use epgs_stabilizer::{to_graph_form, LocalGate, RotGate, Tableau};
 
@@ -271,18 +272,31 @@ impl<'g> ReverseSolver<'g> {
     /// Emitters currently free (disentangled in |0⟩/|1⟩; |1⟩ gets fixed),
     /// preferring emitters assigned to photon `j`'s block.
     fn find_free_emitter(&mut self, j: usize) -> Option<usize> {
-        let mut order: Vec<usize> = (0..self.pool).collect();
-        order.sort_by_key(|&e| (self.emitter_weight(j, e), e));
-        for e in order {
-            let wire = self.emitter_wire(e);
-            if let Some(sign) = self.t.deterministic_z_sign(wire) {
-                if sign {
-                    // |1⟩ → |0⟩; forward X at the mirrored position (legal on
-                    // emitters at any time).
-                    self.apply(RevOp::X(wire));
+        // Visit emitters sorted by (weight, e) without materializing a
+        // candidate Vec: sweep one weight tier at a time, deriving the next
+        // tier from the observed weights so any future weight scheme keeps
+        // working (today's `Affinity::weight` yields only 1 and 8).
+        let mut done_below: Option<usize> = None;
+        while let Some(tier) = (0..self.pool)
+            .map(|e| self.emitter_weight(j, e))
+            .filter(|&w| done_below.is_none_or(|d| w > d))
+            .min()
+        {
+            for e in 0..self.pool {
+                if self.emitter_weight(j, e) != tier {
+                    continue;
                 }
-                return Some(e);
+                let wire = self.emitter_wire(e);
+                if let Some(sign) = self.t.deterministic_z_sign(wire) {
+                    if sign {
+                        // |1⟩ → |0⟩; forward X at the mirrored position
+                        // (legal on emitters at any time).
+                        self.apply(RevOp::X(wire));
+                    }
+                    return Some(e);
+                }
             }
+            done_below = Some(tier);
         }
         None
     }
@@ -298,14 +312,19 @@ impl<'g> ReverseSolver<'g> {
         let row = self.t.combine_rows(&rows);
         debug_assert_eq!(self.t.support(row), vec![wire]);
         // Clear the wire from every other row (z bits only; x bits cannot
-        // exist on a free wire).
-        let others: Vec<usize> = (0..self.t.num_qubits())
-            .filter(|&r| r != row && (self.t.z_bit(r, wire) || self.t.x_bit(r, wire)))
-            .collect();
-        for r in others {
-            debug_assert!(!self.t.x_bit(r, wire), "free wire cannot have X support");
-            self.t.row_mul(r, row);
-        }
+        // exist on a free wire) with one word-parallel broadcast over the
+        // wire's packed column.
+        debug_assert!(
+            {
+                let mut x = self.t.col_x(wire).clone();
+                x.set(row, false);
+                x.is_zero()
+            },
+            "free wire cannot have X support"
+        );
+        let mut mask = self.t.rows_touching(wire);
+        mask.set(row, false);
+        self.t.mul_row_into_mask(row, &mask);
         if self.t.phase_of(row) == 2 {
             debug_assert!(
                 wire >= self.n,
@@ -325,18 +344,15 @@ impl<'g> ReverseSolver<'g> {
     fn time_reversed_measure(&mut self, e: usize, j: usize) {
         let wire = self.emitter_wire(e);
         let ze_row = self.isolate_free_wire_row(wire);
-        // Pair up the generators anticommuting with Z_j (those with X at j).
-        let anti: Vec<usize> = (0..self.t.num_qubits())
-            .filter(|&r| r != ze_row && self.t.x_bit(r, j))
-            .collect();
-        debug_assert!(
-            !anti.is_empty(),
-            "TRM called although Z_j commutes with the group (photon already product)"
-        );
-        let s1 = anti[0];
-        for &si in &anti[1..] {
-            self.t.row_mul(si, s1);
-        }
+        // Pair up the generators anticommuting with Z_j (those with X at j),
+        // reading the photon's packed X column word-at-a-time.
+        let mut anti = self.t.col_x(j).clone();
+        anti.set(ze_row, false);
+        let s1 = anti
+            .first_one()
+            .expect("TRM called although Z_j commutes with the group (photon already product)");
+        anti.set(s1, false);
+        self.t.mul_row_into_mask(s1, &anti);
         // s1 := Z_e · s1 keeps the generating set full rank.
         self.t.row_mul(s1, ze_row);
         // ze_row := X_e Z_j.
@@ -445,13 +461,11 @@ impl<'g> ReverseSolver<'g> {
             "g must be supported on the photon and one emitter"
         );
 
-        // Clean Z_j (and Y_j → X_j) from every other row by multiplying with g.
-        let dirty: Vec<usize> = (0..self.t.num_qubits())
-            .filter(|&r| r != rg && self.t.z_bit(r, j))
-            .collect();
-        for r in dirty {
-            self.t.row_mul(r, rg);
-        }
+        // Clean Z_j (and Y_j → X_j) from every other row by multiplying with
+        // g — one broadcast over the photon's packed Z column.
+        let mut dirty = self.t.col_z(j).clone();
+        dirty.set(rg, false);
+        self.t.mul_row_into_mask(rg, &dirty);
 
         // Sign fix *before* the reversed emission so that the forward X
         // lands right after the emission (photon gates are only legal after
@@ -474,8 +488,11 @@ impl<'g> ReverseSolver<'g> {
         debug_assert_eq!(self.t.support(rg), vec![j]);
         debug_assert_eq!(self.t.phase_of(rg), 0);
         debug_assert!(
-            (0..self.t.num_qubits())
-                .all(|r| r == rg || (!self.t.x_bit(r, j) && !self.t.z_bit(r, j))),
+            {
+                let mut touch = self.t.rows_touching(j);
+                touch.set(rg, false);
+                touch.is_zero()
+            },
             "photon {j} still entangled after reversed emission"
         );
         let _ = unabsorbed;
@@ -509,12 +526,20 @@ impl<'g> ReverseSolver<'g> {
         let entangled_wires: Vec<usize> = entangled.iter().map(|&e| self.emitter_wire(e)).collect();
         // Rows of the residual state: support non-empty and inside the
         // entangled wire set (every other wire owns an isolated ±Z row).
-        let residual_rows: Vec<usize> = (0..self.t.num_qubits())
-            .filter(|&r| {
-                let sup = self.t.support(r);
-                !sup.is_empty() && sup.iter().all(|w| entangled_wires.contains(w))
-            })
-            .collect();
+        // Computed word-parallel: OR the per-wire "rows touching" masks into
+        // an inside/outside pair and keep rows seen only inside.
+        let total = self.t.num_qubits();
+        let mut inside = BitVec::zeros(total);
+        let mut outside = BitVec::zeros(total);
+        for w in 0..total {
+            let touch = self.t.rows_touching(w);
+            if entangled_wires.binary_search(&w).is_ok() {
+                inside.or_with(&touch);
+            } else {
+                outside.or_with(&touch);
+            }
+        }
+        let residual_rows: Vec<usize> = inside.ones().filter(|&r| !outside.get(r)).collect();
         debug_assert_eq!(
             residual_rows.len(),
             entangled.len(),
@@ -541,11 +566,11 @@ impl<'g> ReverseSolver<'g> {
         for (a, b) in form.graph.edges() {
             self.apply(RevOp::Cz(entangled_wires[a], entangled_wires[b]));
         }
-        for &w in &entangled_wires.clone() {
+        for &w in &entangled_wires {
             self.apply(RevOp::H(w));
         }
         // Sign fixes: every entangled wire must end at +Z.
-        for &w in &entangled_wires.clone() {
+        for &w in &entangled_wires {
             let sign = self
                 .t
                 .deterministic_z_sign(w)

@@ -54,21 +54,21 @@ pub fn to_graph_form(t: &mut Tableau) -> Result<GraphForm, StabilizerError> {
         if iters > max_iters {
             return Err(StabilizerError::GraphFormDiverged { iterations: iters });
         }
-        // Row-reduce the X block.
+        // Row-reduce the X block: pivots found by word-scanning the X
+        // column, elimination done as one broadcast row product per pivot.
         let mut pivot_row = 0;
         let mut pivot_cols = Vec::new();
         for q in 0..n {
             if pivot_row >= n {
                 break;
             }
-            let found = (pivot_row..n).find(|&r| t.x_bit(r, q));
-            let Some(r) = found else { continue };
+            let Some(r) = t.col_x(q).first_one_at_or_after(pivot_row) else {
+                continue;
+            };
             t.swap_rows(pivot_row, r);
-            for other in 0..n {
-                if other != pivot_row && t.x_bit(other, q) {
-                    t.row_mul(other, pivot_row);
-                }
-            }
+            let mut mask = t.col_x(q).clone();
+            mask.set(pivot_row, false);
+            t.mul_row_into_mask(pivot_row, &mask);
             pivot_cols.push(q);
             pivot_row += 1;
         }
@@ -110,11 +110,11 @@ pub fn to_graph_form(t: &mut Tableau) -> Result<GraphForm, StabilizerError> {
         }
     }
 
-    // Read off the adjacency.
+    // Read off the adjacency, one packed Z column at a time.
     let mut graph = Graph::new(n);
-    for r in 0..n {
-        for q in 0..n {
-            if r != q && t.z_bit(r, q) {
+    for q in 0..n {
+        for r in t.col_z(q).ones() {
+            if r != q {
                 debug_assert!(t.z_bit(q, r), "Z block of a graph form is symmetric");
                 if r < q {
                     graph.add_edge(r, q).expect("indices in range");
