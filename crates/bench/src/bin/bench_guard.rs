@@ -1,0 +1,124 @@
+//! Non-fatal trajectory guard: diffs a freshly produced `BENCH_runtime.json`
+//! against the committed baseline and warns on per-stage regressions.
+//!
+//! Run with:
+//! `cargo run --release -p epgs-bench --bin bench_guard -- BASELINE.json FRESH.json`
+//!
+//! Framework points are matched by `n`; for every matched point the total
+//! and each stage of the breakdown (partition / plan / schedule / recombine
+//! / verify) is compared, as is each matched exhaustive point. A value more
+//! than 25% above the baseline prints a `regression:` warning. Timings under
+//! the 20 ms noise floor are skipped (sub-floor stages are dominated by
+//! scheduler jitter); the smoke sweep's n=30 point sits above the floor on
+//! the committed trajectory precisely so the CI wiring of this guard always
+//! has live comparisons.
+//!
+//! The guard is advisory: it exits 0 even when regressions are found (CI
+//! hardware is too noisy for a hard gate) and non-zero only when an input
+//! file is missing or malformed.
+
+use std::process::ExitCode;
+
+use epgs_bench::STAGES;
+use epgs_corpus::Value;
+
+/// Regression threshold: warn above `baseline × (1 + THRESHOLD)`.
+const THRESHOLD: f64 = 0.25;
+/// Ignore comparisons where the baseline is below this (seconds).
+const NOISE_FLOOR: f64 = 0.02;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compares one labelled timing; returns whether a regression was reported.
+fn check(label: &str, baseline: f64, fresh: f64) -> bool {
+    if baseline < NOISE_FLOOR {
+        return false;
+    }
+    if fresh > baseline * (1.0 + THRESHOLD) {
+        println!(
+            "regression: {label}: {fresh:.3}s vs baseline {baseline:.3}s (+{:.0}%)",
+            100.0 * (fresh - baseline) / baseline
+        );
+        return true;
+    }
+    false
+}
+
+/// Entries of an array keyed by their `n` field.
+fn by_n(doc: &Value, key: &str) -> Vec<(usize, Value)> {
+    doc.get(key)
+        .and_then(Value::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|e| Some((e.get("n")?.as_usize()?, e.clone())))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_guard BASELINE.json FRESH.json");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let base_ex = by_n(&baseline, "exhaustive");
+    for (n, fresh_entry) in by_n(&fresh, "exhaustive") {
+        let Some((_, base_entry)) = base_ex.iter().find(|(bn, _)| *bn == n) else {
+            continue;
+        };
+        if let (Some(b), Some(f)) = (
+            base_entry.get("seconds").and_then(Value::as_f64),
+            fresh_entry.get("seconds").and_then(Value::as_f64),
+        ) {
+            compared += 1;
+            regressions += check(&format!("exhaustive n={n}"), b, f) as usize;
+        }
+    }
+    let base_fw = by_n(&baseline, "framework");
+    for (n, fresh_entry) in by_n(&fresh, "framework") {
+        let Some((_, base_entry)) = base_fw.iter().find(|(bn, _)| *bn == n) else {
+            continue;
+        };
+        if let (Some(b), Some(f)) = (
+            base_entry.get("seconds").and_then(Value::as_f64),
+            fresh_entry.get("seconds").and_then(Value::as_f64),
+        ) {
+            compared += 1;
+            regressions += check(&format!("framework n={n} total"), b, f) as usize;
+        }
+        for stage in STAGES {
+            let b = base_entry
+                .get("stages")
+                .and_then(|s| s.get(stage))
+                .and_then(Value::as_f64);
+            let f = fresh_entry
+                .get("stages")
+                .and_then(|s| s.get(stage))
+                .and_then(Value::as_f64);
+            if let (Some(b), Some(f)) = (b, f) {
+                compared += 1;
+                regressions += check(&format!("framework n={n} {stage}"), b, f) as usize;
+            }
+        }
+    }
+    println!(
+        "bench_guard: {compared} timings compared, {regressions} regression warning(s) \
+         (advisory, threshold +{:.0}%)",
+        THRESHOLD * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -9,17 +9,23 @@
 //!
 //! Besides the console tables, the run is recorded to `BENCH_runtime.json`
 //! (repo root by convention) so the scaling trajectory can be tracked across
-//! PRs alongside `BENCH_tableau.json`. `--smoke` shrinks both sweeps to CI
-//! scale.
+//! PRs alongside `BENCH_tableau.json`. Every framework point carries a
+//! per-stage wall-time breakdown (partition / plan / schedule / recombine /
+//! verify) so the trajectory shows *where* the next bottleneck lives; the
+//! emitted file is re-parsed and the breakdown fields validated before the
+//! bin exits 0 (`bench_guard` then diffs trajectories across commits).
+//! `--smoke` shrinks both sweeps to CI scale. The exhaustive sweep drives
+//! thousands of solves through one reused `SolverWorkspace`, matching how
+//! the leaf compiler batches its candidate solves.
 
 use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use epgs_bench::bench_framework;
+use epgs_bench::{bench_framework, STAGES};
 use epgs_corpus::Value;
 use epgs_graph::generators;
-use epgs_solver::reverse::{solve_with_ordering, SolveOptions};
+use epgs_solver::reverse::{solve_with_ordering_in, SolveOptions, SolverWorkspace};
 
 /// Exhaustively searches every emission ordering (the brute-force regime the
 /// paper attributes to exact solvers). Returns (best #ee-CNOT, orderings
@@ -30,13 +36,14 @@ fn exhaustive(n: usize) -> (usize, usize) {
         verify: false,
         ..SolveOptions::default()
     };
+    let mut ws = SolverWorkspace::new();
     let mut best = usize::MAX;
     let mut tried = 0usize;
     let mut perm: Vec<usize> = (0..n).collect();
     // Heap's algorithm.
     let mut c = vec![0usize; n];
-    let eval = |p: &[usize], best: &mut usize, tried: &mut usize| {
-        if let Ok(s) = solve_with_ordering(&g, p, &opts) {
+    let mut eval = |p: &[usize], best: &mut usize, tried: &mut usize| {
+        if let Ok(s) = solve_with_ordering_in(&mut ws, &g, p, &opts) {
             *best = (*best).min(s.circuit.ee_two_qubit_count());
         }
         *tried += 1;
@@ -83,10 +90,13 @@ fn main() -> ExitCode {
         }
     }
     let exhaustive_sizes: &[usize] = if smoke { &[4, 5] } else { &[4, 5, 6, 7, 8] };
+    // Smoke keeps n=30: its partition stage sits above bench_guard's noise
+    // floor on the committed trajectory, so the CI guard has live
+    // comparisons rather than skipping everything as jitter.
     let framework_sizes: &[usize] = if smoke {
-        &[10, 20]
+        &[10, 20, 30]
     } else {
-        &[10, 20, 30, 40, 50, 60]
+        &[10, 20, 30, 40, 50, 60, 80, 100]
     };
 
     println!("== exhaustive ordering search on linear clusters (brute-force regime) ==");
@@ -107,24 +117,44 @@ fn main() -> ExitCode {
     println!("(n! growth: already >10³ s well before 12 qubits — the paper's Challenge 1)\n");
 
     println!("== framework compilation (divide-and-conquer) ==");
-    println!("{:>7} {:>12} {:>12}", "#qubit", "ee-CNOT", "seconds");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "#qubit", "ee-CNOT", "total", "partn", "plan", "sched", "recomb", "verify"
+    );
     let fw = bench_framework();
+    let pipeline = fw.pipeline();
     let mut framework_entries = Vec::new();
     for &n in framework_sizes {
         let g = generators::path(n);
         let t0 = Instant::now();
-        let compiled = fw.compile(&g).expect("framework compiles");
-        let dt = t0.elapsed().as_secs_f64();
+        let partitioned = pipeline.partition(&g);
+        let t_partition = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let planned = partitioned.plan_leaves().expect("framework plans leaves");
+        let t_plan = t0.elapsed().as_secs_f64();
+        let budget = pipeline.config().emitter_budget.resolve(planned.ne_min());
+        let t0 = Instant::now();
+        let scheduled = planned.schedule(budget);
+        let t_schedule = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let recombined = scheduled.recombine().expect("framework recombines");
+        let t_recombine = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let compiled = recombined.verify().expect("framework verifies");
+        let t_verify = t0.elapsed().as_secs_f64();
+        let total = t_partition + t_plan + t_schedule + t_recombine + t_verify;
+        let ee = compiled.metrics.ee_two_qubit_count;
         println!(
-            "{n:>7} {:>12} {dt:>12.2}",
-            compiled.metrics.ee_two_qubit_count
+            "{n:>7} {ee:>9} {total:>9.2} {t_partition:>9.2} {t_plan:>9.2} {t_schedule:>9.2} \
+             {t_recombine:>9.2} {t_verify:>9.2}"
         );
         framework_entries.push(format!(
-            "{{\"n\":{n},\"ee_cnots\":{},\"seconds\":{dt:.4}}}",
-            compiled.metrics.ee_two_qubit_count
+            "{{\"n\":{n},\"ee_cnots\":{ee},\"seconds\":{total:.4},\"stages\":{{\
+             \"partition\":{t_partition:.4},\"plan\":{t_plan:.4},\"schedule\":{t_schedule:.4},\
+             \"recombine\":{t_recombine:.4},\"verify\":{t_verify:.4}}}}}"
         ));
     }
-    println!("(polynomial: entire 60-qubit compile, verification included, in seconds)");
+    println!("(polynomial: entire 100-qubit compile, verification included, in seconds)");
 
     let doc = format!(
         "{{\"bench\":\"runtime\",\"mode\":{},\"exhaustive\":[{}],\"framework\":[{}]}}",
@@ -136,13 +166,32 @@ fn main() -> ExitCode {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
-    match fs::read_to_string(&out_path)
+    // Self-validation: the emitted trajectory must parse and every framework
+    // point must carry the full stage breakdown.
+    let valid = fs::read_to_string(&out_path)
         .map_err(|e| e.to_string())
         .and_then(|t| Value::parse(&t).map_err(|e| e.to_string()))
-    {
-        Ok(v) if v.get("bench").and_then(Value::as_str) == Some("runtime") => {}
-        Ok(_) | Err(_) => {
-            eprintln!("{out_path} failed self-validation");
+        .map(|v| {
+            v.get("bench").and_then(Value::as_str) == Some("runtime")
+                && v.get("framework")
+                    .and_then(Value::as_arr)
+                    .is_some_and(|fw| {
+                        !fw.is_empty()
+                            && fw.iter().all(|entry| {
+                                let stages = entry.get("stages");
+                                STAGES.iter().all(|key| {
+                                    stages
+                                        .and_then(|s| s.get(key))
+                                        .and_then(Value::as_f64)
+                                        .is_some()
+                                })
+                            })
+                    })
+        });
+    match valid {
+        Ok(true) => {}
+        Ok(false) | Err(_) => {
+            eprintln!("{out_path} failed self-validation (missing stage breakdown?)");
             return ExitCode::FAILURE;
         }
     }

@@ -20,6 +20,11 @@ use epgs_solver::BaselineOptions;
 /// Benchmark RNG seed (fixed for reproducibility).
 pub const SEED: u64 = 0xdac2025;
 
+/// The pipeline stages whose wall times `runtime_scaling` records per
+/// framework point and `bench_guard` diffs across trajectories. One list,
+/// two bins — extending the breakdown means extending this.
+pub const STAGES: [&str; 5] = ["partition", "plan", "schedule", "recombine", "verify"];
+
 /// Lattice sweep: 4×k grids, 12–60 qubits (paper Fig. 10 a/d).
 pub fn lattice_sweep() -> Vec<(usize, Graph)> {
     [3usize, 5, 7, 9, 11, 13, 15]

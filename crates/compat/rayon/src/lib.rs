@@ -8,13 +8,38 @@
 //! deterministic. For the long-running, coarse-grained closures of the leaf
 //! compiler this is within noise of real work-stealing.
 
+use std::cell::Cell;
 use std::sync::Mutex;
 
+thread_local! {
+    /// True while this thread is a pool worker executing mapped items.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Number of worker threads for a job of `n` items.
+///
+/// `RAYON_NUM_THREADS` (the env var real rayon honors) caps the pool;
+/// setting it to `1` forces every parallel stage through the sequential
+/// in-thread path — the determinism suites compare that against the
+/// default parallel path. Calls from *inside* a worker run inline (count
+/// 1): real rayon reuses its global pool for nested `par_iter`s, and the
+/// shim equivalent is to not multiply OS threads — e.g. the leaf
+/// compiler's candidate search nested inside the per-block parallel map
+/// would otherwise spawn workers × workers threads for sub-millisecond
+/// solves.
 fn worker_count(n: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let cap = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(usize::MAX);
     std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1)
+        .min(cap)
         .min(n)
 }
 
@@ -26,24 +51,45 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: every worker thread calls `init`
+/// once and threads the value through its items — the shim behind
+/// [`ParIter::map_init`], mirroring rayon's `map_init`. Reusable workspaces
+/// (solver scratch, RNGs) ride along without cross-thread sharing. `f` must
+/// not let the state influence the *result* (rayon gives the same caveat),
+/// only serve as scratch; results are returned in input order either way.
+pub fn parallel_map_init<T, R, W, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, T) -> R + Sync,
+{
     let n = items.len();
     let workers = worker_count(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut w = init();
+        return items.into_iter().map(|item| f(&mut w, item)).collect();
     }
     // LIFO queue of (original index, item); workers pull until empty.
     let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop();
-                match next {
-                    Some((i, item)) => {
-                        let r = f(item);
-                        results.lock().expect("results lock")[i] = Some(r);
+            scope.spawn(|| {
+                IN_WORKER.with(|flag| flag.set(true));
+                let mut w = init();
+                loop {
+                    let next = queue.lock().expect("queue lock").pop();
+                    match next {
+                        Some((i, item)) => {
+                            let r = f(&mut w, item);
+                            results.lock().expect("results lock")[i] = Some(r);
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }
@@ -95,6 +141,20 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// Parallel map with per-worker state (rayon's `map_init`): `init` runs
+    /// once per worker thread, `f` receives the worker's state and the item.
+    /// Eager and order-preserving like [`ParIter::map`].
+    pub fn map_init<W, I, R, F>(self, init: I, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map_init(self.items, init, f),
+        }
+    }
+
     /// Collects the (already computed) results.
     pub fn collect<C: FromIterator<T>>(self) -> C {
         self.items.into_iter().collect()
@@ -115,6 +175,16 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -204,6 +274,46 @@ mod tests {
         {
             assert!(distinct.len() > 1, "expected work on >1 thread");
         }
+    }
+
+    #[test]
+    fn map_init_threads_worker_state_and_preserves_order() {
+        let out: Vec<(usize, usize)> = (0..50usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, x| {
+                    *calls += 1;
+                    (x * 3, *calls)
+                },
+            )
+            .collect();
+        for (i, &(tripled, calls)) in out.iter().enumerate() {
+            assert_eq!(tripled, i * 3);
+            assert!(calls >= 1, "worker state must have been initialized");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_maps_stay_correct_and_inline() {
+        // The inner par_iter runs inline when its caller is already a pool
+        // worker (no thread multiplication); results must be unaffected.
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|x| {
+                let inner: Vec<usize> = (0..4usize).into_par_iter().map(|y| y + x).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        assert_eq!(out, (0..8).map(|x| 4 * x + 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_are_parallel_iterable() {
+        let out: Vec<usize> = (3..8usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![4, 5, 6, 7, 8]);
+        let empty: Vec<usize> = (5..5usize).into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -86,53 +86,87 @@ impl Planned {
         // result is identical to the sequential interleaving.
         let mut plans: Vec<SubgraphPlan> = {
             let transformed = &partition.transformed;
-            blocks
-                .iter()
-                .enumerate()
-                .collect::<Vec<_>>()
+            (0..blocks.len())
                 .into_par_iter()
-                .map(|(i, block)| compile_block(transformed, block, i, 0))
+                .map(|i| compile_block(transformed, &blocks[i], i, 0))
                 .collect::<Result<Vec<_>, FrameworkError>>()?
         };
 
         // Block-local LC refinement at *interior* vertices (no cut edges),
         // where subgraph-level local complementation coincides with the
-        // global one: fewer intra-block edges → fewer emitter-emitter
-        // CNOTs. Sequential because it draws on the global LC budget.
-        for (i, block) in blocks.iter().enumerate() {
-            if cfg.partition.lc_budget <= partition.lc_sequence.len() {
-                continue;
-            }
-            let in_block: std::collections::BTreeSet<usize> = block.iter().copied().collect();
-            let interior: Vec<usize> = block
-                .iter()
-                .copied()
-                .filter(|&v| {
-                    partition.transformed.degree(v) >= 2
-                        && partition
-                            .transformed
-                            .neighbors(v)
-                            .iter()
-                            .all(|w| in_block.contains(w))
+        // global one: fewer intra-block edges → fewer emitter-emitter CNOTs.
+        //
+        // An interior LC only toggles edges *inside its own block*, so each
+        // block's accept/reject chain is independent of every other block —
+        // the blocks are evaluated speculatively in parallel, each walking
+        // its own working graph by apply/undo (LC is self-inverse at a fixed
+        // vertex) instead of cloning the whole transformed graph per trial.
+        // The one cross-block coupling is the global LC budget, enforced by
+        // a sequential acceptance replay in block order below; a block's
+        // accepted chain is truncated to whatever budget is actually left
+        // when its turn comes, which reproduces the sequential loop's
+        // stop-at-budget behavior decision for decision.
+        let budget_left = cfg
+            .partition
+            .lc_budget
+            .saturating_sub(partition.lc_sequence.len());
+        if budget_left > 0 {
+            let transformed = &partition.transformed;
+            let plans_ref = &plans;
+            let accepted: Vec<Vec<(usize, SubgraphPlan)>> = (0..blocks.len())
+                .into_par_iter()
+                .map(|i| {
+                    let block = &blocks[i];
+                    let in_block: std::collections::BTreeSet<usize> =
+                        block.iter().copied().collect();
+                    let interior: Vec<usize> = block
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            transformed.degree(v) >= 2
+                                && transformed
+                                    .neighbors(v)
+                                    .iter()
+                                    .all(|w| in_block.contains(w))
+                        })
+                        .collect();
+                    let mut work = transformed.clone();
+                    let mut cur_ee = plans_ref[i].variants[0].ee_cnots;
+                    let mut out: Vec<(usize, SubgraphPlan)> = Vec::new();
+                    for &v in &interior {
+                        if out.len() >= budget_left {
+                            break;
+                        }
+                        let edges_before = work.edge_count();
+                        ops::local_complement(&mut work, v).expect("vertex in range");
+                        // Densifying LCs help a single leaf but hurt the
+                        // global solve; only keep transforms that also shed
+                        // edges.
+                        if work.edge_count() > edges_before {
+                            ops::local_complement(&mut work, v).expect("vertex in range");
+                            continue;
+                        }
+                        match compile_block(&work, block, i, 1 + v as u64) {
+                            Ok(candidate) if candidate.variants[0].ee_cnots < cur_ee => {
+                                cur_ee = candidate.variants[0].ee_cnots;
+                                out.push((v, candidate));
+                            }
+                            _ => {
+                                ops::local_complement(&mut work, v).expect("vertex in range");
+                            }
+                        }
+                    }
+                    out
                 })
                 .collect();
-            for &v in &interior {
-                if partition.lc_sequence.len() >= cfg.partition.lc_budget {
-                    break;
-                }
-                let mut trial = partition.transformed.clone();
-                ops::local_complement(&mut trial, v).expect("vertex in range");
-                // Densifying LCs help a single leaf but hurt the global
-                // solve; only keep transforms that also shed edges.
-                if trial.edge_count() > partition.transformed.edge_count() {
-                    continue;
-                }
-                if let Ok(candidate) = compile_block(&trial, block, i, 1 + v as u64) {
-                    if candidate.variants[0].ee_cnots < plans[i].variants[0].ee_cnots {
-                        partition.transformed = trial;
-                        partition.lc_sequence.push(v);
-                        plans[i] = candidate;
+            for (i, chain) in accepted.into_iter().enumerate() {
+                for (v, candidate) in chain {
+                    if partition.lc_sequence.len() >= cfg.partition.lc_budget {
+                        break;
                     }
+                    ops::local_complement(&mut partition.transformed, v).expect("vertex in range");
+                    partition.lc_sequence.push(v);
+                    plans[i] = candidate;
                 }
             }
         }

@@ -13,12 +13,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use epgs_circuit::{circuit_metrics, timeline, CircuitMetrics};
 use epgs_graph::Graph;
 use epgs_hardware::{CompileObjective, HardwareModel, ObjectiveScore};
 use epgs_solver::cost::{rank_orderings_weighted, CostWeights};
-use epgs_solver::reverse::{solve_with_ordering, SolveOptions, Solved};
+use epgs_solver::reverse::{solve_with_ordering_in, SolveOptions, Solved, SolverWorkspace};
 use epgs_solver::{ordering, SolverError};
 
 /// One compiled variant of a subgraph at a fixed emitter limit.
@@ -104,51 +105,74 @@ pub fn compile_subgraph(
     rank_orderings_weighted(sub, &mut candidates, &pruning_weights(objective));
     candidates.truncate(orderings_budget.max(3).div_ceil(2).max(3));
 
-    // Compile every candidate at ne_min; keep the objective's minimum.
+    // Compile every candidate at ne_min, candidates in parallel with one
+    // solver workspace per worker; keep the objective's minimum. The winner
+    // is the lowest (score, candidate index) — ties break toward the
+    // earlier candidate, exactly like the sequential strict-less loop — so
+    // the parallel search is bit-identical to the sequential one.
     let solve_opts = SolveOptions {
         verify: false, // the framework verifies the final global circuit
         ..SolveOptions::default()
     };
-    let mut best: Option<(Vec<usize>, SubgraphVariant, ObjectiveScore)> = None;
-    for ord in &candidates {
-        let Ok(solved) = solve_with_ordering(sub, ord, &solve_opts) else {
+    let evaluated: Vec<Option<(SubgraphVariant, ObjectiveScore)>> = (0..candidates.len())
+        .into_par_iter()
+        .map_init(SolverWorkspace::new, |ws, i| {
+            let solved = solve_with_ordering_in(ws, sub, &candidates[i], &solve_opts).ok()?;
+            let (variant, metrics) = make_variant(hw, solved);
+            // Score under the objective's own platform when it names a
+            // *different* one; the configured model's metrics (just computed
+            // for the variant) serve otherwise — no second metrics pass on
+            // the default or platform()-consistent paths.
+            let figures = match objective.hardware() {
+                Some(score_hw) if score_hw != hw => {
+                    circuit_metrics(score_hw, &variant.solved.circuit).objective_figures()
+                }
+                _ => metrics.objective_figures(),
+            };
+            let score = objective.score(&figures);
+            Some((variant, score))
+        })
+        .collect();
+    let mut best: Option<(usize, SubgraphVariant, ObjectiveScore)> = None;
+    for (i, entry) in evaluated.into_iter().enumerate() {
+        let Some((variant, score)) = entry else {
             continue;
         };
-        let (variant, metrics) = make_variant(hw, solved);
-        // Score under the objective's own platform when it names a
-        // *different* one; the configured model's metrics (just computed
-        // for the variant) serve otherwise — no second metrics pass on
-        // the default or platform()-consistent paths.
-        let figures = match objective.hardware() {
-            Some(score_hw) if score_hw != hw => {
-                circuit_metrics(score_hw, &variant.solved.circuit).objective_figures()
-            }
-            _ => metrics.objective_figures(),
-        };
-        let score = objective.score(&figures);
         let better = match &best {
             None => true,
             Some((_, _, b)) => score < *b,
         };
         if better {
-            best = Some((ord.clone(), variant, score));
+            best = Some((i, variant, score));
         }
     }
-    let (chosen_ordering, base, _) =
-        best.ok_or(SolverError::InsufficientEmitters { pool: 0, photon: 0 })?;
+    let Some((chosen, base, _)) = best else {
+        return Err(SolverError::NoCompilableOrdering {
+            photons: sub.vertex_count(),
+            candidates: candidates.len(),
+        });
+    };
+    let chosen_ordering = &candidates[chosen];
 
-    // Flexible resource constraint: recompile at ne_min+1 … ne_min+slack.
+    // Flexible resource constraint: recompile at ne_min+1 … ne_min+slack —
+    // the extras are independent solves of the same ordering, evaluated in
+    // parallel and kept in emitter order.
+    let base_emitters = base.emitters;
     let mut variants = vec![base];
-    for extra in 1..=flexible_slack {
-        let opts = SolveOptions {
-            emitters: Some(variants[0].emitters + extra),
-            verify: false,
-            ..SolveOptions::default()
-        };
-        if let Ok(solved) = solve_with_ordering(sub, &chosen_ordering, &opts) {
-            variants.push(make_variant(hw, solved).0);
-        }
-    }
+    let flexible: Vec<Option<SubgraphVariant>> = (1..flexible_slack + 1)
+        .into_par_iter()
+        .map_init(SolverWorkspace::new, |ws, extra| {
+            let opts = SolveOptions {
+                emitters: Some(base_emitters + extra),
+                verify: false,
+                ..SolveOptions::default()
+            };
+            solve_with_ordering_in(ws, sub, chosen_ordering, &opts)
+                .ok()
+                .map(|solved| make_variant(hw, solved).0)
+        })
+        .collect();
+    variants.extend(flexible.into_iter().flatten());
     Ok(SubgraphPlan {
         vertices: vertices.to_vec(),
         variants,
@@ -198,6 +222,7 @@ fn make_variant(hw: &HardwareModel, solved: Solved) -> (SubgraphVariant, Circuit
 mod tests {
     use super::*;
     use epgs_graph::generators;
+    use epgs_solver::reverse::solve_with_ordering;
 
     fn hw() -> HardwareModel {
         HardwareModel::quantum_dot()

@@ -111,6 +111,23 @@ impl BitVec {
         self.len
     }
 
+    /// Reshapes the vector to `len` all-zero bits, reusing the backing
+    /// allocation when it is large enough. The workspace-reuse primitive:
+    /// `reset` + `set` replaces `BitVec::zeros` in hot loops.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the backing allocation
+    /// (unlike `clone_from`, which reallocates through `clone`).
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// True if the vector has zero length.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -310,6 +327,29 @@ impl BitMatrix {
         }
     }
 
+    /// Reshapes the matrix to `rows` × `cols` of zeros, reusing the backing
+    /// allocation when it is large enough. The workspace-reuse primitive for
+    /// the constraint systems the solver assembles per photon.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.words_per_row = cols.div_ceil(64).max(1);
+        self.data.clear();
+        self.data.resize(rows * self.words_per_row, 0);
+    }
+
+    /// Drops all rows past `rows` (e.g. slots reserved by [`BitMatrix::reset`]
+    /// that turned out empty during a compacting assembly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the current row count.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        assert!(rows <= self.rows, "cannot grow with truncate_rows");
+        self.rows = rows;
+        self.data.truncate(rows * self.words_per_row);
+    }
+
     /// Creates the `n` × `n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
@@ -498,26 +538,120 @@ impl BitMatrix {
     ///
     /// Panics if `lead_cols > self.cols()`.
     pub fn rref_within(&mut self, lead_cols: usize) -> Vec<usize> {
-        assert!(lead_cols <= self.cols, "lead_cols out of range");
         let mut pivots = Vec::new();
+        self.rref_within_into(lead_cols, &mut pivots);
+        pivots
+    }
+
+    /// Allocation-free [`BitMatrix::rref_within`]: the pivot columns are
+    /// written into `pivots` (cleared first), reusing its storage.
+    ///
+    /// The elimination works on whole row slices: the pivot row is staged in
+    /// a (stack) buffer so every other row is updated with one straight-line
+    /// word loop instead of per-bit queries.
+    pub fn rref_within_into(&mut self, lead_cols: usize, pivots: &mut Vec<usize>) {
+        assert!(lead_cols <= self.cols, "lead_cols out of range");
+        pivots.clear();
+        if self.rows <= 64 && self.cols <= 128 {
+            // Small systems (every per-photon constraint system the solver
+            // builds) go through the transposed kernel: one u64 per column.
+            self.rref_small(lead_cols, pivots);
+            return;
+        }
+        let wpr = self.words_per_row;
+        let mut stack = [0u64; 8];
+        let mut heap;
+        let buf: &mut [u64] = if wpr <= stack.len() {
+            &mut stack[..wpr]
+        } else {
+            heap = vec![0u64; wpr];
+            &mut heap
+        };
         let mut pivot_row = 0;
         for col in 0..lead_cols {
             if pivot_row >= self.rows {
                 break;
             }
+            let (cw, cm) = (col / 64, 1u64 << (col % 64));
             // Find a row at or below pivot_row with a 1 in this column.
-            let found = (pivot_row..self.rows).find(|&r| self.get(r, col));
-            let Some(r) = found else { continue };
+            let Some(r) = (pivot_row..self.rows).find(|&r| self.data[r * wpr + cw] & cm != 0)
+            else {
+                continue;
+            };
             self.swap_rows(pivot_row, r);
-            for other in 0..self.rows {
-                if other != pivot_row && self.get(other, col) {
-                    self.xor_rows(other, pivot_row);
+            buf.copy_from_slice(&self.data[pivot_row * wpr..(pivot_row + 1) * wpr]);
+            for (other, row) in self.data.chunks_exact_mut(wpr).enumerate() {
+                if other != pivot_row && row[cw] & cm != 0 {
+                    for (w, &b) in row.iter_mut().zip(buf.iter()) {
+                        *w ^= b;
+                    }
                 }
             }
             pivots.push(col);
             pivot_row += 1;
         }
-        pivots
+    }
+
+    /// [`BitMatrix::rref_within_into`] for matrices of ≤ 64 rows and ≤ 128
+    /// columns, operating on the bit-transpose: each column is one `u64`
+    /// over the rows, so a pivot search is a `trailing_zeros`, a row swap is
+    /// a delta-swap per column, and eliminating *every* row below a pivot is
+    /// a single masked XOR per column. Performs exactly the row operations
+    /// of the general path (same pivots, same reduced matrix).
+    fn rref_small(&mut self, lead_cols: usize, pivots: &mut Vec<usize>) {
+        debug_assert!(self.rows <= 64 && self.cols <= 128);
+        let wpr = self.words_per_row;
+        let mut colw = [0u64; 128];
+        for r in 0..self.rows {
+            for (k, &w) in self.data[r * wpr..(r + 1) * wpr].iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let c = k * 64 + w.trailing_zeros() as usize;
+                    colw[c] |= 1u64 << r;
+                    w &= w - 1;
+                }
+            }
+        }
+        let cols = self.cols;
+        let mut pivot_row = 0usize;
+        for col in 0..lead_cols {
+            if pivot_row >= self.rows {
+                break;
+            }
+            // First row at or below pivot_row with a 1 in this column.
+            let cand = colw[col] & (!0u64 << pivot_row);
+            if cand == 0 {
+                continue;
+            }
+            let r = cand.trailing_zeros() as usize;
+            if r != pivot_row {
+                for w in colw[..cols].iter_mut() {
+                    let x = ((*w >> r) ^ (*w >> pivot_row)) & 1;
+                    *w ^= (x << r) | (x << pivot_row);
+                }
+            }
+            let pbit = 1u64 << pivot_row;
+            let mask = colw[col] & !pbit;
+            if mask != 0 {
+                for w in colw[..cols].iter_mut() {
+                    if *w & pbit != 0 {
+                        *w ^= mask;
+                    }
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        self.data[..self.rows * wpr].fill(0);
+        for (c, &w) in colw[..cols].iter().enumerate() {
+            let (cw, cm) = (c / 64, 1u64 << (c % 64));
+            let mut w = w;
+            while w != 0 {
+                let r = w.trailing_zeros() as usize;
+                self.data[r * wpr + cw] |= cm;
+                w &= w - 1;
+            }
+        }
     }
 
     /// Reads the solution of `A x = b_j` out of a matrix already reduced by
@@ -531,18 +665,33 @@ impl BitMatrix {
         lead_cols: usize,
         j: usize,
     ) -> Option<BitVec> {
+        let mut x = BitVec::zeros(lead_cols);
+        self.solution_from_reduced_into(pivots, lead_cols, j, &mut x)
+            .then_some(x)
+    }
+
+    /// Allocation-free [`BitMatrix::solution_from_reduced`]: writes the
+    /// solution into `out` (resized to `lead_cols`) and returns whether the
+    /// system is consistent. `out` is unspecified on `false`.
+    pub fn solution_from_reduced_into(
+        &self,
+        pivots: &[usize],
+        lead_cols: usize,
+        j: usize,
+        out: &mut BitVec,
+    ) -> bool {
         let rhs_col = lead_cols + j;
         // Inconsistent iff a zero leading row still carries a rhs bit.
         for row in pivots.len()..self.rows {
             if self.get(row, rhs_col) {
-                return None;
+                return false;
             }
         }
-        let mut x = BitVec::zeros(lead_cols);
+        out.reset(lead_cols);
         for (row, &col) in pivots.iter().enumerate() {
-            x.set(col, self.get(row, rhs_col));
+            out.set(col, self.get(row, rhs_col));
         }
-        Some(x)
+        true
     }
 
     /// Null-space basis of the leading `lead_cols`-column block of a matrix
@@ -550,18 +699,37 @@ impl BitMatrix {
     /// matrix — the same basis (and order) [`BitMatrix::null_space_matrix`]
     /// computes from scratch.
     pub fn null_space_from_reduced(&self, pivots: &[usize], lead_cols: usize) -> BitMatrix {
-        let pivot_set: std::collections::BTreeSet<usize> = pivots.iter().copied().collect();
-        let free: Vec<usize> = (0..lead_cols).filter(|c| !pivot_set.contains(c)).collect();
-        let mut basis = BitMatrix::zeros(free.len(), lead_cols);
-        for (i, &fc) in free.iter().enumerate() {
-            basis.set(i, fc, true);
+        let mut basis = BitMatrix::zeros(0, 0);
+        self.null_space_from_reduced_into(pivots, lead_cols, &mut basis);
+        basis
+    }
+
+    /// Allocation-free [`BitMatrix::null_space_from_reduced`]: writes the
+    /// basis rows into `out` (reshaped to `(lead_cols - rank) × lead_cols`).
+    pub fn null_space_from_reduced_into(
+        &self,
+        pivots: &[usize],
+        lead_cols: usize,
+        out: &mut BitMatrix,
+    ) {
+        out.reset(lead_cols - pivots.len(), lead_cols);
+        // Pivot columns are strictly increasing, so the free columns (and a
+        // membership test) come from one merge-style sweep.
+        let mut next_pivot = 0;
+        let mut i = 0;
+        for fc in 0..lead_cols {
+            if next_pivot < pivots.len() && pivots[next_pivot] == fc {
+                next_pivot += 1;
+                continue;
+            }
+            out.set(i, fc, true);
             for (row, &pc) in pivots.iter().enumerate() {
                 if self.get(row, fc) {
-                    basis.set(i, pc, true);
+                    out.set(i, pc, true);
                 }
             }
+            i += 1;
         }
-        basis
     }
 
     /// Returns the GF(2) rank without mutating the matrix.

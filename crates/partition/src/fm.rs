@@ -44,26 +44,54 @@ pub fn bfs_seed(g: &Graph, num_blocks: usize, g_max: usize) -> Vec<usize> {
     assign
 }
 
+/// Flattened (CSR) adjacency: `neighbors[offsets[v]..offsets[v + 1]]` are
+/// `v`'s neighbors in ascending order — the same order [`Graph::neighbors`]
+/// iterates, but as one contiguous slice per vertex. The refinement passes
+/// sweep neighborhoods millions of times per partition search; slice
+/// iteration instead of `BTreeSet` pointer-chasing is a multi-× win there.
+struct Csr {
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+}
+
+impl Csr {
+    fn new(g: &Graph) -> Self {
+        let n = g.vertex_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for v in 0..n {
+            neighbors.extend(g.neighbors(v).iter().copied());
+            offsets.push(neighbors.len());
+        }
+        Csr { offsets, neighbors }
+    }
+
+    #[inline]
+    fn nbrs(&self, v: usize) -> &[usize] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
 /// One greedy improvement pass; returns whether any move was made.
 fn improve_pass(
-    g: &Graph,
+    csr: &Csr,
     assign: &mut [usize],
     sizes: &mut [usize],
     g_max: usize,
     order: &[usize],
+    cost: &mut [isize],
 ) -> bool {
     let num_blocks = sizes.len();
     let mut moved = false;
     for &v in order {
         let from = assign[v];
-        // Cost of v under each block = edges from v to other blocks.
-        let mut cost = vec![0isize; num_blocks];
-        for &w in g.neighbors(v) {
-            for (b, c) in cost.iter_mut().enumerate() {
-                if assign[w] != b {
-                    *c += 1;
-                }
-            }
+        // Cost of v under each block = edges from v to other blocks, i.e.
+        // degree minus the in-block neighbor count.
+        let nbrs = csr.nbrs(v);
+        cost.fill(nbrs.len() as isize);
+        for &w in nbrs {
+            cost[assign[w]] -= 1;
         }
         let mut best_b = from;
         let mut best_cost = cost[from];
@@ -92,23 +120,34 @@ pub fn fm_partition(
     seed: u64,
 ) -> (Vec<usize>, usize) {
     let n = g.vertex_count();
+    let csr = Csr::new(g);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best_assign = bfs_seed(g, num_blocks, g_max);
-    refine(g, &mut best_assign, num_blocks, g_max, &mut rng);
+    let mut scratch = RefineScratch::new(n, num_blocks);
+    refine(
+        &csr,
+        &mut best_assign,
+        num_blocks,
+        g_max,
+        &mut rng,
+        &mut scratch,
+    );
     let mut best_cut = metrics::cut_edges(g, &best_assign);
+    let mut assign = vec![0usize; n];
     for _ in 0..restarts {
         // Random balanced seed.
-        let mut perm: Vec<usize> = (0..n).collect();
+        let perm = &mut scratch.perm;
+        perm.clear();
+        perm.extend(0..n);
         perm.shuffle(&mut rng);
-        let mut assign = vec![0usize; n];
         for (i, &v) in perm.iter().enumerate() {
             assign[v] = (i / g_max).min(num_blocks - 1);
         }
-        refine(g, &mut assign, num_blocks, g_max, &mut rng);
+        refine(&csr, &mut assign, num_blocks, g_max, &mut rng, &mut scratch);
         let cut = metrics::cut_edges(g, &assign);
         if cut < best_cut {
             best_cut = cut;
-            best_assign = assign;
+            std::mem::swap(&mut best_assign, &mut assign);
         }
     }
     (best_assign, best_cut)
@@ -116,11 +155,15 @@ pub fn fm_partition(
 
 /// One greedy swap pass (handles capacity-saturated partitions where single
 /// moves are blocked); returns whether any swap was made.
-fn swap_pass(g: &Graph, assign: &mut [usize]) -> bool {
-    let n = g.vertex_count();
-    let cost_of = |assign: &[usize], v: usize, b: usize| -> isize {
-        g.neighbors(v).iter().filter(|&&w| assign[w] != b).count() as isize
-    };
+///
+/// The pair gain is evaluated in O(1) from `cnt` — `cnt[v·nb + b]` counts
+/// `v`'s neighbors in block `b` under the current assignment (the caller
+/// builds it; accepted swaps maintain it). With `adj = 1` iff `v ~ w`, the
+/// swapped costs are `deg − cnt[·]` with the partner's move folded in — the
+/// exact quantities the original per-pair neighborhood scans produced, so
+/// the same swaps are accepted in the same order.
+fn swap_pass(csr: &Csr, assign: &mut [usize], cnt: &mut [isize], num_blocks: usize) -> bool {
+    let n = assign.len();
     let mut swapped = false;
     for v in 0..n {
         for w in (v + 1)..n {
@@ -128,34 +171,84 @@ fn swap_pass(g: &Graph, assign: &mut [usize]) -> bool {
             if bv == bw {
                 continue;
             }
-            let before = cost_of(assign, v, bv) + cost_of(assign, w, bw);
-            assign[v] = bw;
-            assign[w] = bv;
-            // Adjacent pair: each sees the other still in the "old" place, so
-            // recompute with the updated assignment (handles the edge v-w).
-            let after = cost_of(assign, v, bw) + cost_of(assign, w, bv);
+            let deg_v = csr.nbrs(v).len() as isize;
+            let deg_w = csr.nbrs(w).len() as isize;
+            let before = (deg_v - cnt[v * num_blocks + bv]) + (deg_w - cnt[w * num_blocks + bw]);
+            let adj = csr.nbrs(v).binary_search(&w).is_ok() as isize;
+            let after =
+                (deg_v - cnt[v * num_blocks + bw] + adj) + (deg_w - cnt[w * num_blocks + bv] + adj);
             if after < before {
                 swapped = true;
-            } else {
-                assign[v] = bv;
-                assign[w] = bw;
+                assign[v] = bw;
+                assign[w] = bv;
+                for &u in csr.nbrs(v) {
+                    cnt[u * num_blocks + bv] -= 1;
+                    cnt[u * num_blocks + bw] += 1;
+                }
+                for &u in csr.nbrs(w) {
+                    cnt[u * num_blocks + bw] -= 1;
+                    cnt[u * num_blocks + bv] += 1;
+                }
             }
         }
     }
     swapped
 }
 
-fn refine(g: &Graph, assign: &mut [usize], num_blocks: usize, g_max: usize, rng: &mut StdRng) {
-    let n = g.vertex_count();
-    let mut sizes = vec![0usize; num_blocks];
+/// Buffers reused across [`refine`] runs of one partition search.
+struct RefineScratch {
+    sizes: Vec<usize>,
+    order: Vec<usize>,
+    perm: Vec<usize>,
+    cost: Vec<isize>,
+    /// Per-vertex neighbors-per-block counts for [`swap_pass`].
+    cnt: Vec<isize>,
+}
+
+impl RefineScratch {
+    fn new(n: usize, num_blocks: usize) -> Self {
+        RefineScratch {
+            sizes: vec![0; num_blocks],
+            order: Vec::with_capacity(n),
+            perm: Vec::with_capacity(n),
+            cost: vec![0; num_blocks],
+            cnt: vec![0; n * num_blocks],
+        }
+    }
+}
+
+fn refine(
+    csr: &Csr,
+    assign: &mut [usize],
+    num_blocks: usize,
+    g_max: usize,
+    rng: &mut StdRng,
+    scratch: &mut RefineScratch,
+) {
+    let n = assign.len();
+    let sizes = &mut scratch.sizes;
+    sizes.clear();
+    sizes.resize(num_blocks, 0);
     for &b in assign.iter() {
         sizes[b] += 1;
     }
-    let mut order: Vec<usize> = (0..n).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n);
     for _ in 0..8 {
         order.shuffle(rng);
-        let moved = improve_pass(g, assign, &mut sizes, g_max, &order);
-        let swapped = swap_pass(g, assign);
+        let moved = improve_pass(csr, assign, sizes, g_max, order, &mut scratch.cost);
+        // Rebuild the neighbors-per-block counts after the move pass, then
+        // let swap_pass maintain them incrementally.
+        let cnt = &mut scratch.cnt;
+        cnt.clear();
+        cnt.resize(n * num_blocks, 0);
+        for v in 0..n {
+            for &w in csr.nbrs(v) {
+                cnt[v * num_blocks + assign[w]] += 1;
+            }
+        }
+        let swapped = swap_pass(csr, assign, cnt, num_blocks);
         if !moved && !swapped {
             break;
         }

@@ -7,6 +7,17 @@
 //! best cut the FM partitioner finds on them. The incumbent over all visited
 //! states — not just the deepest — is returned, so l = 0 is always a lower
 //! bound on quality.
+//!
+//! Expansion is engineered for throughput: beam states are scored **in
+//! parallel** (one task per state), each task walks its candidate vertices
+//! by **apply → score → undo** on a single working graph (LC is self-inverse
+//! at a fixed vertex), and only the `BEAM_WIDTH` surviving candidates are
+//! ever materialized as graphs — the old code cloned the graph per
+//! candidate, ~`n·BEAM_WIDTH` clones per depth. Candidate order, scores,
+//! incumbent updates, and tie-breaks replicate the sequential loop exactly,
+//! so the returned partition is bit-identical.
+
+use rayon::prelude::*;
 
 use epgs_graph::{ops, Graph};
 
@@ -15,6 +26,20 @@ use crate::spec::{Partition, PartitionSpec};
 
 /// Beam width of the LC search (states kept per depth).
 const BEAM_WIDTH: usize = 6;
+
+/// A scored expansion `state.graph + LC(v)`, graph not yet materialized.
+struct Scored {
+    /// Index of the parent beam state.
+    state: usize,
+    /// The vertex complemented.
+    v: usize,
+    /// FM assignment of the expanded graph.
+    assign: Vec<usize>,
+    /// FM cut of the expanded graph.
+    cut: usize,
+    /// Edge count of the expanded graph (sort tie-break).
+    edges: usize,
+}
 
 /// Searches LC sequences up to `spec.lc_budget` and returns the best
 /// partition found across every visited transformed graph.
@@ -45,44 +70,81 @@ pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
     // Beam of (graph, lc_sequence, cut).
     let mut beam: Vec<(Graph, Vec<usize>, usize)> = vec![(g.clone(), vec![], base_cut)];
     for depth in 0..spec.lc_budget {
-        let mut candidates: Vec<(Graph, Vec<usize>, usize)> = Vec::new();
-        for (graph, seq, _) in &beam {
-            for v in 0..n {
-                if graph.degree(v) < 2 {
-                    continue; // LC at degree ≤ 1 vertices never changes edges
-                }
-                // Avoid immediately undoing the previous LC.
-                if seq.last() == Some(&v) {
-                    continue;
-                }
-                let mut next = graph.clone();
-                ops::local_complement(&mut next, v).expect("vertex in range");
-                let mut next_seq = seq.clone();
-                next_seq.push(v);
-                let (assign, cut) = score(&next, depth as u64 + 1);
-                if cut < best.cut
-                    || (cut == best.cut && next.edge_count() < best.transformed.edge_count())
-                {
-                    best = Partition {
-                        block_of: assign,
-                        lc_sequence: next_seq.clone(),
-                        transformed: next.clone(),
+        // Score every expansion of every beam state, beam-states in
+        // parallel. Each task owns one working graph and applies/undoes the
+        // LC around the FM call instead of cloning per candidate.
+        let salt = depth as u64 + 1;
+        let scored: Vec<Vec<Scored>> = (0..beam.len())
+            .into_par_iter()
+            .map(|si| {
+                let (graph, seq, _) = &beam[si];
+                let mut work = graph.clone();
+                let mut out = Vec::new();
+                for v in 0..n {
+                    if work.degree(v) < 2 {
+                        continue; // LC at degree ≤ 1 vertices never changes edges
+                    }
+                    // Avoid immediately undoing the previous LC.
+                    if seq.last() == Some(&v) {
+                        continue;
+                    }
+                    ops::local_complement(&mut work, v).expect("vertex in range");
+                    let (assign, cut) = score(&work, salt);
+                    out.push(Scored {
+                        state: si,
+                        v,
+                        assign,
                         cut,
-                    };
+                        edges: work.edge_count(),
+                    });
+                    ops::local_complement(&mut work, v).expect("vertex in range");
                 }
-                candidates.push((next, next_seq, cut));
+                out
+            })
+            .collect();
+
+        // Incumbent updates, replayed in the sequential candidate order.
+        let mut any = false;
+        for s in scored.iter().flatten() {
+            any = true;
+            if s.cut < best.cut || (s.cut == best.cut && s.edges < best.transformed.edge_count()) {
+                let (graph, seq, _) = &beam[s.state];
+                let mut transformed = graph.clone();
+                ops::local_complement(&mut transformed, s.v).expect("vertex in range");
+                let mut lc_sequence = seq.clone();
+                lc_sequence.push(s.v);
+                best = Partition {
+                    block_of: s.assign.clone(),
+                    lc_sequence,
+                    transformed,
+                    cut: s.cut,
+                };
             }
         }
-        if candidates.is_empty() {
+        if !any {
             break;
         }
-        candidates.sort_by_key(|(g2, _, cut)| (*cut, g2.edge_count()));
-        candidates.truncate(BEAM_WIDTH);
+        // Keep the BEAM_WIDTH best candidates — same key and the same
+        // stable order over (state, v) as the sequential sort — and only
+        // materialize those as graphs.
+        let mut survivors: Vec<&Scored> = scored.iter().flatten().collect();
+        survivors.sort_by_key(|s| (s.cut, s.edges));
+        survivors.truncate(BEAM_WIDTH);
         // Early exit: a zero cut cannot be beaten.
         if best.cut == 0 {
             break;
         }
-        beam = candidates;
+        beam = survivors
+            .into_iter()
+            .map(|s| {
+                let (graph, seq, _) = &beam[s.state];
+                let mut next = graph.clone();
+                ops::local_complement(&mut next, s.v).expect("vertex in range");
+                let mut next_seq = seq.clone();
+                next_seq.push(s.v);
+                (next, next_seq, s.cut)
+            })
+            .collect();
     }
     debug_assert_eq!(best.cut, best.recompute_cut());
     best

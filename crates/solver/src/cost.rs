@@ -55,8 +55,11 @@ pub fn estimate_ordering(g: &Graph, ordering: &[usize]) -> OrderingEstimate {
 }
 
 /// Ranks `orderings` by estimated cost, cheapest first (stable for ties).
+///
+/// Each ordering is estimated exactly once (`sort_by_key` would re-run the
+/// height function on every comparison).
 pub fn rank_orderings(g: &Graph, orderings: &mut [Vec<usize>]) {
-    orderings.sort_by_key(|ord| estimate_ordering(g, ord).score);
+    orderings.sort_by_cached_key(|ord| estimate_ordering(g, ord).score);
 }
 
 /// Objective-dependent weights for the pruning score.

@@ -16,6 +16,16 @@ pub enum SolverError {
         /// Photon count of the target graph.
         photons: usize,
     },
+    /// Every candidate emission ordering of a subgraph search failed to
+    /// compile — the search-level counterpart of
+    /// [`SolverError::InsufficientEmitters`], carrying what was actually
+    /// tried instead of a zeroed-out per-solve sentinel.
+    NoCompilableOrdering {
+        /// Photon count of the subgraph.
+        photons: usize,
+        /// Number of candidate orderings that were compiled and failed.
+        candidates: usize,
+    },
     /// Internal invariant violation — a compiled circuit failed verification.
     /// This indicates a solver bug, never a user error.
     VerificationFailed,
@@ -31,6 +41,13 @@ impl std::fmt::Display for SolverError {
             SolverError::InvalidOrdering { photons } => {
                 write!(f, "emission ordering is not a permutation of 0..{photons}")
             }
+            SolverError::NoCompilableOrdering {
+                photons,
+                candidates,
+            } => write!(
+                f,
+                "none of the {candidates} candidate orderings compiled the {photons}-photon subgraph"
+            ),
             SolverError::VerificationFailed => {
                 write!(f, "compiled circuit failed stabilizer verification")
             }
@@ -49,6 +66,16 @@ mod tests {
         let e = SolverError::InsufficientEmitters { pool: 2, photon: 5 };
         assert!(e.to_string().contains("pool of 2"));
         assert!(e.to_string().contains("photon 5"));
+    }
+
+    #[test]
+    fn no_compilable_ordering_display_names_the_search() {
+        let e = SolverError::NoCompilableOrdering {
+            photons: 7,
+            candidates: 5,
+        };
+        assert!(e.to_string().contains("5 candidate orderings"));
+        assert!(e.to_string().contains("7-photon"));
     }
 
     #[test]

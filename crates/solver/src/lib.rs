@@ -35,4 +35,6 @@ pub mod reverse;
 
 pub use baseline::{solve_baseline, BaselineOptions};
 pub use error::SolverError;
-pub use reverse::{solve, solve_with_ordering, SolveOptions, Solved};
+pub use reverse::{
+    solve, solve_with_ordering, solve_with_ordering_in, SolveOptions, Solved, SolverWorkspace,
+};

@@ -26,9 +26,87 @@
 use epgs_circuit::{simulate, Circuit, Op, Qubit};
 use epgs_graph::gf2::BitVec;
 use epgs_graph::{height, Graph};
-use epgs_stabilizer::{to_graph_form, LocalGate, RotGate, Tableau};
+use epgs_stabilizer::{to_graph_form, ElementScratch, LocalGate, RotGate, Tableau};
 
 use crate::error::SolverError;
+
+/// Reusable storage for reverse solves.
+///
+/// A solve needs a tableau, an operation log, a remaining-photon list, a
+/// handful of packed scratch vectors, and the constraint-system scratch of
+/// the tableau's element queries. One `SolverWorkspace` hosts all of them
+/// and is reset (not reallocated) by every [`solve_with_ordering_in`] call,
+/// so loops that run thousands of small solves — the subgraph compiler's
+/// candidate-ordering search, exhaustive benchmarks — stop paying a few
+/// hundred heap allocations per solve.
+///
+/// A workspace carries no results between solves: `solve_with_ordering_in`
+/// through the same workspace returns bit-identical output to the one-shot
+/// [`solve_with_ordering`].
+#[derive(Debug, Clone)]
+pub struct SolverWorkspace {
+    /// The solver's tableau, reset in place per attempt.
+    t: Tableau,
+    /// The reverse-time operation log.
+    ops: Vec<RevOp>,
+    /// Photons not yet absorbed (a stack in emission order).
+    remaining: Vec<usize>,
+    /// Ordering-validation mask.
+    seen: Vec<bool>,
+    /// General row-mask scratch (isolation sweeps, dirty-row cleanup).
+    mask: BitVec,
+    /// Anticommuting-row scratch for time-reversed measurements.
+    anti: BitVec,
+    /// Residual-row detection masks.
+    inside: BitVec,
+    outside: BitVec,
+    touch: BitVec,
+    /// Emitter wire indices `n..n+pool`.
+    emitter_wires: Vec<usize>,
+    /// Photon wire indices `0..n`.
+    all_photons: Vec<usize>,
+    /// Per-emitter affinity weights for the photon being absorbed.
+    weights: Vec<usize>,
+    /// Emitter support of the absorption element.
+    support_e: Vec<usize>,
+    /// Entangled emitters (disentangling stage).
+    entangled: Vec<usize>,
+    entangled_wires: Vec<usize>,
+    residual_rows: Vec<usize>,
+    /// Constraint-system / RREF / null-space scratch.
+    element: ElementScratch,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolverWorkspace {
+            t: Tableau::zero_state(0),
+            ops: Vec::new(),
+            remaining: Vec::new(),
+            seen: Vec::new(),
+            mask: BitVec::zeros(0),
+            anti: BitVec::zeros(0),
+            inside: BitVec::zeros(0),
+            outside: BitVec::zeros(0),
+            touch: BitVec::zeros(0),
+            emitter_wires: Vec::new(),
+            all_photons: Vec::new(),
+            weights: Vec::new(),
+            support_e: Vec::new(),
+            entangled: Vec::new(),
+            entangled_wires: Vec::new(),
+            residual_rows: Vec::new(),
+            element: ElementScratch::new(),
+        }
+    }
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        SolverWorkspace::new()
+    }
+}
 
 /// A primitive recorded while walking backwards in time.
 ///
@@ -130,9 +208,27 @@ pub fn solve_with_ordering(
     ordering: &[usize],
     options: &SolveOptions,
 ) -> Result<Solved, SolverError> {
+    solve_with_ordering_in(&mut SolverWorkspace::new(), target, ordering, options)
+}
+
+/// [`solve_with_ordering`] through a reusable [`SolverWorkspace`]: identical
+/// output, but back-to-back solves reuse every buffer instead of
+/// reallocating them. The workspace carries no state between calls.
+///
+/// # Errors
+///
+/// See [`solve_with_ordering`].
+pub fn solve_with_ordering_in(
+    ws: &mut SolverWorkspace,
+    target: &Graph,
+    ordering: &[usize],
+    options: &SolveOptions,
+) -> Result<Solved, SolverError> {
     let n = target.vertex_count();
     {
-        let mut seen = vec![false; n];
+        ws.seen.clear();
+        ws.seen.resize(n, false);
+        let seen = &mut ws.seen;
         if ordering.len() != n
             || ordering.iter().any(|&p| {
                 if p >= n || seen[p] {
@@ -153,6 +249,7 @@ pub fn solve_with_ordering(
     for grow in 0..=options.max_pool_growth {
         let pool = base_pool + grow;
         match ReverseSolver::new(
+            ws,
             target,
             ordering,
             pool,
@@ -191,18 +288,26 @@ pub fn solve(target: &Graph, options: &SolveOptions) -> Result<Solved, SolverErr
     solve_with_ordering(target, &ordering, options)
 }
 
+/// Emitter weight for work on photon `j` (1 in-group, 8 out-of-group).
+fn weight_for(affinity: Option<&Affinity>, j: usize, e: usize) -> usize {
+    match affinity {
+        Some(aff) => aff.weight(aff.photon_group.get(j).copied().unwrap_or(0), e),
+        None => 1,
+    }
+}
+
 struct ReverseSolver<'g> {
+    ws: &'g mut SolverWorkspace,
     ordering: &'g [usize],
     n: usize,
     pool: usize,
-    t: Tableau,
-    ops: Vec<RevOp>,
     affinity: Option<&'g Affinity>,
     vanilla_elements: bool,
 }
 
 impl<'g> ReverseSolver<'g> {
     fn new(
+        ws: &'g mut SolverWorkspace,
         target: &'g Graph,
         ordering: &'g [usize],
         pool: usize,
@@ -210,21 +315,15 @@ impl<'g> ReverseSolver<'g> {
         vanilla_elements: bool,
     ) -> Self {
         let n = target.vertex_count();
-        // Wires: photons 0..n, emitters n..n+pool.
-        let mut global = Graph::new(n + pool);
-        for (a, b) in target.edges() {
-            global.add_edge(a, b).expect("indices in range");
-        }
-        let mut t = Tableau::graph_state(&global);
-        for e in 0..pool {
-            t.h(n + e); // emitter wires |+⟩ → |0⟩ (no record: state prep)
-        }
+        // Wires: photons 0..n, emitters n..n+pool — the photon wires carry
+        // |G⟩, the emitter wires |0⟩ (state prep, not recorded).
+        ws.t.reset_graph_state_padded(target, pool);
+        ws.ops.clear();
         ReverseSolver {
+            ws,
             ordering,
             n,
             pool,
-            t,
-            ops: Vec::new(),
             affinity,
             vanilla_elements,
         }
@@ -232,10 +331,7 @@ impl<'g> ReverseSolver<'g> {
 
     /// Emitter weight for work on photon `j` (1 in-group, 8 out-of-group).
     fn emitter_weight(&self, j: usize, e: usize) -> usize {
-        match self.affinity {
-            Some(aff) => aff.weight(aff.photon_group.get(j).copied().unwrap_or(0), e),
-            None => 1,
-        }
+        weight_for(self.affinity, j, e)
     }
 
     fn emitter_wire(&self, e: usize) -> usize {
@@ -245,24 +341,24 @@ impl<'g> ReverseSolver<'g> {
     /// Applies a reverse-time gate to the tableau and records it.
     fn apply(&mut self, op: RevOp) {
         match op {
-            RevOp::H(q) => self.t.h(q),
-            RevOp::S(q) => self.t.s(q),
-            RevOp::X(q) => self.t.px(q),
-            RevOp::Z(q) => self.t.pz(q),
-            RevOp::Cnot(c, t) => self.t.cnot(c, t),
-            RevOp::Cz(a, b) => self.t.cz(a, b),
-            RevOp::Emit { emitter, photon } => self.t.cnot(self.n + emitter, photon),
+            RevOp::H(q) => self.ws.t.h(q),
+            RevOp::S(q) => self.ws.t.s(q),
+            RevOp::X(q) => self.ws.t.px(q),
+            RevOp::Z(q) => self.ws.t.pz(q),
+            RevOp::Cnot(c, t) => self.ws.t.cnot(c, t),
+            RevOp::Cz(a, b) => self.ws.t.cz(a, b),
+            RevOp::Emit { emitter, photon } => self.ws.t.cnot(self.n + emitter, photon),
             RevOp::Measure { .. } => {
                 unreachable!("TRM mutates the tableau explicitly, not via apply()")
             }
         }
-        self.ops.push(op);
+        self.ws.ops.push(op);
     }
 
     /// Records the gates returned by `rotate_to_z` on wire `q`.
     fn record_rotation(&mut self, gates: &[RotGate], q: usize) {
         for g in gates {
-            self.ops.push(match g {
+            self.ws.ops.push(match g {
                 RotGate::H => RevOp::H(q),
                 RotGate::S => RevOp::S(q),
             });
@@ -287,7 +383,8 @@ impl<'g> ReverseSolver<'g> {
                     continue;
                 }
                 let wire = self.emitter_wire(e);
-                if let Some(sign) = self.t.deterministic_z_sign(wire) {
+                let ws = &mut *self.ws;
+                if let Some(sign) = ws.t.deterministic_z_sign_in(wire, &mut ws.element) {
                     if sign {
                         // |1⟩ → |0⟩; forward X at the mirrored position
                         // (legal on emitters at any time).
@@ -305,34 +402,34 @@ impl<'g> ReverseSolver<'g> {
     /// no other row touches `wire`; returns that row. Only valid for free
     /// wires.
     fn isolate_free_wire_row(&mut self, wire: usize) -> usize {
-        let rows = self
-            .t
-            .find_element_supported_on(&[], wire, &[])
-            .expect("wire is free, Z_wire is in the group");
-        let row = self.t.combine_rows(&rows);
-        debug_assert_eq!(self.t.support(row), vec![wire]);
+        let ws = &mut *self.ws;
+        let rows =
+            ws.t.find_element_supported_on_in(&[], wire, &[], &mut ws.element)
+                .expect("wire is free, Z_wire is in the group");
+        let row = ws.t.combine_rows(&rows);
+        debug_assert_eq!(ws.t.support(row), vec![wire]);
         // Clear the wire from every other row (z bits only; x bits cannot
         // exist on a free wire) with one word-parallel broadcast over the
         // wire's packed column.
         debug_assert!(
             {
-                let mut x = self.t.col_x(wire).clone();
+                let mut x = ws.t.col_x(wire).clone();
                 x.set(row, false);
                 x.is_zero()
             },
             "free wire cannot have X support"
         );
-        let mut mask = self.t.rows_touching(wire);
-        mask.set(row, false);
-        self.t.mul_row_into_mask(row, &mask);
-        if self.t.phase_of(row) == 2 {
+        ws.t.rows_touching_into(wire, &mut ws.mask);
+        ws.mask.set(row, false);
+        ws.t.mul_row_into_mask(row, &ws.mask);
+        if ws.t.phase_of(row) == 2 {
             debug_assert!(
                 wire >= self.n,
                 "photon rows are sign-fixed at absorption; only emitters may flip here"
             );
             self.apply(RevOp::X(wire));
         }
-        debug_assert_eq!(self.t.phase_of(row), 0);
+        debug_assert_eq!(self.ws.t.phase_of(row), 0);
         row
     }
 
@@ -344,47 +441,70 @@ impl<'g> ReverseSolver<'g> {
     fn time_reversed_measure(&mut self, e: usize, j: usize) {
         let wire = self.emitter_wire(e);
         let ze_row = self.isolate_free_wire_row(wire);
+        let ws = &mut *self.ws;
         // Pair up the generators anticommuting with Z_j (those with X at j),
         // reading the photon's packed X column word-at-a-time.
-        let mut anti = self.t.col_x(j).clone();
-        anti.set(ze_row, false);
-        let s1 = anti
+        ws.anti.copy_from(ws.t.col_x(j));
+        ws.anti.set(ze_row, false);
+        let s1 = ws
+            .anti
             .first_one()
             .expect("TRM called although Z_j commutes with the group (photon already product)");
-        anti.set(s1, false);
-        self.t.mul_row_into_mask(s1, &anti);
+        ws.anti.set(s1, false);
+        ws.t.mul_row_into_mask(s1, &ws.anti);
         // s1 := Z_e · s1 keeps the generating set full rank.
-        self.t.row_mul(s1, ze_row);
+        ws.t.row_mul(s1, ze_row);
         // ze_row := X_e Z_j.
-        self.t.clear_row(ze_row);
-        self.t.set_x_bit(ze_row, wire, true);
-        self.t.set_z_bit(ze_row, j, true);
-        debug_assert!(self.t.is_valid_state(), "TRM broke the stabilizer group");
-        self.ops.push(RevOp::Measure {
+        ws.t.clear_row(ze_row);
+        ws.t.set_x_bit(ze_row, wire, true);
+        ws.t.set_z_bit(ze_row, j, true);
+        debug_assert!(ws.t.is_valid_state(), "TRM broke the stabilizer group");
+        ws.ops.push(RevOp::Measure {
             emitter: e,
             photon: j,
         });
     }
 
     /// Absorbs photon `j` (the last unabsorbed photon of the ordering).
-    fn absorb_photon(&mut self, j: usize, unabsorbed: &[usize]) -> Result<(), SolverError> {
-        let emitter_wires: Vec<usize> = (0..self.pool).map(|e| self.emitter_wire(e)).collect();
-        let all_photons: Vec<usize> = (0..self.n).collect();
+    fn absorb_photon(&mut self, j: usize) -> Result<(), SolverError> {
+        let n = self.n;
+        let pool = self.pool;
+        let vanilla = self.vanilla_elements;
+        let affinity = self.affinity;
+        {
+            let ws = &mut *self.ws;
+            ws.emitter_wires.clear();
+            ws.emitter_wires.extend(n..n + pool);
+            ws.all_photons.clear();
+            ws.all_photons.extend(0..n);
+            ws.weights.clear();
+            ws.weights
+                .extend((0..pool).map(|e| weight_for(affinity, j, e)));
+        }
 
-        // Find a group element with photon support {j}; TRM first if needed.
-        let n_wires = self.n;
-        let weight_for_j = {
-            let weights: Vec<usize> = (0..self.pool).map(|e| self.emitter_weight(j, e)).collect();
-            move |wire: usize| weights[wire - n_wires]
-        };
-        let find = |t: &Tableau, vanilla: bool| -> Option<Vec<usize>> {
+        /// Finds a group element with photon support {j}.
+        fn find_rows(
+            ws: &mut SolverWorkspace,
+            vanilla: bool,
+            j: usize,
+            n: usize,
+        ) -> Option<Vec<usize>> {
             if vanilla {
-                t.find_element_any(&all_photons, j, &emitter_wires)
+                ws.t.find_element_any_in(&ws.all_photons, j, &ws.emitter_wires, &mut ws.element)
             } else {
-                t.find_element_weighted(&all_photons, j, &emitter_wires, &weight_for_j)
+                let weights = &ws.weights;
+                ws.t.find_element_weighted_in(
+                    &ws.all_photons,
+                    j,
+                    &ws.emitter_wires,
+                    |wire| weights[wire - n],
+                    &mut ws.element,
+                )
             }
-        };
-        let rows = match find(&self.t, self.vanilla_elements) {
+        }
+
+        // Find the element; TRM first if needed.
+        let rows = match find_rows(self.ws, vanilla, j, n) {
             Some(rows) => rows,
             None => {
                 let free = self
@@ -394,28 +514,32 @@ impl<'g> ReverseSolver<'g> {
                         photon: j,
                     })?;
                 self.time_reversed_measure(free, j);
-                find(&self.t, self.vanilla_elements)
-                    .expect("TRM guarantees X_e Z_j is in the group")
+                find_rows(self.ws, vanilla, j, n).expect("TRM guarantees X_e Z_j is in the group")
             }
         };
-        let rg = self.t.combine_rows(&rows);
+        let rg = self.ws.t.combine_rows(&rows);
 
         // Rotate the photon's letter to Z.
         let gates = self
+            .ws
             .t
             .rotate_to_z(rg, j)
             .expect("rg has support on photon j");
         self.record_rotation(&gates, j);
 
         // Emitter support of g.
-        let mut support_e: Vec<usize> = (0..self.pool)
-            .filter(|&e| {
-                let w = self.emitter_wire(e);
-                self.t.x_bit(rg, w) || self.t.z_bit(rg, w)
-            })
-            .collect();
+        {
+            let ws = &mut *self.ws;
+            ws.support_e.clear();
+            for e in 0..pool {
+                let w = n + e;
+                if ws.t.x_bit(rg, w) || ws.t.z_bit(rg, w) {
+                    ws.support_e.push(e);
+                }
+            }
+        }
 
-        if support_e.is_empty() {
+        if self.ws.support_e.is_empty() {
             // Product photon: emit it from a free emitter via g := Z_e · g.
             let free = self
                 .find_free_emitter(j)
@@ -426,34 +550,40 @@ impl<'g> ReverseSolver<'g> {
             let wire = self.emitter_wire(free);
             let ze_row = self.isolate_free_wire_row(wire);
             debug_assert_ne!(ze_row, rg, "Z_e row cannot be the photon row");
-            self.t.row_mul(rg, ze_row);
-            support_e.push(free);
+            self.ws.t.row_mul(rg, ze_row);
+            self.ws.support_e.push(free);
         }
 
         // Compress emitter support onto a single emitter with ee-CNOTs,
         // preferring an in-group emitter as the survivor.
-        support_e.sort_by_key(|&e| (self.emitter_weight(j, e), e));
-        let target_e = support_e[0];
+        {
+            let ws = &mut *self.ws;
+            let weights = &ws.weights;
+            ws.support_e.sort_by_key(|&e| (weights[e], e));
+        }
+        let target_e = self.ws.support_e[0];
         let target_wire = self.emitter_wire(target_e);
         let gates = self
+            .ws
             .t
             .rotate_to_z(rg, target_wire)
             .expect("rg has support on the target emitter");
         self.record_rotation(&gates, target_wire);
-        for &other in &support_e[1..] {
-            let other_wire = self.emitter_wire(other);
+        for k in 1..self.ws.support_e.len() {
+            let other_wire = self.emitter_wire(self.ws.support_e[k]);
             let gates = self
+                .ws
                 .t
                 .rotate_to_z(rg, other_wire)
                 .expect("rg has support on this emitter");
             self.record_rotation(&gates, other_wire);
             // CNOT(control=other, target=target) maps Z_other Z_target → Z_target.
             self.apply(RevOp::Cnot(other_wire, target_wire));
-            debug_assert!(!self.t.x_bit(rg, other_wire) && !self.t.z_bit(rg, other_wire));
+            debug_assert!(!self.ws.t.x_bit(rg, other_wire) && !self.ws.t.z_bit(rg, other_wire));
         }
         debug_assert_eq!(
             {
-                let mut s = self.t.support(rg);
+                let mut s = self.ws.t.support(rg);
                 s.retain(|&w| w != j);
                 s
             },
@@ -463,18 +593,21 @@ impl<'g> ReverseSolver<'g> {
 
         // Clean Z_j (and Y_j → X_j) from every other row by multiplying with
         // g — one broadcast over the photon's packed Z column.
-        let mut dirty = self.t.col_z(j).clone();
-        dirty.set(rg, false);
-        self.t.mul_row_into_mask(rg, &dirty);
+        {
+            let ws = &mut *self.ws;
+            ws.mask.copy_from(ws.t.col_z(j));
+            ws.mask.set(rg, false);
+            ws.t.mul_row_into_mask(rg, &ws.mask);
+        }
 
         // Sign fix *before* the reversed emission so that the forward X
         // lands right after the emission (photon gates are only legal after
         // the photon exists). X_j flips the sign of rows with a Z at j,
         // which is now only g itself.
-        if self.t.phase_of(rg) == 2 {
+        if self.ws.t.phase_of(rg) == 2 {
             self.apply(RevOp::X(j));
         }
-        debug_assert_eq!(self.t.phase_of(rg), 0);
+        debug_assert_eq!(self.ws.t.phase_of(rg), 0);
 
         // Reversed emission. Commutation with g = Z_e Z_j forces every other
         // row touching j to carry X_j together with X/Y on e, and the CNOT
@@ -485,17 +618,16 @@ impl<'g> ReverseSolver<'g> {
         });
 
         // The photon must now be fully disentangled: its row is +Z_j.
-        debug_assert_eq!(self.t.support(rg), vec![j]);
-        debug_assert_eq!(self.t.phase_of(rg), 0);
+        debug_assert_eq!(self.ws.t.support(rg), vec![j]);
+        debug_assert_eq!(self.ws.t.phase_of(rg), 0);
         debug_assert!(
             {
-                let mut touch = self.t.rows_touching(j);
+                let mut touch = self.ws.t.rows_touching(j);
                 touch.set(rg, false);
                 touch.is_zero()
             },
             "photon {j} still entangled after reversed emission"
         );
-        let _ = unabsorbed;
         Ok(())
     }
 
@@ -511,70 +643,88 @@ impl<'g> ReverseSolver<'g> {
         // Classify emitters: free ones get gauge-isolated (and |1⟩-fixed),
         // entangled ones make up the residual state to reduce. Skipping free
         // emitters keeps idle pool wires gate-free in the forward circuit.
-        let mut entangled: Vec<usize> = Vec::new();
+        self.ws.entangled.clear();
         for e in 0..self.pool {
             let wire = self.emitter_wire(e);
-            if self.t.deterministic_z_sign(wire).is_some() {
+            // Free ⟺ no generator has an X on the wire (for a pure state
+            // `deterministic_z_sign` is `Some` exactly then) — one packed
+            // column test instead of a GF(2) solve whose sign is unused.
+            let free = self.ws.t.col_x(wire).is_zero();
+            if free {
                 let _ = self.isolate_free_wire_row(wire);
             } else {
-                entangled.push(e);
+                self.ws.entangled.push(e);
             }
         }
-        if entangled.is_empty() {
+        if self.ws.entangled.is_empty() {
             return;
         }
-        let entangled_wires: Vec<usize> = entangled.iter().map(|&e| self.emitter_wire(e)).collect();
+        let n = self.n;
+        let ws = &mut *self.ws;
+        ws.entangled_wires.clear();
+        ws.entangled_wires
+            .extend(ws.entangled.iter().map(|&e| n + e));
+        let entangled_wires = &ws.entangled_wires;
         // Rows of the residual state: support non-empty and inside the
         // entangled wire set (every other wire owns an isolated ±Z row).
         // Computed word-parallel: OR the per-wire "rows touching" masks into
         // an inside/outside pair and keep rows seen only inside.
-        let total = self.t.num_qubits();
-        let mut inside = BitVec::zeros(total);
-        let mut outside = BitVec::zeros(total);
+        let total = ws.t.num_qubits();
+        ws.inside.reset(total);
+        ws.outside.reset(total);
         for w in 0..total {
-            let touch = self.t.rows_touching(w);
+            ws.t.rows_touching_into(w, &mut ws.touch);
             if entangled_wires.binary_search(&w).is_ok() {
-                inside.or_with(&touch);
+                ws.inside.or_with(&ws.touch);
             } else {
-                outside.or_with(&touch);
+                ws.outside.or_with(&ws.touch);
             }
         }
-        let residual_rows: Vec<usize> = inside.ones().filter(|&r| !outside.get(r)).collect();
+        let outside = &ws.outside;
+        ws.residual_rows.clear();
+        ws.residual_rows
+            .extend(ws.inside.ones().filter(|&r| !outside.get(r)));
         debug_assert_eq!(
-            residual_rows.len(),
-            entangled.len(),
+            ws.residual_rows.len(),
+            ws.entangled.len(),
             "residual emitter state must have one generator per entangled wire"
         );
-        let mut sub = Tableau::zero_state(entangled.len());
+        let mut sub = Tableau::zero_state(ws.entangled.len());
         sub.clear_all_rows();
-        for (sr, &r) in residual_rows.iter().enumerate() {
+        for (sr, &r) in ws.residual_rows.iter().enumerate() {
             for (k, &w) in entangled_wires.iter().enumerate() {
-                sub.set_x_bit(sr, k, self.t.x_bit(r, w));
-                sub.set_z_bit(sr, k, self.t.z_bit(r, w));
+                sub.set_x_bit(sr, k, ws.t.x_bit(r, w));
+                sub.set_z_bit(sr, k, ws.t.z_bit(r, w));
             }
-            sub.set_phase(sr, self.t.phase_of(r));
+            sub.set_phase(sr, ws.t.phase_of(r));
         }
         debug_assert!(sub.is_valid_state(), "emitter substate must be pure");
         let form = to_graph_form(&mut sub).expect("pure states always reduce");
         for gate in &form.gates {
             match *gate {
-                LocalGate::H(k) => self.apply(RevOp::H(entangled_wires[k])),
-                LocalGate::S(k) => self.apply(RevOp::S(entangled_wires[k])),
-                LocalGate::Z(k) => self.apply(RevOp::Z(entangled_wires[k])),
+                LocalGate::H(k) => self.apply(RevOp::H(self.ws.entangled_wires[k])),
+                LocalGate::S(k) => self.apply(RevOp::S(self.ws.entangled_wires[k])),
+                LocalGate::Z(k) => self.apply(RevOp::Z(self.ws.entangled_wires[k])),
             }
         }
         for (a, b) in form.graph.edges() {
-            self.apply(RevOp::Cz(entangled_wires[a], entangled_wires[b]));
+            self.apply(RevOp::Cz(
+                self.ws.entangled_wires[a],
+                self.ws.entangled_wires[b],
+            ));
         }
-        for &w in &entangled_wires {
+        for k in 0..self.ws.entangled_wires.len() {
+            let w = self.ws.entangled_wires[k];
             self.apply(RevOp::H(w));
         }
         // Sign fixes: every entangled wire must end at +Z.
-        for &w in &entangled_wires {
-            let sign = self
-                .t
-                .deterministic_z_sign(w)
-                .expect("emitter is disentangled");
+        for k in 0..self.ws.entangled_wires.len() {
+            let w = self.ws.entangled_wires[k];
+            let sign = {
+                let ws = &mut *self.ws;
+                ws.t.deterministic_z_sign_in(w, &mut ws.element)
+                    .expect("emitter is disentangled")
+            };
             if sign {
                 self.apply(RevOp::X(w));
             }
@@ -582,20 +732,23 @@ impl<'g> ReverseSolver<'g> {
     }
 
     fn run(mut self) -> Result<Circuit, SolverError> {
-        let mut remaining: Vec<usize> = self.ordering.to_vec();
-        while let Some(j) = remaining.pop() {
-            self.absorb_photon(j, &remaining)?;
+        self.ws.remaining.clear();
+        self.ws.remaining.extend_from_slice(self.ordering);
+        while let Some(j) = self.ws.remaining.pop() {
+            self.absorb_photon(j)?;
         }
         self.disentangle_emitters();
         debug_assert!(
-            self.t
+            self.ws
+                .t
                 .same_state_as(&Tableau::zero_state(self.n + self.pool)),
             "reverse walk must terminate in |0…0⟩"
         );
         Ok(self.into_circuit())
     }
 
-    /// Reverses and inverts the recorded ops into the forward circuit.
+    /// Reverses and inverts the recorded ops into the forward circuit,
+    /// draining the workspace's op log.
     fn into_circuit(self) -> Circuit {
         let n = self.n;
         let qubit = |wire: usize| -> Qubit {
@@ -606,7 +759,7 @@ impl<'g> ReverseSolver<'g> {
             }
         };
         let mut c = Circuit::new(self.pool, n);
-        for op in self.ops.into_iter().rev() {
+        for op in self.ws.ops.drain(..).rev() {
             match op {
                 RevOp::H(w) => c.push(Op::H(qubit(w))),
                 RevOp::S(w) => c.push(Op::Sdg(qubit(w))),

@@ -35,4 +35,4 @@ pub mod verify;
 pub use error::StabilizerError;
 pub use graph_form::{to_graph_form, GraphForm, LocalGate};
 pub use pauli::Pauli;
-pub use tableau::{MeasureOutcome, RotGate, Tableau};
+pub use tableau::{ElementScratch, MeasureOutcome, RotGate, Tableau};

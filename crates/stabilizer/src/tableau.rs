@@ -164,6 +164,33 @@ impl Tableau {
         t
     }
 
+    /// Resets the tableau in place to |G⟩ ⊗ |0⟩^pad: photon wires `0..n`
+    /// carry the graph-state generators `X_v Z_{N(v)}`, the `pad` trailing
+    /// wires carry `Z_w` (fresh |0⟩ ancillas). Reuses the existing storage
+    /// when the qubit count matches — the workspace-reuse entry point for
+    /// solvers that run thousands of small solves back to back.
+    ///
+    /// Equivalent to building [`Tableau::graph_state`] of `g` embedded in
+    /// `n + pad` wires and applying `H` to each pad wire, bit for bit.
+    pub fn reset_graph_state_padded(&mut self, g: &Graph, pad: usize) {
+        let n = g.vertex_count();
+        let total = n + pad;
+        if self.n != total {
+            *self = Tableau::blank(total);
+        } else {
+            self.clear_all_rows();
+        }
+        for v in 0..n {
+            self.xs[v].set(v, true);
+            for &w in g.neighbors(v) {
+                self.zs[w].set(v, true);
+            }
+        }
+        for w in n..total {
+            self.zs[w].set(w, true);
+        }
+    }
+
     /// Number of qubits (and generators).
     pub fn num_qubits(&self) -> usize {
         self.n
@@ -211,6 +238,13 @@ impl Tableau {
         let mut m = self.xs[q].clone();
         m.or_with(&self.zs[q]);
         m
+    }
+
+    /// Allocation-free [`Tableau::rows_touching`]: writes the mask into
+    /// `out`, reusing its storage.
+    pub fn rows_touching_into(&self, q: usize, out: &mut BitVec) {
+        out.copy_from(&self.xs[q]);
+        out.or_with(&self.zs[q]);
     }
 
     /// Qubits where row `row` acts non-trivially, in increasing order.
@@ -555,35 +589,63 @@ impl Tableau {
     /// pure state. Returns `Some(bit)` where `bit = true` means `−Z_q` (i.e.
     /// a measurement yields 1), or `None` if an X is present.
     pub fn deterministic_z_sign(&self, q: usize) -> Option<bool> {
+        self.deterministic_z_sign_in(q, &mut ElementScratch::new())
+    }
+
+    /// Allocation-free [`Tableau::deterministic_z_sign`]: all intermediate
+    /// storage lives in `scratch` and is reused across calls.
+    pub fn deterministic_z_sign_in(&self, q: usize, scratch: &mut ElementScratch) -> Option<bool> {
         if !self.xs[q].is_zero() {
             return None;
         }
         // Solve over GF(2): which subset of rows multiplies to Z_q?
-        // Build the 2n×n system A c = e (columns are generators). In the
-        // bit-sliced layout each system row *is* a stored column: word copies.
-        let mut a = BitMatrix::zeros(2 * self.n, self.n);
+        // Build the 2n×(n+1) augmented system A c = e (columns are
+        // generators, rhs in the trailing column). In the bit-sliced layout
+        // each system row *is* a stored column: word copies. The generators
+        // of a pure state are independent, so the solution is unique and any
+        // consistent elimination returns the same combination.
+        let s = scratch;
+        s.a.reset(2 * self.n, self.n + 1);
+        // All-zero constraint rows are skipped (see `find_element_impl`);
+        // the rhs row — `q`'s Z component — is always kept so an
+        // inconsistent (impure) system still reads as such.
+        let mut rows = 0;
         for col in 0..self.n {
-            a.copy_row_from(col, &self.xs[col]);
-            a.copy_row_from(self.n + col, &self.zs[col]);
+            if !self.xs[col].is_zero() {
+                s.a.copy_row_from(rows, &self.xs[col]);
+                rows += 1;
+            }
+            if col == q || !self.zs[col].is_zero() {
+                s.a.copy_row_from(rows, &self.zs[col]);
+                if col == q {
+                    s.a.set(rows, self.n, true);
+                }
+                rows += 1;
+            }
         }
-        let mut target = BitVec::zeros(2 * self.n);
-        target.set(self.n + q, true);
-        let combo = a.solve_vec(&target)?;
+        s.a.truncate_rows(rows);
+        s.a.rref_within_into(self.n, &mut s.pivots);
+        if !s
+            .a
+            .solution_from_reduced_into(&s.pivots, self.n, 0, &mut s.c)
+        {
+            return None;
+        }
         // Multiply out the chosen rows on packed accumulators to get the sign.
-        let mut acc_x = BitVec::zeros(self.n);
-        let mut acc_z = BitVec::zeros(self.n);
-        let mut row_x = BitVec::zeros(self.n);
-        let mut row_z = BitVec::zeros(self.n);
+        s.acc_x.reset(self.n);
+        s.acc_z.reset(self.n);
+        s.row_x.reset(self.n);
+        s.row_z.reset(self.n);
         let mut phase: u8 = 0;
-        for r in combo.ones() {
-            self.gather_row(r, &mut row_x, &mut row_z);
-            let swaps = acc_z.parity_and(&row_x);
+        for r in s.c.ones() {
+            self.gather_row(r, &mut s.row_x, &mut s.row_z);
+            let swaps = s.acc_z.parity_and(&s.row_x);
             phase = (phase + self.phase_of(r) + if swaps { 2 } else { 0 }) % 4;
-            acc_x.xor_with(&row_x);
-            acc_z.xor_with(&row_z);
+            s.acc_x.xor_with(&s.row_x);
+            s.acc_z.xor_with(&s.row_z);
         }
-        debug_assert!(acc_x.is_zero());
-        debug_assert!((0..self.n).all(|col| acc_z.get(col) == (col == q)));
+        debug_assert!(s.acc_x.is_zero());
+        debug_assert!((0..self.n).all(|col| s.acc_z.get(col) == (col == q)));
         debug_assert!(phase.is_multiple_of(2));
         Some(phase == 2)
     }
@@ -655,6 +717,19 @@ impl Tableau {
         self.find_element_weighted(restrict, target, allowed, |_| 1)
     }
 
+    /// Allocation-reusing [`Tableau::find_element_supported_on`]: the
+    /// constraint system, RREF pivots, null-space basis, and candidate
+    /// vectors all live in `scratch`.
+    pub fn find_element_supported_on_in(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+        scratch: &mut ElementScratch,
+    ) -> Option<Vec<usize>> {
+        self.find_element_weighted_in(restrict, target, allowed, |_| 1, scratch)
+    }
+
     /// Like [`Tableau::find_element_supported_on`], but returning the *first*
     /// valid element without any support-weight optimization — the behavior
     /// of the vanilla Li-et-al. protocol (and of GraphiQ's deterministic
@@ -666,7 +741,24 @@ impl Tableau {
         target: usize,
         allowed: &[usize],
     ) -> Option<Vec<usize>> {
-        self.find_element_impl(restrict, target, allowed, None::<fn(usize) -> usize>)
+        self.find_element_any_in(restrict, target, allowed, &mut ElementScratch::new())
+    }
+
+    /// Allocation-reusing [`Tableau::find_element_any`].
+    pub fn find_element_any_in(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+        scratch: &mut ElementScratch,
+    ) -> Option<Vec<usize>> {
+        self.find_element_impl(
+            restrict,
+            target,
+            allowed,
+            None::<fn(usize) -> usize>,
+            scratch,
+        )
     }
 
     /// Like [`Tableau::find_element_supported_on`], but minimizing a custom
@@ -679,7 +771,25 @@ impl Tableau {
         allowed: &[usize],
         weight_of: impl Fn(usize) -> usize,
     ) -> Option<Vec<usize>> {
-        self.find_element_impl(restrict, target, allowed, Some(weight_of))
+        self.find_element_impl(
+            restrict,
+            target,
+            allowed,
+            Some(weight_of),
+            &mut ElementScratch::new(),
+        )
+    }
+
+    /// Allocation-reusing [`Tableau::find_element_weighted`].
+    pub fn find_element_weighted_in(
+        &self,
+        restrict: &[usize],
+        target: usize,
+        allowed: &[usize],
+        weight_of: impl Fn(usize) -> usize,
+        scratch: &mut ElementScratch,
+    ) -> Option<Vec<usize>> {
+        self.find_element_impl(restrict, target, allowed, Some(weight_of), scratch)
     }
 
     fn find_element_impl(
@@ -688,92 +798,131 @@ impl Tableau {
         target: usize,
         allowed: &[usize],
         weight_of: Option<impl Fn(usize) -> usize>,
+        s: &mut ElementScratch,
     ) -> Option<Vec<usize>> {
         // Unknowns: row combination c ∈ GF(2)^n.
         // Constraints: for every q in restrict with q != target, both x and z
         // components of the product vanish; for target, at least one is
         // non-zero (we try (x,z) target patterns in turn); for every qubit not
         // in restrict/allowed, both components vanish.
-        let restrict_set: std::collections::BTreeSet<usize> = restrict.iter().copied().collect();
-        let allowed_set: std::collections::BTreeSet<usize> = allowed.iter().copied().collect();
-        let forbidden: Vec<usize> = (0..self.n)
-            .filter(|&q| q != target && (restrict_set.contains(&q) || !allowed_set.contains(&q)))
-            .collect();
+        s.in_restrict.clear();
+        s.in_restrict.resize(self.n, false);
+        for &q in restrict {
+            if q < self.n {
+                s.in_restrict[q] = true;
+            }
+        }
+        s.in_allowed.clear();
+        s.in_allowed.resize(self.n, false);
+        for &q in allowed {
+            if q < self.n {
+                s.in_allowed[q] = true;
+            }
+        }
+        s.allowed_sorted.clear();
+        s.allowed_sorted
+            .extend((0..self.n).filter(|&q| s.in_allowed[q]));
+        s.forbidden.clear();
+        s.forbidden
+            .extend((0..self.n).filter(|&q| q != target && (s.in_restrict[q] || !s.in_allowed[q])));
         // Build the constraint matrix. Each constraint row is a stored X/Z
         // column of the tableau, so assembly is pure word copies:
-        // rows = 2·|forbidden| + 2 (target pattern), cols = n generators —
+        // rows ≤ 2·|forbidden| + 2 (target pattern), cols = n generators —
         // augmented with the three (x, z) target patterns as extra columns
         // so ONE elimination serves every pattern solve and the null space,
         // instead of the four independent RREFs the scalar engine ran.
-        let rows = 2 * forbidden.len() + 2;
-        let base = 2 * forbidden.len();
-        let mut a = BitMatrix::zeros(rows, self.n + 3);
-        for (i, &q) in forbidden.iter().enumerate() {
-            a.copy_row_from(2 * i, &self.xs[q]);
-            a.copy_row_from(2 * i + 1, &self.zs[q]);
+        // All-zero constraint rows (qubits nobody touches in that component)
+        // are skipped outright: they can never pivot, never change, and
+        // never carry a rhs bit, so dropping them leaves the reduction — and
+        // every solution read from it — bit-identical while shrinking each
+        // elimination scan.
+        s.a.reset(2 * s.forbidden.len() + 2, self.n + 3);
+        let mut base = 0;
+        for &q in &s.forbidden {
+            if !self.xs[q].is_zero() {
+                s.a.copy_row_from(base, &self.xs[q]);
+                base += 1;
+            }
+            if !self.zs[q].is_zero() {
+                s.a.copy_row_from(base, &self.zs[q]);
+                base += 1;
+            }
         }
-        a.copy_row_from(base, &self.xs[target]);
-        a.copy_row_from(base + 1, &self.zs[target]);
+        s.a.truncate_rows(base + 2);
+        s.a.copy_row_from(base, &self.xs[target]);
+        s.a.copy_row_from(base + 1, &self.zs[target]);
         // Pattern rhs columns: (x, z) = (1,0), (0,1), (1,1).
-        a.set(base, self.n, true);
-        a.set(base + 1, self.n + 1, true);
-        a.set(base, self.n + 2, true);
-        a.set(base + 1, self.n + 2, true);
-        let pivots = a.rref_within(self.n);
-        let mut null: Option<BitMatrix> = None;
-        let mut best: Option<(usize, BitVec)> = None;
+        s.a.set(base, self.n, true);
+        s.a.set(base + 1, self.n + 1, true);
+        s.a.set(base, self.n + 2, true);
+        s.a.set(base + 1, self.n + 2, true);
+        s.a.rref_within_into(self.n, &mut s.pivots);
+        // The null space is shared by every pattern; its dimension is known
+        // from the pivot count, so the basis is materialized only when a
+        // greedy descent can actually use it.
+        let null_dim = self.n - s.pivots.len();
+        let mut have_null = false;
+        let mut best_w: Option<usize> = None;
         for pattern in 0..3 {
-            let Some(mut c) = a.solution_from_reduced(&pivots, self.n, pattern) else {
+            if !s
+                .a
+                .solution_from_reduced_into(&s.pivots, self.n, pattern, &mut s.c)
+            {
                 continue;
-            };
-            if c.is_zero() {
+            }
+            if s.c.is_zero() {
                 continue;
             }
             let Some(weight_of) = &weight_of else {
                 // Vanilla mode: first valid element wins.
-                return Some(c.ones().collect());
+                return Some(s.c.ones().collect());
             };
             // Greedy weight reduction over the homogeneous solutions, with
             // packed candidate combinations: candidate = c ⊕ basis row, and
-            // the weight check is a popcount-parity per allowed qubit.
-            let null = null.get_or_insert_with(|| a.null_space_from_reduced(&pivots, self.n));
-            let weight =
-                |c: &BitVec| -> usize { self.combo_allowed_weight(c, &allowed_set, weight_of) };
-            let mut w = weight(&c);
-            let mut cand = BitVec::zeros(self.n);
-            let mut improved = true;
+            // the weight check is a popcount-parity per allowed qubit. A
+            // weight of zero cannot improve, so the descent (and the basis
+            // construction) is skipped outright at the floor.
+            let mut w = self.combo_allowed_weight(&s.c, &s.allowed_sorted, weight_of);
+            let mut improved = w > 0 && null_dim > 0;
             while improved {
+                if !have_null {
+                    s.a.null_space_from_reduced_into(&s.pivots, self.n, &mut s.null);
+                    have_null = true;
+                }
                 improved = false;
-                for v in 0..null.rows() {
-                    cand.clone_from(&c);
-                    null.xor_row_into(v, &mut cand);
-                    if cand.is_zero() {
+                for v in 0..s.null.rows() {
+                    s.cand.copy_from(&s.c);
+                    s.null.xor_row_into(v, &mut s.cand);
+                    if s.cand.is_zero() {
                         continue;
                     }
-                    let cw = weight(&cand);
+                    let cw = self.combo_allowed_weight(&s.cand, &s.allowed_sorted, weight_of);
                     if cw < w {
-                        std::mem::swap(&mut c, &mut cand);
+                        std::mem::swap(&mut s.c, &mut s.cand);
                         w = cw;
                         improved = true;
                     }
                 }
+                improved = improved && w > 0;
             }
-            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
-                best = Some((w, c));
+            if best_w.is_none_or(|bw| w < bw) {
+                best_w = Some(w);
+                s.best.copy_from(&s.c);
             }
         }
-        let (_, c) = best?;
-        Some(c.ones().collect())
+        best_w?;
+        Some(s.best.ones().collect())
     }
 
     /// Support weight of the row-combination `c` (a packed row mask)
-    /// restricted to `allowed`: the product's letter at `q` is non-trivial
-    /// iff an odd number of taken rows has an X (resp. Z) there, which is one
-    /// word-parallel [`BitVec::parity_and`] per component.
+    /// restricted to `allowed` (ascending, deduplicated): the product's
+    /// letter at `q` is non-trivial iff an odd number of taken rows has an X
+    /// (resp. Z) there, which is one word-parallel [`BitVec::parity_and`]
+    /// per component.
     fn combo_allowed_weight(
         &self,
         c: &BitVec,
-        allowed: &std::collections::BTreeSet<usize>,
+        allowed: &[usize],
         weight_of: &impl Fn(usize) -> usize,
     ) -> usize {
         allowed
@@ -867,6 +1016,74 @@ impl Tableau {
         }
         debug_assert_eq!(self.pauli_at(row, q), Pauli::Z);
         Ok(gates)
+    }
+}
+
+/// Reusable scratch storage for the tableau's linear-algebra queries
+/// ([`Tableau::find_element_weighted_in`],
+/// [`Tableau::deterministic_z_sign_in`] and friends).
+///
+/// One scratch serves any number of tableaux of any size: every query
+/// reshapes the buffers it needs via [`BitVec::reset`] /
+/// [`BitMatrix::reset`], which reuse the underlying allocations. Solvers
+/// that run thousands of small solves hold one `ElementScratch` (inside
+/// `epgs_solver`'s `SolverWorkspace`) instead of allocating a constraint
+/// system, pivot list, and null-space basis per call.
+#[derive(Debug, Clone)]
+pub struct ElementScratch {
+    /// Constraint system (also the augmented solve matrix).
+    a: BitMatrix,
+    /// Null-space basis of `a`'s leading block.
+    null: BitMatrix,
+    /// RREF pivot columns.
+    pivots: Vec<usize>,
+    /// Current solution / row combination.
+    c: BitVec,
+    /// Greedy-descent candidate.
+    cand: BitVec,
+    /// Best combination across target patterns.
+    best: BitVec,
+    /// Packed product accumulators (sign computation).
+    acc_x: BitVec,
+    acc_z: BitVec,
+    /// Packed single-row gather buffers.
+    row_x: BitVec,
+    row_z: BitVec,
+    /// Membership masks over qubits.
+    in_restrict: Vec<bool>,
+    in_allowed: Vec<bool>,
+    /// `allowed`, ascending and deduplicated.
+    allowed_sorted: Vec<usize>,
+    /// Qubits whose product component must vanish.
+    forbidden: Vec<usize>,
+}
+
+impl ElementScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        ElementScratch {
+            a: BitMatrix::zeros(0, 0),
+            null: BitMatrix::zeros(0, 0),
+            pivots: Vec::new(),
+            c: BitVec::zeros(0),
+            cand: BitVec::zeros(0),
+            best: BitVec::zeros(0),
+            acc_x: BitVec::zeros(0),
+            acc_z: BitVec::zeros(0),
+            row_x: BitVec::zeros(0),
+            row_z: BitVec::zeros(0),
+            in_restrict: Vec::new(),
+            in_allowed: Vec::new(),
+            allowed_sorted: Vec::new(),
+            forbidden: Vec::new(),
+        }
+    }
+}
+
+impl Default for ElementScratch {
+    fn default() -> Self {
+        ElementScratch::new()
     }
 }
 
