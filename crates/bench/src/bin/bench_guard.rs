@@ -1,17 +1,20 @@
-//! Non-fatal trajectory guard: diffs a freshly produced `BENCH_runtime.json`
-//! against the committed baseline and warns on per-stage regressions.
+//! Non-fatal trajectory guard: diffs a freshly produced benchmark JSON
+//! against the committed baseline and warns on regressions.
 //!
 //! Run with:
 //! `cargo run --release -p epgs-bench --bin bench_guard -- BASELINE.json FRESH.json`
 //!
-//! Framework points are matched by `n`; for every matched point the total
-//! and each stage of the breakdown (partition / plan / schedule / recombine
-//! / verify) is compared, as is each matched exhaustive point. A value more
-//! than 25% above the baseline prints a `regression:` warning. Timings under
-//! the 20 ms noise floor are skipped (sub-floor stages are dominated by
-//! scheduler jitter); the smoke sweep's n=30 point sits above the floor on
-//! the committed trajectory precisely so the CI wiring of this guard always
-//! has live comparisons.
+//! The comparison dispatches on document shape. Runtime trajectories
+//! (`BENCH_runtime.json`) match framework/exhaustive points by `n` and
+//! compare the total plus each stage of the breakdown (partition / plan /
+//! schedule / recombine / verify). Serve trajectories (`BENCH_serve.json`,
+//! recognized by their `phases` array) match phases by name and compare
+//! each phase's wall seconds, additionally warning when a phase's hit rate
+//! drops. A timing more than 25% above the baseline prints a `regression:`
+//! warning. Timings under the 20 ms noise floor are skipped (sub-floor
+//! stages are dominated by scheduler jitter); the smoke sweep's n=30 point
+//! sits above the floor on the committed trajectory precisely so the CI
+//! wiring of this guard always has live comparisons.
 //!
 //! The guard is advisory: it exits 0 even when regressions are found (CI
 //! hardware is too noisy for a hard gate) and non-zero only when an input
@@ -54,6 +57,18 @@ fn by_n(doc: &Value, key: &str) -> Vec<(usize, Value)> {
         .map(|arr| {
             arr.iter()
                 .filter_map(|e| Some((e.get("n")?.as_usize()?, e.clone())))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Entries of a serve trajectory's `phases` array keyed by phase name.
+fn by_phase(doc: &Value) -> Vec<(String, Value)> {
+    doc.get("phases")
+        .and_then(Value::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|e| Some((e.get("phase")?.as_str()?.to_string(), e.clone())))
                 .collect()
         })
         .unwrap_or_default()
@@ -112,6 +127,31 @@ fn main() -> ExitCode {
             if let (Some(b), Some(f)) = (b, f) {
                 compared += 1;
                 regressions += check(&format!("framework n={n} {stage}"), b, f) as usize;
+            }
+        }
+    }
+    // Serve trajectories: phases matched by name, wall seconds compared
+    // with the same advisory threshold, hit-rate drops called out.
+    let base_phases = by_phase(&baseline);
+    for (name, fresh_entry) in by_phase(&fresh) {
+        let Some((_, base_entry)) = base_phases.iter().find(|(bn, _)| *bn == name) else {
+            continue;
+        };
+        if let (Some(b), Some(f)) = (
+            base_entry.get("seconds").and_then(Value::as_f64),
+            fresh_entry.get("seconds").and_then(Value::as_f64),
+        ) {
+            compared += 1;
+            regressions += check(&format!("serve {name}"), b, f) as usize;
+        }
+        if let (Some(b), Some(f)) = (
+            base_entry.get("hit_rate").and_then(Value::as_f64),
+            fresh_entry.get("hit_rate").and_then(Value::as_f64),
+        ) {
+            compared += 1;
+            if f < b - 0.05 {
+                println!("regression: serve {name} hit rate {f:.3} vs baseline {b:.3}");
+                regressions += 1;
             }
         }
     }

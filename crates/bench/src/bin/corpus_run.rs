@@ -8,7 +8,12 @@
 //!
 //! Run with:
 //! `cargo run --release -p epgs-bench --bin corpus_run -- \
-//!     [--spec FILE.json] [--out FILE.json] [--passes N]`
+//!     [--spec FILE.json] [--out FILE.json] [--passes N] [--store DIR]`
+//!
+//! With `--store DIR` the compiler persists every artifact in a
+//! content-addressed on-disk store, so a *second process* run over the
+//! same corpus and directory serves its expensive prefixes from disk
+//! (reported as `disk_hits`).
 
 use std::fs;
 use std::process::ExitCode;
@@ -18,13 +23,14 @@ use epgs_bench::corpus_framework;
 use epgs_corpus::{CorpusSpec, Value};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: corpus_run [--spec FILE.json] [--out FILE.json] [--passes N]");
+    eprintln!("usage: corpus_run [--spec FILE.json] [--out FILE.json] [--passes N] [--store DIR]");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut spec_path: Option<String> = None;
     let mut out_path = "target/corpus_run.json".to_string();
+    let mut store_dir: Option<String> = None;
     let mut passes = 2usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,6 +53,13 @@ fn main() -> ExitCode {
                 Some(Ok(p)) if p >= 1 => passes = p,
                 _ => {
                     eprintln!("--passes needs a positive integer");
+                    return usage();
+                }
+            },
+            "--store" => match args.next() {
+                Some(dir) => store_dir = Some(dir),
+                None => {
+                    eprintln!("--store needs a directory");
                     return usage();
                 }
             },
@@ -125,18 +138,28 @@ fn main() -> ExitCode {
 
     // Size the cache to the corpus: the default 256-entry bound would
     // thrash (and fail the repeated-pass hit check below) on larger specs.
-    let batch = BatchCompiler::with_cache_capacity(
+    let mut batch = BatchCompiler::with_cache_capacity(
         config,
         jobs.len().max(BatchCompiler::DEFAULT_CACHE_CAPACITY),
     );
+    if let Some(dir) = &store_dir {
+        match epgs::ArtifactStore::open(dir) {
+            Ok(store) => batch.attach_store(store),
+            Err(e) => {
+                eprintln!("cannot open artifact store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut reports: Vec<BatchReport> = Vec::with_capacity(passes);
     for pass in 1..=passes {
         let report = batch.run(&jobs);
         println!(
-            "pass {pass}: {}/{} ok, {} cache hits, {} misses, Σ wall {:.2} s",
+            "pass {pass}: {}/{} ok, {} cache hits, {} disk hits, {} misses, Σ wall {:.2} s",
             report.succeeded,
             report.instances.len(),
             report.cache_hits,
+            report.disk_hits,
             report.cache_misses,
             report.total_wall_micros as f64 / 1e6,
         );
@@ -175,7 +198,11 @@ fn main() -> ExitCode {
         eprintln!("{failed} instance compilations failed");
         return ExitCode::FAILURE;
     }
-    if passes >= 2 && reports.last().is_some_and(|r| r.cache_hits == 0) {
+    if passes >= 2
+        && reports
+            .last()
+            .is_some_and(|r| r.cache_hits + r.disk_hits == 0)
+    {
         eprintln!("repeated pass produced no cache hits — artifact cache is broken");
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,497 @@
+//! Benchmarks the persistent compile service across its cache layers.
+//!
+//! Engine mode (default) drives the default corpus through
+//! [`epgs_serve::ServeEngine`] in three phases sharing one store directory:
+//!
+//! * `cold` — fresh store, every instance runs the full pipeline;
+//! * `warm` — same engine again, every instance is a memory hit;
+//! * `restart` — a fresh engine on the same store directory, every
+//!   instance's expensive prefix comes off disk.
+//!
+//! The emitted JSON reports per-phase requests/sec, hit rate, and a
+//! latency histogram, and the binary self-validates it: the fields must
+//! be present, the restart phase must reach a ≥90% disk-backed hit rate,
+//! and warm throughput must beat cold throughput by at least 5×.
+//!
+//! Daemon mode (`--daemon PATH`) instead spawns the real `epgs-serve`
+//! binary and submits the corpus twice over the line-delimited JSON
+//! protocol, self-validating the pass-2 hit rate — the CI protocol smoke.
+//!
+//! `--smoke` only tags the output (the default corpus is already small
+//! enough for CI), so smoke and committed trajectories stay comparable
+//! point for point.
+//!
+//! Run with:
+//! `cargo run --release -p epgs-bench --bin serve_bench -- \
+//!     [--smoke] [--out FILE.json] [--store DIR] [--daemon PATH]`
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::Instant;
+
+use epgs::batch::{WALL_BUCKET_BOUNDS, WALL_BUCKET_LABELS};
+use epgs::BatchCompiler;
+use epgs_bench::corpus_framework;
+use epgs_corpus::json::{Value, Writer};
+use epgs_corpus::CorpusSpec;
+use epgs_graph::Graph;
+use epgs_serve::{ServeEngine, ServeOutcome};
+
+/// Measured result of one benchmark phase.
+struct Phase {
+    name: &'static str,
+    requests: usize,
+    ok: usize,
+    outcomes: [usize; 4],
+    seconds: f64,
+    histogram: [usize; 5],
+    total_wall_micros: u128,
+}
+
+const OUTCOME_NAMES: [&str; 4] = ["memory_hit", "disk_hit", "compiled", "coalesced"];
+
+fn outcome_slot(o: ServeOutcome) -> usize {
+    match o {
+        ServeOutcome::MemoryHit => 0,
+        ServeOutcome::DiskHit => 1,
+        ServeOutcome::Compiled => 2,
+        ServeOutcome::Coalesced => 3,
+    }
+}
+
+fn bucket(micros: u128) -> usize {
+    WALL_BUCKET_BOUNDS
+        .iter()
+        .position(|&b| micros < b)
+        .unwrap_or(WALL_BUCKET_BOUNDS.len())
+}
+
+impl Phase {
+    fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        // Everything but a full compile reused prior work.
+        (self.requests - self.outcomes[2]) as f64 / self.requests as f64
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.seconds
+    }
+
+    fn write(&self, w: &mut Writer) {
+        w.begin_obj();
+        w.field_str("phase", self.name);
+        w.field_uint("requests", self.requests as u64);
+        w.field_uint("ok", self.ok as u64);
+        w.key("outcomes");
+        w.begin_obj();
+        for (name, count) in OUTCOME_NAMES.iter().zip(self.outcomes) {
+            w.field_uint(name, count as u64);
+        }
+        w.end_obj();
+        w.field_fixed("hit_rate", self.hit_rate(), 4);
+        w.field_fixed("seconds", self.seconds, 6);
+        w.field_fixed("requests_per_sec", self.requests_per_sec(), 2);
+        w.field_raw("total_wall_micros", &self.total_wall_micros.to_string());
+        w.key("latency_histogram");
+        w.begin_obj();
+        for (label, count) in WALL_BUCKET_LABELS.iter().zip(self.histogram) {
+            w.field_uint(label, count as u64);
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+}
+
+/// Runs every corpus job through `engine` once, tallying outcomes.
+fn run_phase(name: &'static str, engine: &ServeEngine, jobs: &[Graph]) -> Phase {
+    let start = Instant::now();
+    let mut phase = Phase {
+        name,
+        requests: 0,
+        ok: 0,
+        outcomes: [0; 4],
+        seconds: 0.0,
+        histogram: [0; 5],
+        total_wall_micros: 0,
+    };
+    for g in jobs {
+        let reply = engine.compile(g);
+        phase.requests += 1;
+        phase.ok += usize::from(reply.result.is_ok());
+        phase.outcomes[outcome_slot(reply.outcome)] += 1;
+        phase.histogram[bucket(reply.wall_micros)] += 1;
+        phase.total_wall_micros += reply.wall_micros;
+    }
+    phase.seconds = start.elapsed().as_secs_f64();
+    phase
+}
+
+fn emit(
+    out: &Path,
+    mode: &str,
+    corpus: &str,
+    instances: usize,
+    phases: &[Phase],
+) -> Result<(), String> {
+    let mut w = Writer::with_capacity(2048);
+    w.begin_obj();
+    w.field_str("bench", "serve");
+    w.field_str("mode", mode);
+    w.field_str("corpus", corpus);
+    w.field_uint("instances", instances as u64);
+    w.key("phases");
+    w.begin_arr();
+    for p in phases {
+        p.write(&mut w);
+    }
+    w.end_arr();
+    let speedup = match phases.iter().find(|p| p.name == "cold") {
+        Some(cold) if cold.requests_per_sec() > 0.0 => phases
+            .iter()
+            .find(|p| p.name == "warm")
+            .map(|warm| warm.requests_per_sec() / cold.requests_per_sec())
+            .unwrap_or(0.0),
+        _ => 0.0,
+    };
+    w.field_fixed("warm_vs_cold_speedup", speedup, 2);
+    w.end_obj();
+    let doc = w.finish();
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(out, &doc).map_err(|e| format!("cannot write {}: {e}", out.display()))
+}
+
+/// Re-reads the emitted file and checks the fields downstream tooling
+/// (bench_guard, the CI smoke) depends on, plus the service-level
+/// acceptance bars: restart hit rate and warm-over-cold throughput.
+fn validate(out: &Path, require_speedup: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(out)
+        .map_err(|e| format!("cannot re-read {}: {e}", out.display()))?;
+    let doc = Value::parse(&text).map_err(|e| format!("emitted JSON is malformed: {e}"))?;
+    let phases = doc
+        .get("phases")
+        .and_then(Value::as_arr)
+        .ok_or("emitted JSON lacks a 'phases' array")?;
+    let mut rps: HashMap<String, f64> = HashMap::new();
+    for p in phases {
+        let name = p
+            .get("phase")
+            .and_then(Value::as_str)
+            .ok_or("phase lacks a name")?;
+        for field in ["hit_rate", "requests_per_sec", "seconds"] {
+            if p.get(field).and_then(Value::as_f64).is_none() {
+                return Err(format!("phase '{name}' lacks '{field}'"));
+            }
+        }
+        let hist = p
+            .get("latency_histogram")
+            .ok_or_else(|| format!("phase '{name}' lacks 'latency_histogram'"))?;
+        for label in WALL_BUCKET_LABELS {
+            if hist.get(label).and_then(Value::as_u64).is_none() {
+                return Err(format!("phase '{name}' histogram lacks '{label}'"));
+            }
+        }
+        rps.insert(
+            name.to_string(),
+            p.get("requests_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        );
+        let hit_rate = p.get("hit_rate").and_then(Value::as_f64).unwrap_or(0.0);
+        if name == "restart" && hit_rate < 0.9 {
+            return Err(format!(
+                "restart phase hit rate {hit_rate:.3} below the 90% durability bar"
+            ));
+        }
+    }
+    if require_speedup {
+        let (cold, warm) = (rps.get("cold"), rps.get("warm"));
+        match (cold, warm) {
+            (Some(&c), Some(&w)) if c > 0.0 => {
+                if w < 5.0 * c {
+                    return Err(format!(
+                        "warm throughput {w:.1} req/s is under 5× cold {c:.1} req/s"
+                    ));
+                }
+            }
+            _ => return Err("cold/warm phases missing from emitted JSON".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Engine mode: cold / warm / restart over one store directory.
+fn run_engine_mode(out: &Path, mode: &str, store: &Path, jobs: &[Graph]) -> Result<(), String> {
+    let config = corpus_framework().config().clone();
+    let new_engine = || -> Result<ServeEngine, String> {
+        let mut batch = BatchCompiler::with_cache_capacity(
+            config.clone(),
+            jobs.len().max(BatchCompiler::DEFAULT_CACHE_CAPACITY),
+        );
+        let store = epgs::ArtifactStore::open(store)
+            .map_err(|e| format!("cannot open store {}: {e}", store.display()))?;
+        batch.attach_store(store);
+        Ok(ServeEngine::from_batch(batch))
+    };
+
+    let engine = new_engine()?;
+    let cold = run_phase("cold", &engine, jobs);
+    println!(
+        "cold:    {} requests in {:.2} s ({:.1} req/s)",
+        cold.requests,
+        cold.seconds,
+        cold.requests_per_sec()
+    );
+    let warm = run_phase("warm", &engine, jobs);
+    println!(
+        "warm:    {} requests in {:.4} s ({:.0} req/s, hit rate {:.3})",
+        warm.requests,
+        warm.seconds,
+        warm.requests_per_sec(),
+        warm.hit_rate()
+    );
+    drop(engine);
+
+    // A brand-new engine on the same directory models a daemon restart:
+    // the memory cache is empty, so every reuse below is disk-backed.
+    let engine = new_engine()?;
+    let restart = run_phase("restart", &engine, jobs);
+    println!(
+        "restart: {} requests in {:.4} s ({:.0} req/s, {} disk hits)",
+        restart.requests,
+        restart.seconds,
+        restart.requests_per_sec(),
+        restart.outcomes[1]
+    );
+
+    let phases = [cold, warm, restart];
+    if let Some(p) = phases.iter().find(|p| p.ok != p.requests) {
+        return Err(format!(
+            "{} of {} requests failed in phase '{}'",
+            p.requests - p.ok,
+            p.requests,
+            p.name
+        ));
+    }
+    emit(out, mode, "default", jobs.len(), &phases)?;
+    validate(out, true)?;
+    println!("report written to {}", out.display());
+    Ok(())
+}
+
+/// Daemon mode: submit the corpus twice to a live `epgs-serve` process
+/// over the wire protocol and check the second pass reuses everything.
+fn run_daemon_mode(daemon: &str, out: &Path, store: &Path, jobs: &[Graph]) -> Result<(), String> {
+    let mut child = Command::new(daemon)
+        .args(["--store", store.to_str().ok_or("store path is not UTF-8")?])
+        .args(["--threads", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {daemon}: {e}"))?;
+    let mut stdin = child.stdin.take().ok_or("daemon stdin")?;
+    let mut stdout = BufReader::new(child.stdout.take().ok_or("daemon stdout")?);
+
+    let read_batch = |stdout: &mut BufReader<_>, n: usize| -> Result<HashMap<u64, Value>, String> {
+        let mut got = HashMap::new();
+        for _ in 0..n {
+            let mut line = String::new();
+            if stdout.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                return Err("daemon closed stdout early".to_string());
+            }
+            let v = Value::parse(line.trim()).map_err(|e| format!("bad response: {e}"))?;
+            let id = v
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or("response without a numeric id")?;
+            got.insert(id, v);
+        }
+        Ok(got)
+    };
+
+    let run_pass = |stdin: &mut std::process::ChildStdin,
+                    stdout: &mut BufReader<_>,
+                    name: &'static str|
+     -> Result<Phase, String> {
+        let start = Instant::now();
+        for (i, g) in jobs.iter().enumerate() {
+            let edges: Vec<String> = g.edges().map(|(a, b)| format!("[{a},{b}]")).collect();
+            writeln!(
+                stdin,
+                "{{\"op\":\"compile\",\"id\":{i},\"graph\":{{\"n\":{},\"edges\":[{}]}}}}",
+                g.vertex_count(),
+                edges.join(",")
+            )
+            .map_err(|e| format!("write request: {e}"))?;
+        }
+        stdin.flush().map_err(|e| format!("flush requests: {e}"))?;
+        let responses = read_batch(stdout, jobs.len())?;
+        let mut phase = Phase {
+            name,
+            requests: jobs.len(),
+            ok: 0,
+            outcomes: [0; 4],
+            seconds: start.elapsed().as_secs_f64(),
+            histogram: [0; 5],
+            total_wall_micros: 0,
+        };
+        for r in responses.values() {
+            phase.ok += usize::from(r.get("ok").and_then(Value::as_bool) == Some(true));
+            let outcome = r.get("outcome").and_then(Value::as_str).unwrap_or("");
+            if let Some(slot) = OUTCOME_NAMES.iter().position(|&n| n == outcome) {
+                phase.outcomes[slot] += 1;
+            }
+            let micros = r.get("wall_micros").and_then(Value::as_u64).unwrap_or(0);
+            phase.histogram[bucket(micros as u128)] += 1;
+            phase.total_wall_micros += micros as u128;
+        }
+        Ok(phase)
+    };
+
+    let result = (|| -> Result<(), String> {
+        let pass1 = run_pass(&mut stdin, &mut stdout, "daemon_pass1")?;
+        let pass2 = run_pass(&mut stdin, &mut stdout, "daemon_pass2")?;
+        writeln!(stdin, "{{\"op\":\"shutdown\",\"id\":999999}}").map_err(|e| e.to_string())?;
+        stdin.flush().map_err(|e| e.to_string())?;
+
+        for p in [&pass1, &pass2] {
+            if p.ok != p.requests {
+                return Err(format!(
+                    "{} of {} requests failed in {}",
+                    p.requests - p.ok,
+                    p.requests,
+                    p.name
+                ));
+            }
+        }
+        println!(
+            "pass 1: {} requests in {:.2} s ({} compiled)",
+            pass1.requests, pass1.seconds, pass1.outcomes[2]
+        );
+        println!(
+            "pass 2: {} requests in {:.4} s (hit rate {:.3})",
+            pass2.requests,
+            pass2.seconds,
+            pass2.hit_rate()
+        );
+        if pass2.hit_rate() < 0.9 {
+            return Err(format!(
+                "pass-2 hit rate {:.3} below the 90% bar — the daemon recompiled",
+                pass2.hit_rate()
+            ));
+        }
+        emit(out, "daemon", "default", jobs.len(), &[pass1, pass2])?;
+        validate(out, false)?;
+        println!("report written to {}", out.display());
+        Ok(())
+    })();
+
+    let status = child.wait().map_err(|e| format!("daemon wait: {e}"))?;
+    result?;
+    if !status.success() {
+        return Err(format!("daemon exited with {status}"));
+    }
+    Ok(())
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: serve_bench [--smoke] [--out FILE.json] [--store DIR] [--daemon PATH]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut store: Option<String> = None;
+    let mut daemon: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return usage();
+                }
+            },
+            "--store" => match args.next() {
+                Some(dir) => store = Some(dir),
+                None => {
+                    eprintln!("--store needs a directory");
+                    return usage();
+                }
+            },
+            "--daemon" => match args.next() {
+                Some(path) => daemon = Some(path),
+                None => {
+                    eprintln!("--daemon needs the epgs-serve binary path");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let out = PathBuf::from(out.unwrap_or_else(|| "BENCH_serve.json".to_string()));
+    let jobs: Vec<Graph> = CorpusSpec::default_corpus()
+        .instances()
+        .into_iter()
+        .map(|i| i.graph)
+        .collect();
+    println!(
+        "serve bench: {} corpus instances, mode {}",
+        jobs.len(),
+        if daemon.is_some() {
+            "daemon"
+        } else if smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    );
+
+    // A fresh scratch store per run unless the caller pins one; the cold
+    // phase is only cold against an empty directory.
+    let (store_dir, scratch) = match store {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!("epgs-serve-bench-{}", std::process::id())),
+            true,
+        ),
+    };
+    if scratch {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    let result = match &daemon {
+        Some(path) => run_daemon_mode(path, &out, &store_dir, &jobs),
+        None => run_engine_mode(
+            &out,
+            if smoke { "smoke" } else { "full" },
+            &store_dir,
+            &jobs,
+        ),
+    };
+    if scratch {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

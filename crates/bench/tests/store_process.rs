@@ -1,0 +1,90 @@
+//! Cross-process persistence: a second `corpus_run` process over the same
+//! `--store` directory must serve the whole default corpus from disk.
+
+use std::process::Command;
+
+use epgs_corpus::json::Value;
+
+fn run_corpus(store: &std::path::Path, out: &std::path::Path) -> Value {
+    let status = Command::new(env!("CARGO_BIN_EXE_corpus_run"))
+        .args([
+            "--passes",
+            "1",
+            "--store",
+            store.to_str().expect("utf-8 path"),
+            "--out",
+            out.to_str().expect("utf-8 path"),
+        ])
+        .status()
+        .expect("spawn corpus_run");
+    assert!(status.success(), "corpus_run exited with {status}");
+    let text = std::fs::read_to_string(out).expect("report file");
+    Value::parse(&text).expect("report is JSON")
+}
+
+#[test]
+fn second_process_run_serves_the_default_corpus_from_disk() {
+    let base = std::env::temp_dir().join(format!("epgs-corpus-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store = base.join("store");
+    std::fs::create_dir_all(&base).expect("temp base");
+
+    // Process 1: cold — everything misses and is written through.
+    let cold = run_corpus(&store, &base.join("cold.json"));
+    let cold_report = &cold
+        .get("reports")
+        .and_then(Value::as_arr)
+        .expect("reports")[0];
+    let instances = cold_report
+        .get("instances")
+        .and_then(Value::as_arr)
+        .expect("instances")
+        .len();
+    assert!(instances >= 20, "default corpus shrank to {instances}");
+    assert_eq!(
+        cold_report.get("disk_hits").and_then(Value::as_u64),
+        Some(0),
+        "cold run must not hit disk"
+    );
+
+    // Process 2: same store directory — every expensive prefix comes off
+    // disk. Within-run duplicates promote to memory hits, so the check is
+    // "no instance recompiled", with disk hits covering the distinct
+    // content.
+    let warm = run_corpus(&store, &base.join("warm.json"));
+    let warm_report = &warm
+        .get("reports")
+        .and_then(Value::as_arr)
+        .expect("reports")[0];
+    let disk_hits = warm_report
+        .get("disk_hits")
+        .and_then(Value::as_u64)
+        .expect("disk_hits") as usize;
+    let misses = warm_report
+        .get("cache_misses")
+        .and_then(Value::as_u64)
+        .expect("cache_misses");
+    let distinct = warm_report
+        .get("distinct_canonical")
+        .and_then(Value::as_u64)
+        .expect("distinct_canonical") as usize;
+    assert_eq!(misses, 0, "second process recompiled something");
+    assert!(
+        disk_hits >= distinct,
+        "expected ≥{distinct} disk hits, got {disk_hits}"
+    );
+    for inst in warm_report
+        .get("instances")
+        .and_then(Value::as_arr)
+        .expect("instances")
+    {
+        let outcome = inst.get("cache").and_then(Value::as_str).expect("cache");
+        assert!(
+            outcome == "disk_hit" || outcome == "hit",
+            "instance {:?} recompiled (outcome '{outcome}')",
+            inst.get("id")
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

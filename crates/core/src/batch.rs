@@ -20,11 +20,14 @@
 //! the instance recompiles.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use rayon::prelude::*;
 
+use epgs_corpus::json::Writer;
 use epgs_graph::canon::{canonical_hash, fnv1a_all};
 use epgs_graph::Graph;
 use epgs_hardware::{CompileObjective, HardwareModel};
@@ -32,6 +35,7 @@ use epgs_hardware::{CompileObjective, HardwareModel};
 use crate::config::{EmitterBudget, FrameworkConfig};
 use crate::framework::Compiled;
 use crate::stages::{Pipeline, Planned, RecombineStrategy};
+use crate::store::{ArtifactStore, StoreStats};
 
 /// Stable 64-bit fingerprint of every compilation-relevant configuration
 /// knob (FNV-1a; float knobs enter via their bit patterns).
@@ -303,10 +307,29 @@ impl BatchInstance {
 /// Whether an instance reused a cached prefix or compiled it fresh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// Partition + leaf planning were served from the cache.
+    /// Partition + leaf planning were served from the in-memory cache.
     Hit,
+    /// Served from the on-disk [`ArtifactStore`] (and promoted into the
+    /// in-memory cache).
+    DiskHit,
     /// The full pipeline ran.
     Miss,
+}
+
+impl CacheOutcome {
+    /// Stable wire name used in JSON reports and the serve protocol.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::DiskHit => "disk_hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+
+    /// Whether the expensive prefix was reused from *any* layer.
+    pub fn reused(self) -> bool {
+        self != CacheOutcome::Miss
+    }
 }
 
 /// Success metrics of one compiled instance.
@@ -411,9 +434,12 @@ pub struct BatchReport {
     pub succeeded: usize,
     /// Instances that failed.
     pub failed: usize,
-    /// Cache hits within this run.
+    /// In-memory cache hits within this run.
     pub cache_hits: usize,
-    /// Cache misses within this run.
+    /// On-disk store hits within this run (only possible when the compiler
+    /// was built with [`BatchCompiler::with_store`]).
+    pub disk_hits: usize,
+    /// Instances that ran the full pipeline.
     pub cache_misses: usize,
     /// Distinct canonical graph hashes in this run — the run's content
     /// diversity.
@@ -428,6 +454,9 @@ pub struct BatchReport {
     pub total_wall_micros: u128,
     /// Cumulative cache counters at the end of the run.
     pub cache: CacheStats,
+    /// Cumulative on-disk store counters at the end of the run, when a
+    /// store is attached.
+    pub store: Option<StoreStats>,
 }
 
 impl BatchReport {
@@ -435,11 +464,16 @@ impl BatchReport {
         config: &FrameworkConfig,
         instances: Vec<InstanceReport>,
         cache: CacheStats,
+        store: Option<StoreStats>,
     ) -> Self {
         let succeeded = instances.iter().filter(|r| r.ok()).count();
         let cache_hits = instances
             .iter()
             .filter(|r| r.cache == CacheOutcome::Hit)
+            .count();
+        let disk_hits = instances
+            .iter()
+            .filter(|r| r.cache == CacheOutcome::DiskHit)
             .count();
         let mut canonical: Vec<u64> = instances.iter().map(|r| r.canonical_hash).collect();
         canonical.sort_unstable();
@@ -463,7 +497,7 @@ impl BatchReport {
                 .expect("just inserted");
             f.instances += 1;
             f.succeeded += usize::from(r.ok());
-            f.cache_hits += usize::from(r.cache == CacheOutcome::Hit);
+            f.cache_hits += usize::from(r.cache.reused());
             if let Some(m) = &r.metrics {
                 f.mean_ee_cnots += m.ee_cnots as f64;
                 f.mean_duration += m.duration;
@@ -500,142 +534,114 @@ impl BatchReport {
             failed: instances.len() - succeeded,
             succeeded,
             cache_hits,
-            cache_misses: instances.len() - cache_hits,
+            disk_hits,
+            cache_misses: instances.len() - cache_hits - disk_hits,
             distinct_canonical: canonical.len(),
             families,
             wall_histogram,
             total_wall_micros,
             cache,
+            store,
             instances,
         }
     }
 
     /// Renders the report as a JSON document (instances included).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{");
-        out.push_str(&format!(
-            "\"hardware\":{},\"objective\":{},",
-            json_str(&self.hardware),
-            json_str(&self.objective),
-        ));
+        let mut w = Writer::with_capacity(4096 + 256 * self.instances.len());
+        w.begin_obj();
+        w.field_str("hardware", &self.hardware);
+        w.field_str("objective", &self.objective);
         if let Some(oh) = &self.objective_hardware {
-            out.push_str(&format!("\"objective_hardware\":{},", json_str(oh)));
+            w.field_str("objective_hardware", oh);
         }
         if let Some([ee, duration, loss]) = self.objective_weights {
-            out.push_str(&format!(
-                "\"objective_weights\":{{\"ee\":{ee},\"duration\":{duration},\"loss\":{loss}}},"
-            ));
+            w.key("objective_weights");
+            w.begin_obj();
+            w.field_number("ee", ee);
+            w.field_number("duration", duration);
+            w.field_number("loss", loss);
+            w.end_obj();
         }
-        out.push_str(&format!(
-            "\"succeeded\":{},\"failed\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\
-             \"distinct_canonical\":{},\"total_wall_micros\":{}",
-            self.succeeded,
-            self.failed,
-            self.cache_hits,
-            self.cache_misses,
-            self.distinct_canonical,
-            self.total_wall_micros,
-        ));
-        out.push_str(&format!(
-            ",\"cache\":{{\"hits\":{},\"misses\":{},\"bucket_collisions\":{},\
-             \"evictions\":{},\"corrupt_discarded\":{}}}",
-            self.cache.hits,
-            self.cache.misses,
-            self.cache.bucket_collisions,
-            self.cache.evictions,
-            self.cache.corrupt_discarded,
-        ));
-        out.push_str(",\"wall_histogram\":{");
-        for (i, (label, count)) in WALL_BUCKET_LABELS
-            .iter()
-            .zip(self.wall_histogram)
-            .enumerate()
-        {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{label}\":{count}"));
+        w.field_uint("succeeded", self.succeeded as u64);
+        w.field_uint("failed", self.failed as u64);
+        w.field_uint("cache_hits", self.cache_hits as u64);
+        w.field_uint("disk_hits", self.disk_hits as u64);
+        w.field_uint("cache_misses", self.cache_misses as u64);
+        w.field_uint("distinct_canonical", self.distinct_canonical as u64);
+        w.field_raw("total_wall_micros", &self.total_wall_micros.to_string());
+        w.key("cache");
+        w.begin_obj();
+        w.field_uint("hits", self.cache.hits as u64);
+        w.field_uint("misses", self.cache.misses as u64);
+        w.field_uint("bucket_collisions", self.cache.bucket_collisions as u64);
+        w.field_uint("evictions", self.cache.evictions as u64);
+        w.field_uint("corrupt_discarded", self.cache.corrupt_discarded as u64);
+        w.end_obj();
+        if let Some(s) = &self.store {
+            w.key("store");
+            w.begin_obj();
+            w.field_uint("disk_hits", s.disk_hits as u64);
+            w.field_uint("disk_misses", s.disk_misses as u64);
+            w.field_uint("corrupt_discarded", s.corrupt_discarded as u64);
+            w.field_uint("version_rejected", s.version_rejected as u64);
+            w.field_uint("exact_collisions", s.exact_collisions as u64);
+            w.field_uint("evictions", s.evictions as u64);
+            w.field_uint("writes", s.writes as u64);
+            w.field_uint("write_errors", s.write_errors as u64);
+            w.end_obj();
         }
-        out.push_str("},\"families\":[");
-        for (i, f) in self.families.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"family\":{},\"instances\":{},\"succeeded\":{},\"cache_hits\":{},\
-                 \"mean_ee_cnots\":{:.3},\"mean_duration\":{:.3}}}",
-                json_str(&f.family),
-                f.instances,
-                f.succeeded,
-                f.cache_hits,
-                f.mean_ee_cnots,
-                f.mean_duration,
-            ));
+        w.key("wall_histogram");
+        w.begin_obj();
+        for (label, count) in WALL_BUCKET_LABELS.iter().zip(self.wall_histogram) {
+            w.field_uint(label, count as u64);
         }
-        out.push_str("],\"instances\":[");
-        for (i, r) in self.instances.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"id\":{},\"family\":{},\"vertices\":{},\"edges\":{},\
-                 \"canonical_hash\":\"{:016x}\",\"cache\":\"{}\",\"ok\":{},\"wall_micros\":{}",
-                json_str(&r.id),
-                json_str(&r.family),
-                r.vertices,
-                r.edges,
-                r.canonical_hash,
-                match r.cache {
-                    CacheOutcome::Hit => "hit",
-                    CacheOutcome::Miss => "miss",
-                },
-                r.ok(),
-                r.wall_micros,
-            ));
+        w.end_obj();
+        w.key("families");
+        w.begin_arr();
+        for f in &self.families {
+            w.begin_obj();
+            w.field_str("family", &f.family);
+            w.field_uint("instances", f.instances as u64);
+            w.field_uint("succeeded", f.succeeded as u64);
+            w.field_uint("cache_hits", f.cache_hits as u64);
+            w.field_fixed("mean_ee_cnots", f.mean_ee_cnots, 3);
+            w.field_fixed("mean_duration", f.mean_duration, 3);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("instances");
+        w.begin_arr();
+        for r in &self.instances {
+            w.begin_obj();
+            w.field_str("id", &r.id);
+            w.field_str("family", &r.family);
+            w.field_uint("vertices", r.vertices as u64);
+            w.field_uint("edges", r.edges as u64);
+            w.field_hex("canonical_hash", r.canonical_hash);
+            w.field_str("cache", r.cache.as_str());
+            w.field_bool("ok", r.ok());
+            w.field_raw("wall_micros", &r.wall_micros.to_string());
             if let Some(m) = &r.metrics {
-                out.push_str(&format!(
-                    ",\"ne_min\":{},\"ne_limit\":{},\"peak_emitters\":{},\"ee_cnots\":{},\
-                     \"duration\":{:.3},\"t_loss\":{:.3},\"mean_photon_loss\":{:.6},\
-                     \"any_photon_loss\":{:.6},\"strategy\":\"{:?}\"",
-                    m.ne_min,
-                    m.ne_limit,
-                    m.peak_emitters,
-                    m.ee_cnots,
-                    m.duration,
-                    m.t_loss,
-                    m.mean_photon_loss,
-                    m.any_photon_loss,
-                    m.strategy,
-                ));
+                w.field_uint("ne_min", m.ne_min as u64);
+                w.field_uint("ne_limit", m.ne_limit as u64);
+                w.field_uint("peak_emitters", m.peak_emitters as u64);
+                w.field_uint("ee_cnots", m.ee_cnots as u64);
+                w.field_fixed("duration", m.duration, 3);
+                w.field_fixed("t_loss", m.t_loss, 3);
+                w.field_fixed("mean_photon_loss", m.mean_photon_loss, 6);
+                w.field_fixed("any_photon_loss", m.any_photon_loss, 6);
+                w.field_str("strategy", &format!("{:?}", m.strategy));
             }
             if let Some(e) = &r.error {
-                out.push_str(&format!(",\"error\":{}", json_str(e)));
+                w.field_str("error", e);
             }
-            out.push('}');
+            w.end_obj();
         }
-        out.push_str("]}");
-        out
+        w.end_arr();
+        w.end_obj();
+        w.finish()
     }
-}
-
-/// Minimal JSON string escaping for report fields.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// The batch compilation engine: one configuration, many targets, shared
@@ -665,6 +671,7 @@ pub struct BatchCompiler {
     pipeline: Pipeline,
     config_fp: u64,
     cache: Mutex<ArtifactCache>,
+    store: Option<ArtifactStore>,
 }
 
 impl BatchCompiler {
@@ -683,7 +690,33 @@ impl BatchCompiler {
             pipeline: Pipeline::new(config),
             config_fp,
             cache: Mutex::new(ArtifactCache::new(capacity)),
+            store: None,
         }
+    }
+
+    /// A batch compiler backed by a persistent [`ArtifactStore`] at `dir`
+    /// (created if absent). Lookups layer memory → disk → compile; every
+    /// fresh compile is written through to the store, so artifacts survive
+    /// the process and a rerun over the same corpus hits disk instead of
+    /// recompiling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from opening the store directory.
+    pub fn with_store(config: FrameworkConfig, dir: impl AsRef<Path>) -> io::Result<Self> {
+        let mut batch = Self::new(config);
+        batch.store = Some(ArtifactStore::open(dir)?);
+        Ok(batch)
+    }
+
+    /// Attaches an already-opened store (memory → disk → compile layering).
+    pub fn attach_store(&mut self, store: ArtifactStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
     }
 
     /// The underlying staged pipeline (stage counters aggregate across the
@@ -753,12 +786,20 @@ impl BatchCompiler {
             canonical,
             config: self.config_fp,
         };
-        let cached = self.cache.lock().expect("cache lock").lookup(key, graph);
-        let outcome = if cached.is_some() {
-            CacheOutcome::Hit
-        } else {
-            CacheOutcome::Miss
-        };
+        let mut outcome = CacheOutcome::Miss;
+        let mut cached = self.cache.lock().expect("cache lock").lookup(key, graph);
+        if cached.is_some() {
+            outcome = CacheOutcome::Hit;
+        } else if let Some(store) = &self.store {
+            cached = store.load(key, graph, &self.pipeline).inspect(|p| {
+                outcome = CacheOutcome::DiskHit;
+                // Promote to the memory layer so the next lookup is free.
+                self.cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, graph.clone(), p.clone());
+            });
+        }
         // The planning stage runs outside the cache lock: concurrent misses
         // on the same content may plan twice, but never block each other.
         let planned = match cached {
@@ -768,6 +809,9 @@ impl BatchCompiler {
                     .lock()
                     .expect("cache lock")
                     .insert(key, graph.clone(), p.clone());
+                if let Some(store) = &self.store {
+                    store.save(key, p);
+                }
             }),
         };
         let compiled =
@@ -842,7 +886,12 @@ impl BatchCompiler {
             .into_iter()
             .map(|r| r.expect("every instance reported"))
             .collect();
-        BatchReport::from_instances(self.pipeline.config(), reports, self.cache_stats())
+        BatchReport::from_instances(
+            self.pipeline.config(),
+            reports,
+            self.cache_stats(),
+            self.store.as_ref().map(|s| s.stats()),
+        )
     }
 }
 
@@ -1044,7 +1093,51 @@ mod tests {
 
     #[test]
     fn json_escaping_handles_awkward_ids() {
-        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-        assert_eq!(json_str("plain"), "\"plain\"");
+        let batch = BatchCompiler::new(quick_config());
+        let report = batch.run(&[BatchInstance::new(
+            "a\"b\\c\nd",
+            "path",
+            generators::path(5),
+        )]);
+        let json = report.to_json();
+        assert!(json.contains("\"id\":\"a\\\"b\\\\c\\nd\""));
+        // The whole document stays machine-readable.
+        let doc = epgs_corpus::json::Value::parse(&json).expect("well-formed report");
+        assert_eq!(doc.get("succeeded").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn with_store_layers_memory_then_disk_then_compile() {
+        let dir = std::env::temp_dir().join(format!("epgs-batch-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = generators::lattice(3, 3);
+        {
+            let batch = BatchCompiler::with_store(quick_config(), &dir).unwrap();
+            let (cold, _) = batch.compile_instance("cold", "lattice", &g);
+            assert_eq!(cold.cache, CacheOutcome::Miss);
+            // Same process: the memory layer answers first.
+            let (warm, _) = batch.compile_instance("warm", "lattice", &g);
+            assert_eq!(warm.cache, CacheOutcome::Hit);
+            assert_eq!(batch.store().unwrap().stats().writes, 1);
+        }
+        // "New process": fresh compiler, same directory → disk hit, and the
+        // artifact is promoted so the next lookup is a memory hit.
+        let batch = BatchCompiler::with_store(quick_config(), &dir).unwrap();
+        let (restart, compiled) = batch.compile_instance("restart", "lattice", &g);
+        assert_eq!(restart.cache, CacheOutcome::DiskHit);
+        assert!(compiled.is_some());
+        assert_eq!(
+            batch.compile_instance("again", "lattice", &g).0.cache,
+            CacheOutcome::Hit
+        );
+        // Disk adoption skipped the expensive stages entirely.
+        let counts = batch.pipeline().counters();
+        assert_eq!((counts.partition, counts.plan), (0, 0));
+        // The report surfaces the layered outcome.
+        let report = batch.run(&[BatchInstance::new("r", "lattice", g.clone())]);
+        assert_eq!(report.cache_hits, 1);
+        assert!(report.store.is_some());
+        assert!(report.to_json().contains("\"store\":{"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

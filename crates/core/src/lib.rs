@@ -122,6 +122,7 @@
 //! assert_eq!((report.succeeded, report.cache_hits), (2, 1));
 //! ```
 
+pub mod artifact;
 pub mod batch;
 pub mod config;
 pub mod error;
@@ -129,8 +130,10 @@ pub mod framework;
 pub mod report;
 pub mod schedule;
 pub mod stages;
+pub mod store;
 pub mod subgraph;
 
+pub use artifact::ArtifactError;
 pub use batch::{
     config_fingerprint, ArtifactCache, BatchCompiler, BatchInstance, BatchReport, CacheKey,
     CacheOutcome, CacheStats, FamilySummary, InstanceMetrics, InstanceReport,
@@ -143,4 +146,5 @@ pub use schedule::{schedule, Placement, Schedule, StepFn};
 pub use stages::{
     Partitioned, Pipeline, Planned, RecombineStrategy, Recombined, Scheduled, StageCounts,
 };
+pub use store::{ArtifactStore, StoreStats};
 pub use subgraph::{compile_subgraph, SubgraphPlan, SubgraphVariant};

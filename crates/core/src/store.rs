@@ -1,0 +1,533 @@
+//! Content-addressed on-disk store of [`Planned`] artifacts — the durable,
+//! cross-process layer under the in-memory [`ArtifactCache`](crate::ArtifactCache).
+//!
+//! # Layout
+//!
+//! One directory, one file per artifact:
+//!
+//! ```text
+//! <dir>/<canonical:16hex>-<config:16hex>-<exact:16hex>.art.json
+//! ```
+//!
+//! `canonical` is the label-invariant WL hash, `config` the configuration
+//! fingerprint (together the [`CacheKey`]), and `exact` a hash of the exact
+//! labeled graph — so two relabelings that share a cache key store side by
+//! side instead of clobbering each other, mirroring the in-memory cache's
+//! bucket-of-exact-graphs shape. Files are written to a temporary name and
+//! atomically renamed into place, so concurrent workers sharing one
+//! directory never observe a half-written artifact.
+//!
+//! # Guarantees
+//!
+//! * **Exact-graph confirmation** — a load only hits when the decoded
+//!   target equals the requested graph byte for byte; relabelings and hash
+//!   collisions are observable misses, never unsound reuse.
+//! * **Corruption degrades to recompile** — truncated, bit-flipped, or
+//!   schema-violating files are deleted on load and counted in
+//!   [`StoreStats::corrupt_discarded`]; version-mismatched files are
+//!   deleted and counted in [`StoreStats::version_rejected`].
+//! * **LRU byte budget** — the store tracks total bytes and evicts
+//!   least-recently-used files when a write pushes it past the budget.
+//!   Recency is per-process (seeded from file modification times at open).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+use epgs_graph::canon::fnv1a_all;
+use epgs_graph::Graph;
+
+use crate::artifact::{self, ArtifactError};
+use crate::batch::CacheKey;
+use crate::stages::{Pipeline, Planned};
+
+/// Filename suffix of every artifact in a store directory.
+const SUFFIX: &str = ".art.json";
+
+/// Process-wide counter making temporary file names unique.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Hash of the *exact* labeled graph (vertex count + sorted edge list) —
+/// the third filename component, which separates relabelings that share a
+/// [`CacheKey`].
+pub fn exact_graph_hash(g: &Graph) -> u64 {
+    fnv1a_all(
+        std::iter::once(g.vertex_count() as u64)
+            .chain(g.edges().flat_map(|(a, b)| [a as u64, b as u64])),
+    )
+}
+
+/// Cumulative counters of one [`ArtifactStore`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads that returned a stored artifact.
+    pub disk_hits: usize,
+    /// Loads that found nothing reusable.
+    pub disk_misses: usize,
+    /// Files discarded because they failed the grammar, schema, or
+    /// checksum check — counted within `disk_misses`.
+    pub corrupt_discarded: usize,
+    /// Files discarded because their schema version is unsupported —
+    /// counted within `disk_misses`.
+    pub version_rejected: usize,
+    /// Loads whose file held a *different* exact graph under the same name
+    /// (exact-hash collision) — counted within `disk_misses`.
+    pub exact_collisions: usize,
+    /// Files evicted by the byte-budget LRU bound.
+    pub evictions: usize,
+    /// Successful artifact writes.
+    pub writes: usize,
+    /// Writes that failed at the filesystem level (artifact dropped, the
+    /// compile result itself is unaffected).
+    pub write_errors: usize,
+}
+
+#[derive(Debug)]
+struct FileEntry {
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreIndex {
+    files: HashMap<String, FileEntry>,
+    total_bytes: u64,
+    clock: u64,
+    stats: StoreStats,
+}
+
+impl StoreIndex {
+    fn touch(&mut self, name: &str) {
+        self.clock += 1;
+        if let Some(e) = self.files.get_mut(name) {
+            e.last_used = self.clock;
+        }
+    }
+
+    fn remove(&mut self, name: &str) {
+        if let Some(e) = self.files.remove(name) {
+            self.total_bytes -= e.bytes;
+        }
+    }
+}
+
+/// A content-addressed, byte-budgeted, crash-tolerant directory of
+/// serialized [`Planned`] artifacts. See the [module docs](self) for the
+/// layout and guarantees.
+///
+/// The handle is internally synchronized: `&self` methods are safe to call
+/// from many threads. Multiple *processes* may share one directory — writes
+/// are atomic renames and every load re-validates the file — though each
+/// process tracks recency and byte totals independently.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    budget: u64,
+    index: Mutex<StoreIndex>,
+}
+
+impl ArtifactStore {
+    /// Default byte budget: 256 MiB.
+    pub const DEFAULT_BYTE_BUDGET: u64 = 256 << 20;
+
+    /// Opens (creating if needed) the store at `dir` with the default byte
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating or scanning `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with_budget(dir, Self::DEFAULT_BYTE_BUDGET)
+    }
+
+    /// Opens the store at `dir`, bounding it to `budget_bytes` (clamped to
+    /// ≥ 1). Existing artifacts are indexed with recency seeded from file
+    /// modification times; if they already exceed the budget, the oldest
+    /// are evicted immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating or scanning `dir`.
+    pub fn open_with_budget(dir: impl AsRef<Path>, budget_bytes: u64) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut found: Vec<(String, u64, SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(SUFFIX) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            found.push((name, meta.len(), mtime));
+        }
+        // Oldest first, so clocks reproduce the on-disk recency order.
+        found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut index = StoreIndex::default();
+        for (name, bytes, _) in found {
+            index.clock += 1;
+            index.total_bytes += bytes;
+            index.files.insert(
+                name,
+                FileEntry {
+                    bytes,
+                    last_used: index.clock,
+                },
+            );
+        }
+        let store = ArtifactStore {
+            dir,
+            budget: budget_bytes.max(1),
+            index: Mutex::new(index),
+        };
+        store.evict_over_budget(&mut store.index.lock().expect("store lock"));
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Number of artifacts currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("store lock").files.len()
+    }
+
+    /// Whether the store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total indexed artifact bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.lock().expect("store lock").total_bytes
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> StoreStats {
+        self.index.lock().expect("store lock").stats
+    }
+
+    fn file_name(key: CacheKey, exact: u64) -> String {
+        format!(
+            "{:016x}-{:016x}-{exact:016x}{SUFFIX}",
+            key.canonical, key.config
+        )
+    }
+
+    /// Loads the artifact for exactly `graph` under `key`, binding it to
+    /// `pipeline`. Any invalid file encountered is deleted and the load
+    /// reports a miss; see [`StoreStats`] for the per-cause counters.
+    pub fn load(&self, key: CacheKey, graph: &Graph, pipeline: &Pipeline) -> Option<Planned> {
+        let name = Self::file_name(key, exact_graph_hash(graph));
+        let path = self.dir.join(&name);
+        let mut index = self.index.lock().expect("store lock");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                // Absent here but present in the index means another
+                // process evicted it; resynchronize.
+                index.remove(&name);
+                index.stats.disk_misses += 1;
+                return None;
+            }
+        };
+        match artifact::decode(&text, key, pipeline) {
+            Ok(planned) if planned.target() == graph => {
+                if !index.files.contains_key(&name) {
+                    // Written by another process since our scan.
+                    index.total_bytes += text.len() as u64;
+                    index.files.insert(
+                        name.clone(),
+                        FileEntry {
+                            bytes: text.len() as u64,
+                            last_used: 0,
+                        },
+                    );
+                }
+                index.touch(&name);
+                index.stats.disk_hits += 1;
+                Some(planned)
+            }
+            Ok(_) => {
+                // An exact-hash collision: the file belongs to a different
+                // labeling. Leave it — it is somebody's valid artifact.
+                index.stats.exact_collisions += 1;
+                index.stats.disk_misses += 1;
+                None
+            }
+            Err(ArtifactError::VersionMismatch { .. }) => {
+                index.stats.version_rejected += 1;
+                index.stats.disk_misses += 1;
+                index.remove(&name);
+                drop(index);
+                let _ = fs::remove_file(&path);
+                None
+            }
+            Err(_) => {
+                index.stats.corrupt_discarded += 1;
+                index.stats.disk_misses += 1;
+                index.remove(&name);
+                drop(index);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `planned` under `key`, atomically (tmp file + rename), then
+    /// enforces the byte budget. Filesystem failures are absorbed into
+    /// [`StoreStats::write_errors`] — a failed artifact write must never
+    /// fail the compilation that produced it.
+    pub fn save(&self, key: CacheKey, planned: &Planned) {
+        let text = artifact::encode(planned, key);
+        let name = Self::file_name(key, exact_graph_hash(planned.target()));
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = fs::write(&tmp, &text).and_then(|()| fs::rename(&tmp, self.dir.join(&name)));
+        let mut index = self.index.lock().expect("store lock");
+        match result {
+            Ok(()) => {
+                index.remove(&name); // overwrite: drop the old byte count
+                index.clock += 1;
+                let clock = index.clock;
+                index.total_bytes += text.len() as u64;
+                index.files.insert(
+                    name,
+                    FileEntry {
+                        bytes: text.len() as u64,
+                        last_used: clock,
+                    },
+                );
+                index.stats.writes += 1;
+                self.evict_over_budget(&mut index);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                index.stats.write_errors += 1;
+            }
+        }
+    }
+
+    /// Deletes every artifact stored under `key` (any exact labeling);
+    /// returns how many files were removed.
+    pub fn evict(&self, key: CacheKey) -> usize {
+        let prefix = format!("{:016x}-{:016x}-", key.canonical, key.config);
+        let mut index = self.index.lock().expect("store lock");
+        let victims: Vec<String> = index
+            .files
+            .keys()
+            .filter(|name| name.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for name in &victims {
+            index.remove(name);
+            index.stats.evictions += 1;
+            let _ = fs::remove_file(self.dir.join(name));
+        }
+        victims.len()
+    }
+
+    /// Evicts least-recently-used files until the byte budget holds.
+    fn evict_over_budget(&self, index: &mut StoreIndex) {
+        while index.total_bytes > self.budget && index.files.len() > 1 {
+            let victim = index
+                .files
+                .iter()
+                .min_by_key(|(name, e)| (e.last_used, (*name).clone()))
+                .map(|(name, _)| name.clone())
+                .expect("non-empty index");
+            index.remove(&victim);
+            index.stats.evictions += 1;
+            let _ = fs::remove_file(self.dir.join(&victim));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::config_fingerprint;
+    use crate::config::FrameworkConfig;
+    use epgs_graph::canon::{canonical_hash, relabel};
+    use epgs_graph::generators;
+
+    fn quick_pipeline() -> Pipeline {
+        Pipeline::new(
+            FrameworkConfig::builder()
+                .g_max(5)
+                .lc_budget(3)
+                .partition_effort(4)
+                .orderings_per_subgraph(4)
+                .flexible_slack(1)
+                .build(),
+        )
+    }
+
+    fn key_for(pipeline: &Pipeline, g: &Graph) -> CacheKey {
+        CacheKey {
+            canonical: canonical_hash(g),
+            config: config_fingerprint(pipeline.config()),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "epgs-store-{tag}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_and_survives_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let pipeline = quick_pipeline();
+        let g = generators::lattice(3, 3);
+        let key = key_for(&pipeline, &g);
+        let planned = pipeline.partition(&g).plan_leaves().unwrap();
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            assert!(store.load(key, &g, &pipeline).is_none(), "cold store");
+            store.save(key, &planned);
+            assert_eq!(store.len(), 1);
+            assert!(store.total_bytes() > 0);
+            assert!(store.load(key, &g, &pipeline).is_some());
+        }
+        // A fresh handle (≈ a new process) sees the artifact.
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        let loaded = store.load(key, &g, &pipeline).expect("persisted artifact");
+        assert_eq!(loaded.target(), &g);
+        assert_eq!(loaded.partition(), planned.partition());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn relabelings_store_side_by_side() {
+        let dir = tmp_dir("relabel");
+        let pipeline = quick_pipeline();
+        let g = generators::tree(9, 2);
+        let perm: Vec<usize> = (0..9).map(|v| (v + 4) % 9).collect();
+        let h = relabel(&g, &perm);
+        assert_eq!(canonical_hash(&g), canonical_hash(&h));
+        let key = key_for(&pipeline, &g);
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save(key, &pipeline.partition(&g).plan_leaves().unwrap());
+        store.save(key, &pipeline.partition(&h).plan_leaves().unwrap());
+        assert_eq!(store.len(), 2, "distinct labelings, distinct files");
+        assert_eq!(store.load(key, &g, &pipeline).unwrap().target(), &g);
+        assert_eq!(store.load(key, &h, &pipeline).unwrap().target(), &h);
+        assert_eq!(store.evict(key), 2);
+        assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_first() {
+        let dir = tmp_dir("lru");
+        let pipeline = quick_pipeline();
+        let graphs = [
+            generators::path(6),
+            generators::cycle(7),
+            generators::tree(8, 2),
+        ];
+        let planned: Vec<Planned> = graphs
+            .iter()
+            .map(|g| pipeline.partition(g).plan_leaves().unwrap())
+            .collect();
+        let keys: Vec<CacheKey> = graphs.iter().map(|g| key_for(&pipeline, g)).collect();
+
+        // Budget sized for roughly two artifacts: measure one first.
+        let probe = ArtifactStore::open_with_budget(&dir, u64::MAX).unwrap();
+        probe.save(keys[0], &planned[0]);
+        let one = probe.total_bytes();
+        probe.evict(keys[0]);
+
+        let store = ArtifactStore::open_with_budget(&dir, one * 2 + one / 2).unwrap();
+        store.save(keys[0], &planned[0]);
+        store.save(keys[1], &planned[1]);
+        // Touch #0 so #1 is now least recently used.
+        assert!(store.load(keys[0], &graphs[0], &pipeline).is_some());
+        store.save(keys[2], &planned[2]);
+        assert!(store.stats().evictions >= 1);
+        assert!(
+            store.load(keys[1], &graphs[1], &pipeline).is_none(),
+            "least-recently-used artifact was evicted"
+        );
+        assert!(store.load(keys[0], &graphs[0], &pipeline).is_some());
+        assert!(store.load(keys[2], &graphs[2], &pipeline).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_bit_flipped_files_are_discarded() {
+        let dir = tmp_dir("corrupt");
+        let pipeline = quick_pipeline();
+        let g = generators::cycle(8);
+        let key = key_for(&pipeline, &g);
+        let store = ArtifactStore::open(&dir).unwrap();
+        let planned = pipeline.partition(&g).plan_leaves().unwrap();
+        store.save(key, &planned);
+        let name = ArtifactStore::file_name(key, exact_graph_hash(&g));
+        let path = dir.join(&name);
+
+        // Truncate: invalid JSON.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 3]).unwrap();
+        assert!(store.load(key, &g, &pipeline).is_none());
+        assert_eq!(store.stats().corrupt_discarded, 1);
+        assert!(!path.exists(), "corrupt file deleted");
+
+        // Bit flip inside a hex field: valid JSON, checksum mismatch.
+        store.save(key, &planned);
+        let text = fs::read_to_string(&path).unwrap();
+        let pos = text.find("\"t_loss\":\"").expect("t_loss field") + 10;
+        let mut bytes = text.into_bytes();
+        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+        fs::write(&path, bytes).unwrap();
+        assert!(store.load(key, &g, &pipeline).is_none());
+        assert_eq!(store.stats().corrupt_discarded, 2);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_and_counted() {
+        let dir = tmp_dir("version");
+        let pipeline = quick_pipeline();
+        let g = generators::path(7);
+        let key = key_for(&pipeline, &g);
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save(key, &pipeline.partition(&g).plan_leaves().unwrap());
+        let name = ArtifactStore::file_name(key, exact_graph_hash(&g));
+        let path = dir.join(&name);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("\"version\":1", "\"version\":99")).unwrap();
+        assert!(store.load(key, &g, &pipeline).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.version_rejected, 1);
+        assert_eq!(stats.corrupt_discarded, 0);
+        assert!(!path.exists(), "unsupported version deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

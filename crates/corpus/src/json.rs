@@ -187,19 +187,267 @@ impl fmt::Display for Value {
 }
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    f.write_str("\"")?;
+    let mut buf = String::with_capacity(s.len() + 2);
+    push_escaped(&mut buf, s);
+    f.write_str(&buf)
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
     for c in s.chars() {
         match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
         }
     }
-    f.write_str("\"")
+    out.push('"');
+}
+
+/// Incremental push-style JSON writer with automatic comma and nesting
+/// bookkeeping — the serialization half shared by batch reports, on-disk
+/// artifacts, and the serve protocol (the parsing half is [`Value::parse`]).
+///
+/// Containers open with [`Writer::begin_obj`] / [`Writer::begin_arr`] and
+/// close with the matching `end_*`; object entries are a [`Writer::key`]
+/// followed by exactly one value. [`Writer::finish`] returns the document
+/// and asserts every container was closed.
+///
+/// Numbers above [`MAX_SAFE_INT`] cannot ride a JSON number faithfully;
+/// write them with [`Writer::hex`], which emits the fixed-width hex string
+/// convention the artifact layer uses for `u64` hashes and `f64` bit
+/// patterns.
+///
+/// # Examples
+///
+/// ```
+/// use epgs_corpus::json::{Value, Writer};
+///
+/// let mut w = Writer::new();
+/// w.begin_obj();
+/// w.field_str("name", "demo");
+/// w.key("sizes");
+/// w.begin_arr();
+/// w.uint(4);
+/// w.uint(8);
+/// w.end_arr();
+/// w.end_obj();
+/// let doc = w.finish();
+/// assert_eq!(doc, r#"{"name":"demo","sizes":[4,8]}"#);
+/// assert!(Value::parse(&doc).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+    /// One frame per open container: `true` once it holds an element.
+    stack: Vec<bool>,
+    /// A key was written and its value has not started yet.
+    pending_key: bool,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// A writer whose output buffer is pre-sized for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Writer {
+            out: String::with_capacity(capacity),
+            ..Writer::default()
+        }
+    }
+
+    /// Comma/position bookkeeping before any value is emitted.
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+        } else if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.out.push(',');
+            }
+            *has_items = true;
+        }
+    }
+
+    /// Opens an object value.
+    pub fn begin_obj(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        debug_assert!(!self.pending_key, "key written without a value");
+        self.stack.pop().expect("end_obj without begin_obj");
+        self.out.push('}');
+    }
+
+    /// Opens an array value.
+    pub fn begin_arr(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        self.stack.pop().expect("end_arr without begin_arr");
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) {
+        debug_assert!(!self.pending_key, "two keys in a row");
+        if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.out.push(',');
+            }
+            *has_items = true;
+        }
+        push_escaped(&mut self.out, k);
+        self.out.push(':');
+        self.pending_key = true;
+    }
+
+    /// Writes a string value (escaped).
+    pub fn string(&mut self, s: &str) {
+        self.before_value();
+        push_escaped(&mut self.out, s);
+    }
+
+    /// Writes a non-negative integer value. Callers must keep values at or
+    /// below [`MAX_SAFE_INT`] (use [`Writer::hex`] beyond); this is
+    /// debug-asserted, not checked in release builds.
+    pub fn uint(&mut self, n: u64) {
+        debug_assert!(n <= MAX_SAFE_INT, "{n} exceeds MAX_SAFE_INT; use hex()");
+        self.before_value();
+        self.out.push_str(&n.to_string());
+    }
+
+    /// Writes a number with [`Value`]'s serialization rules (integral
+    /// values drop the fraction; non-finite values become `null`).
+    pub fn number(&mut self, x: f64) {
+        self.before_value();
+        let mut buf = String::new();
+        {
+            use fmt::Write as _;
+            write!(buf, "{}", Value::Num(x)).expect("write to String");
+        }
+        self.out.push_str(&buf);
+    }
+
+    /// Writes a number rounded to `decimals` fraction digits (report
+    /// fields that should stay tidy rather than bit-exact).
+    pub fn fixed(&mut self, x: f64, decimals: usize) {
+        self.before_value();
+        if x.is_finite() {
+            self.out.push_str(&format!("{x:.decimals$}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, b: bool) {
+        self.before_value();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// Writes a `u64` as a fixed-width 16-digit hex string — the lossless
+    /// convention for hashes and `f64` bit patterns (which JSON numbers
+    /// above 2^53 would silently round).
+    pub fn hex(&mut self, n: u64) {
+        self.before_value();
+        self.out.push_str(&format!("\"{n:016x}\""));
+    }
+
+    /// Splices a pre-rendered JSON fragment in as one value. The caller
+    /// guarantees `fragment` is itself valid JSON.
+    pub fn raw(&mut self, fragment: &str) {
+        self.before_value();
+        self.out.push_str(fragment);
+    }
+
+    /// Writes a parsed [`Value`] tree as one value.
+    pub fn value(&mut self, v: &Value) {
+        self.before_value();
+        let mut buf = String::new();
+        {
+            use fmt::Write as _;
+            write!(buf, "{v}").expect("write to String");
+        }
+        self.out.push_str(&buf);
+    }
+
+    /// `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// `key` + unsigned integer value.
+    pub fn field_uint(&mut self, k: &str, n: u64) {
+        self.key(k);
+        self.uint(n);
+    }
+
+    /// `key` + number value.
+    pub fn field_number(&mut self, k: &str, x: f64) {
+        self.key(k);
+        self.number(x);
+    }
+
+    /// `key` + fixed-precision number value.
+    pub fn field_fixed(&mut self, k: &str, x: f64, decimals: usize) {
+        self.key(k);
+        self.fixed(x, decimals);
+    }
+
+    /// `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, b: bool) {
+        self.key(k);
+        self.boolean(b);
+    }
+
+    /// `key` + fixed-width hex string value.
+    pub fn field_hex(&mut self, k: &str, n: u64) {
+        self.key(k);
+        self.hex(n);
+    }
+
+    /// `key` + pre-rendered JSON fragment.
+    pub fn field_raw(&mut self, k: &str, fragment: &str) {
+        self.key(k);
+        self.raw(fragment);
+    }
+
+    /// Finishes the document and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open or a key is missing its value —
+    /// an incomplete document is a caller bug, never valid output.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed container");
+        assert!(!self.pending_key, "key written without a value");
+        self.out
+    }
 }
 
 /// Maximum container-nesting depth [`Value::parse`] accepts: beyond this,
@@ -541,6 +789,84 @@ mod tests {
         assert_eq!(Value::Num(-2.0).as_u64(), None);
         assert_eq!(Value::Num(7.0).as_usize(), Some(7));
         assert_eq!(Value::Str("7".into()).as_usize(), None);
+    }
+
+    #[test]
+    fn writer_produces_parseable_documents_with_correct_commas() {
+        let mut w = Writer::new();
+        w.begin_obj();
+        w.field_str("name", "a\"b\\c\nd");
+        w.field_uint("count", 3);
+        w.key("items");
+        w.begin_arr();
+        w.uint(1);
+        w.string("two");
+        w.boolean(false);
+        w.null();
+        w.begin_obj();
+        w.field_fixed("pi", std::f64::consts::PI, 3);
+        w.end_obj();
+        w.end_arr();
+        w.field_hex("hash", 0xdead_beef);
+        w.field_raw("nested", "{\"x\":1}");
+        w.end_obj();
+        let doc = w.finish();
+        let v = Value::parse(&doc).expect("writer output parses");
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("items").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(
+            v.get("hash").and_then(Value::as_str),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(
+            v.get("nested")
+                .and_then(|n| n.get("x"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert!(doc.contains("\"pi\":3.142"));
+    }
+
+    #[test]
+    fn writer_matches_value_display_for_shared_shapes() {
+        // The artifact checksum relies on Writer output and a re-serialized
+        // parsed Value agreeing byte for byte on integer/hex/string shapes.
+        let mut w = Writer::new();
+        w.begin_obj();
+        w.field_uint("n", 42);
+        w.key("xs");
+        w.begin_arr();
+        w.hex(7);
+        w.string("s");
+        w.end_arr();
+        w.end_obj();
+        let doc = w.finish();
+        assert_eq!(Value::parse(&doc).unwrap().to_string(), doc);
+    }
+
+    #[test]
+    fn writer_top_level_scalars_and_numbers() {
+        let mut w = Writer::new();
+        w.number(2.5);
+        assert_eq!(w.finish(), "2.5");
+        let mut w = Writer::new();
+        w.number(4.0);
+        assert_eq!(w.finish(), "4", "integral floats drop the fraction");
+        let mut w = Writer::new();
+        w.number(f64::NAN);
+        assert_eq!(w.finish(), "null");
+        let mut w = Writer::new();
+        w.fixed(f64::INFINITY, 2);
+        assert_eq!(w.finish(), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed container")]
+    fn writer_rejects_unclosed_containers() {
+        let mut w = Writer::new();
+        w.begin_obj();
+        let _ = w.finish();
     }
 
     #[test]

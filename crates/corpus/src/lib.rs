@@ -58,5 +58,5 @@
 pub mod json;
 pub mod spec;
 
-pub use json::{JsonError, Value};
+pub use json::{JsonError, Value, Writer};
 pub use spec::{CorpusSpec, FamilyKind, FamilySpec, Instance, SpecError};

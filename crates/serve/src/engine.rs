@@ -1,0 +1,267 @@
+//! The compile engine behind the daemon: layered caching plus request
+//! coalescing.
+//!
+//! [`ServeEngine`] wraps a [`BatchCompiler`] (memory cache → optional disk
+//! store → compile) and adds the one property a long-running service needs
+//! that a batch run does not: when several clients submit the *same* target
+//! concurrently, exactly one compilation runs and every other request
+//! blocks until it finishes, then shares the result. Requests are
+//! coalesced per exact labeled graph — the same identity the cache layers
+//! hit on — so coalescing can never conflate two targets the compiler
+//! would distinguish.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use epgs::store::exact_graph_hash;
+use epgs::{BatchCompiler, CacheKey, CacheOutcome, Compiled, FrameworkConfig};
+use epgs_graph::canon::canonical_hash;
+use epgs_graph::Graph;
+
+/// How a serve request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Served from the in-memory artifact cache.
+    MemoryHit,
+    /// Served from the on-disk artifact store.
+    DiskHit,
+    /// The full pipeline ran for this request.
+    Compiled,
+    /// Attached to an identical in-flight request and shared its result.
+    Coalesced,
+}
+
+impl ServeOutcome {
+    /// Stable wire name used in protocol responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeOutcome::MemoryHit => "memory_hit",
+            ServeOutcome::DiskHit => "disk_hit",
+            ServeOutcome::Compiled => "compiled",
+            ServeOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Result of one [`ServeEngine::compile`] call.
+#[derive(Debug, Clone)]
+pub struct ServeReply {
+    /// Which layer (or peer request) satisfied this request.
+    pub outcome: ServeOutcome,
+    /// Wall time of this request (µs), including any time spent blocked on
+    /// a coalesced peer.
+    pub wall_micros: u128,
+    /// The compiled artifact, shared across coalesced requests, or the
+    /// compilation error rendering.
+    pub result: Result<Arc<Compiled>, String>,
+}
+
+/// Cumulative request counters of one [`ServeEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Compile requests received.
+    pub requests: usize,
+    /// Requests served from the in-memory cache.
+    pub memory_hits: usize,
+    /// Requests served from the on-disk store.
+    pub disk_hits: usize,
+    /// Requests that ran the full pipeline.
+    pub compiled: usize,
+    /// Requests that shared an in-flight peer's result.
+    pub coalesced: usize,
+    /// Requests whose compilation failed.
+    pub failures: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicUsize,
+    memory_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
+    compiled: AtomicUsize,
+    coalesced: AtomicUsize,
+    failures: AtomicUsize,
+}
+
+/// One in-flight compilation: the leader publishes into `ready` and wakes
+/// every waiter.
+#[derive(Default)]
+struct Slot {
+    ready: Mutex<Option<Result<Arc<Compiled>, String>>>,
+    cv: Condvar,
+}
+
+/// Identity requests coalesce on: WL content hash × exact labeled graph.
+type InflightKey = (u64, u64);
+
+/// The layered, coalescing compile engine. See the [module docs](self).
+pub struct ServeEngine {
+    batch: BatchCompiler,
+    inflight: Mutex<HashMap<InflightKey, Arc<Slot>>>,
+    counters: Counters,
+}
+
+impl ServeEngine {
+    /// An engine with only the in-memory cache layer.
+    pub fn new(config: FrameworkConfig) -> Self {
+        ServeEngine {
+            batch: BatchCompiler::new(config),
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// An engine whose artifacts persist in the store at `dir` (created if
+    /// absent): lookups layer memory → disk → compile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from opening the store directory.
+    pub fn with_store(config: FrameworkConfig, dir: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(ServeEngine {
+            batch: BatchCompiler::with_store(config, dir)?,
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        })
+    }
+
+    /// An engine over an already-configured [`BatchCompiler`] (e.g. one
+    /// with a custom cache capacity or byte-budgeted store).
+    pub fn from_batch(batch: BatchCompiler) -> Self {
+        ServeEngine {
+            batch,
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The underlying batch compiler (cache stats, store handle, stage
+    /// counters).
+    pub fn batch(&self) -> &BatchCompiler {
+        &self.batch
+    }
+
+    /// Snapshot of the request counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            compiled: self.counters.compiled.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            failures: self.counters.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of compilations currently in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("inflight lock").len()
+    }
+
+    /// Drops `graph`'s artifacts from every layer (memory cache and, when
+    /// attached, the disk store); returns how many entries were removed.
+    pub fn evict(&self, graph: &Graph) -> usize {
+        let mut dropped = self.batch.evict(graph);
+        if let Some(store) = self.batch.store() {
+            let key = CacheKey {
+                canonical: canonical_hash(graph),
+                config: self.batch.config_fingerprint(),
+            };
+            dropped += store.evict(key);
+        }
+        dropped
+    }
+
+    /// Compiles `graph`, coalescing with any identical in-flight request.
+    ///
+    /// The first request for a given exact graph becomes the *leader*: it
+    /// runs the layered lookup/compile and publishes the result. Requests
+    /// arriving while the leader runs block and return the shared result
+    /// with [`ServeOutcome::Coalesced`]. Requests arriving after the
+    /// leader finishes hit the memory cache.
+    pub fn compile(&self, graph: &Graph) -> ServeReply {
+        let start = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let canonical = canonical_hash(graph);
+        let key: InflightKey = (canonical, exact_graph_hash(graph));
+
+        let (slot, leader) = {
+            let mut map = self.inflight.lock().expect("inflight lock");
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot::default());
+                    map.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        if !leader {
+            let mut guard = slot.ready.lock().expect("slot lock");
+            while guard.is_none() {
+                guard = slot.cv.wait(guard).expect("slot lock");
+            }
+            let result = guard.clone().expect("published result");
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            return ServeReply {
+                outcome: ServeOutcome::Coalesced,
+                wall_micros: start.elapsed().as_micros(),
+                result,
+            };
+        }
+
+        let (report, compiled) =
+            self.batch
+                .compile_instance(&format!("{canonical:016x}"), "serve", graph);
+        let result: Result<Arc<Compiled>, String> = match compiled {
+            Some(c) => Ok(Arc::new(c)),
+            None => Err(report
+                .error
+                .clone()
+                .unwrap_or_else(|| "compilation failed".to_string())),
+        };
+        // Publish before unregistering: every waiter that found this slot
+        // observes the result; requests arriving after removal hit the
+        // now-populated memory cache instead.
+        *slot.ready.lock().expect("slot lock") = Some(result.clone());
+        slot.cv.notify_all();
+        self.inflight.lock().expect("inflight lock").remove(&key);
+
+        let outcome = match report.cache {
+            CacheOutcome::Hit => ServeOutcome::MemoryHit,
+            CacheOutcome::DiskHit => ServeOutcome::DiskHit,
+            CacheOutcome::Miss => ServeOutcome::Compiled,
+        };
+        let counter = match outcome {
+            ServeOutcome::MemoryHit => &self.counters.memory_hits,
+            ServeOutcome::DiskHit => &self.counters.disk_hits,
+            _ => &self.counters.compiled,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.counters.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        ServeReply {
+            outcome,
+            wall_micros: start.elapsed().as_micros(),
+            result,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("stats", &self.stats())
+            .field("inflight", &self.inflight_len())
+            .finish()
+    }
+}

@@ -1,0 +1,60 @@
+//! # epgs-serve — the persistent compile service
+//!
+//! The batch engine (`epgs::BatchCompiler`) amortizes compilation within
+//! one process; this crate amortizes it across processes and over time.
+//! It has two layers:
+//!
+//! * [`ServeEngine`] — wraps a `BatchCompiler` (in-memory cache → on-disk
+//!   [`epgs::ArtifactStore`] → compile) and **coalesces** concurrent
+//!   requests for the same exact target into a single compilation, so a
+//!   thundering herd of identical requests costs one pipeline run;
+//! * [`protocol`] + the `epgs-serve` binary — a long-running daemon
+//!   speaking line-delimited JSON over stdin/stdout: `compile` / `status`
+//!   / `stats` / `evict` / `shutdown`, each response reporting the cache
+//!   outcome (`memory_hit` / `disk_hit` / `compiled` / `coalesced`) and
+//!   wall time alongside the compiled circuit's metrics.
+//!
+//! Persistence comes from the content-addressed artifact store in the
+//! `epgs` crate: every fresh compile is written through to disk, so a
+//! daemon restart against the same `--store` directory serves its corpus
+//! from disk instead of recompiling.
+//!
+//! # Examples
+//!
+//! Engine-level use (the daemon is the same engine behind a protocol):
+//!
+//! ```
+//! use epgs_serve::{default_config, ServeEngine, ServeOutcome};
+//! use epgs_graph::generators;
+//!
+//! let engine = ServeEngine::new(epgs::FrameworkConfig::builder().g_max(4).build());
+//! let g = generators::cycle(6);
+//! assert_eq!(engine.compile(&g).outcome, ServeOutcome::Compiled);
+//! assert_eq!(engine.compile(&g).outcome, ServeOutcome::MemoryHit);
+//! assert_eq!(engine.stats().requests, 2);
+//! # let _ = default_config();
+//! ```
+
+pub mod engine;
+pub mod protocol;
+
+pub use engine::{ServeEngine, ServeOutcome, ServeReply, ServeStats};
+pub use protocol::Request;
+
+/// The daemon's framework configuration — the corpus-bench settings
+/// (mirrors `epgs_bench::corpus_framework`, which this crate cannot depend
+/// on without a cycle: the bench crate's `serve_bench` drives this one).
+pub fn default_config() -> epgs::FrameworkConfig {
+    epgs::FrameworkConfig {
+        partition: epgs_partition::PartitionSpec {
+            g_max: 6,
+            lc_budget: 4,
+            effort: 5,
+            seed: 0xdac2025,
+        },
+        orderings_per_subgraph: 6,
+        flexible_slack: 1,
+        verify: true,
+        ..epgs::FrameworkConfig::default()
+    }
+}

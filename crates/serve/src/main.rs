@@ -1,0 +1,156 @@
+//! `epgs-serve` — the persistent compile daemon.
+//!
+//! Reads line-delimited JSON requests from stdin, serves them on a worker
+//! pool through a shared [`ServeEngine`], and writes one JSON response per
+//! line to stdout (order follows completion, not submission — correlate by
+//! `id`). Exits when stdin closes or on a `shutdown` request, which should
+//! be the client's last request: its acknowledgement is flushed and the
+//! process stops immediately, so responses still in flight on other
+//! workers are dropped.
+//!
+//! ```text
+//! usage: epgs-serve [--store DIR] [--store-budget-mb MB] [--threads N]
+//! ```
+//!
+//! See `epgs_serve::protocol` for the request/response grammar.
+
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use epgs::{ArtifactStore, BatchCompiler};
+use epgs_serve::protocol::{self, Request};
+use epgs_serve::{default_config, ServeEngine};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: epgs-serve [--store DIR] [--store-budget-mb MB] [--threads N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut store_dir: Option<String> = None;
+    let mut budget_mb: Option<u64> = None;
+    let mut threads = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => match args.next() {
+                Some(dir) => store_dir = Some(dir),
+                None => {
+                    eprintln!("--store needs a directory");
+                    return usage();
+                }
+            },
+            "--store-budget-mb" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(mb)) if mb >= 1 => budget_mb = Some(mb),
+                _ => {
+                    eprintln!("--store-budget-mb needs a positive integer");
+                    return usage();
+                }
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    if budget_mb.is_some() && store_dir.is_none() {
+        eprintln!("--store-budget-mb needs --store");
+        return usage();
+    }
+
+    let config = default_config();
+    let engine = match &store_dir {
+        None => ServeEngine::new(config),
+        Some(dir) => {
+            let opened = match budget_mb {
+                None => ArtifactStore::open(dir),
+                Some(mb) => ArtifactStore::open_with_budget(dir, mb << 20),
+            };
+            match opened {
+                Ok(store) => {
+                    let mut batch = BatchCompiler::new(config);
+                    batch.attach_store(store);
+                    ServeEngine::from_batch(batch)
+                }
+                Err(e) => {
+                    eprintln!("cannot open store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let engine = Arc::new(engine);
+    let stdout = Arc::new(Mutex::new(io::stdout()));
+
+    let (tx, rx) = mpsc::channel::<String>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let rx = Arc::clone(&rx);
+        let engine = Arc::clone(&engine);
+        let stdout = Arc::clone(&stdout);
+        workers.push(thread::spawn(move || loop {
+            // Hold the queue lock only for the dequeue, not the request.
+            let line = match rx.lock().expect("queue lock").recv() {
+                Ok(l) => l,
+                Err(_) => return,
+            };
+            let (response, stop) = match protocol::parse_request(&line) {
+                Err((id, e)) => (protocol::render_error(&id, &e), false),
+                Ok(Request::Compile {
+                    id,
+                    graph,
+                    want_qasm,
+                }) => {
+                    let reply = engine.compile(&graph);
+                    (
+                        protocol::render_compile(&id, &graph, &reply, want_qasm),
+                        false,
+                    )
+                }
+                Ok(Request::Status { id }) => (protocol::render_status(&id, &engine), false),
+                Ok(Request::Stats { id }) => (protocol::render_stats(&id, &engine), false),
+                Ok(Request::Evict { id, graph }) => {
+                    (protocol::render_evict(&id, engine.evict(&graph)), false)
+                }
+                Ok(Request::Shutdown { id }) => (protocol::render_shutdown(&id), true),
+            };
+            {
+                let mut out = stdout.lock().expect("stdout lock");
+                let _ = writeln!(out, "{response}");
+                let _ = out.flush();
+            }
+            if stop {
+                std::process::exit(0);
+            }
+        }));
+    }
+
+    for line in io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if tx.send(line).is_err() {
+            break;
+        }
+    }
+    // EOF: close the queue, let the workers drain it, then exit.
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,267 @@
+//! The wire protocol: line-delimited JSON over stdin/stdout.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry a client-chosen `id` that the
+//! response echoes verbatim, so clients can correlate out-of-order
+//! responses (the daemon serves requests on a worker pool). The grammar:
+//!
+//! ```text
+//! request  := compile | status | stats | evict | shutdown
+//! compile  := {"op":"compile", "id":<json>, "graph":GRAPH, "qasm":bool?}
+//! status   := {"op":"status", "id":<json>}
+//! stats    := {"op":"stats", "id":<json>}
+//! evict    := {"op":"evict", "id":<json>, "graph":GRAPH}
+//! shutdown := {"op":"shutdown", "id":<json>}
+//! GRAPH    := {"n":uint, "edges":[[uint,uint],...]}
+//! ```
+//!
+//! A successful response always carries `"ok":true` and repeats the `op`;
+//! failures carry `"ok":false` and an `"error"` string (requests whose
+//! very `id` cannot be parsed are answered with `"id":null`). Compile
+//! responses report the cache `outcome` (`memory_hit` / `disk_hit` /
+//! `compiled` / `coalesced`), the request wall time, the compiled metrics,
+//! and — when the request set `"qasm":true` — the full OpenQASM 3 text of
+//! the generation circuit.
+
+use epgs::Compiled;
+use epgs_circuit::qasm;
+use epgs_corpus::json::{Value, Writer};
+use epgs_graph::Graph;
+
+use crate::engine::{ServeEngine, ServeReply, ServeStats};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile a target graph (optionally returning its QASM).
+    Compile {
+        /// Echo id.
+        id: Value,
+        /// The target graph state.
+        graph: Graph,
+        /// Whether to include the circuit's OpenQASM 3 text.
+        want_qasm: bool,
+    },
+    /// Liveness probe: request counters and in-flight depth.
+    Status {
+        /// Echo id.
+        id: Value,
+    },
+    /// Full counter dump: engine, memory cache, and disk store.
+    Stats {
+        /// Echo id.
+        id: Value,
+    },
+    /// Drop one graph's artifacts from every cache layer.
+    Evict {
+        /// Echo id.
+        id: Value,
+        /// The graph whose artifacts to drop.
+        graph: Graph,
+    },
+    /// Acknowledge and stop the daemon.
+    Shutdown {
+        /// Echo id.
+        id: Value,
+    },
+}
+
+impl Request {
+    /// The request's echo id.
+    pub fn id(&self) -> &Value {
+        match self {
+            Request::Compile { id, .. }
+            | Request::Status { id }
+            | Request::Stats { id }
+            | Request::Evict { id, .. }
+            | Request::Shutdown { id } => id,
+        }
+    }
+}
+
+fn parse_graph(v: &Value) -> Result<Graph, String> {
+    let n = v
+        .get("n")
+        .and_then(Value::as_usize)
+        .ok_or("graph needs an unsigned 'n'")?;
+    let edges_val = v
+        .get("edges")
+        .and_then(Value::as_arr)
+        .ok_or("graph needs an 'edges' array")?;
+    let mut edges = Vec::with_capacity(edges_val.len());
+    for e in edges_val {
+        let pair = e.as_arr().filter(|p| p.len() == 2);
+        let (a, b) = match pair {
+            Some(p) => match (p[0].as_usize(), p[1].as_usize()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err("edge endpoints must be unsigned integers".to_string()),
+            },
+            None => return Err("each edge must be a two-element array".to_string()),
+        };
+        edges.push((a, b));
+    }
+    Graph::from_edges(n, edges).map_err(|e| format!("invalid graph: {e}"))
+}
+
+/// Parses one request line. Errors carry the request's `id` when the line
+/// was at least well-formed JSON (`Value::Null` otherwise), so the error
+/// response still correlates.
+pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
+    let doc = Value::parse(line).map_err(|e| (Value::Null, format!("malformed request: {e}")))?;
+    let id = doc.get("id").cloned().unwrap_or(Value::Null);
+    let fail = |msg: String| (id.clone(), msg);
+    let op = doc
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("request needs a string 'op'".to_string()))?;
+    match op {
+        "compile" => {
+            let graph_val = doc
+                .get("graph")
+                .ok_or_else(|| fail("compile needs a 'graph'".to_string()))?;
+            let graph = parse_graph(graph_val).map_err(&fail)?;
+            let want_qasm = doc.get("qasm").and_then(Value::as_bool).unwrap_or(false);
+            Ok(Request::Compile {
+                id,
+                graph,
+                want_qasm,
+            })
+        }
+        "status" => Ok(Request::Status { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "evict" => {
+            let graph_val = doc
+                .get("graph")
+                .ok_or_else(|| fail("evict needs a 'graph'".to_string()))?;
+            let graph = parse_graph(graph_val).map_err(&fail)?;
+            Ok(Request::Evict { id, graph })
+        }
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(fail(format!("unknown op '{other}'"))),
+    }
+}
+
+fn begin_response(id: &Value, ok: bool) -> Writer {
+    let mut w = Writer::with_capacity(256);
+    w.begin_obj();
+    w.key("id");
+    w.value(id);
+    w.field_bool("ok", ok);
+    w
+}
+
+/// Renders a protocol-level error response (parse failures, bad graphs,
+/// failed compilations).
+pub fn render_error(id: &Value, error: &str) -> String {
+    let mut w = begin_response(id, false);
+    w.field_str("error", error);
+    w.end_obj();
+    w.finish()
+}
+
+fn write_metrics(w: &mut Writer, graph: &Graph, c: &Compiled) {
+    w.key("metrics");
+    w.begin_obj();
+    w.field_uint("vertices", graph.vertex_count() as u64);
+    w.field_uint("edges", graph.edge_count() as u64);
+    w.field_uint("ne_min", c.ne_min as u64);
+    w.field_uint("ne_limit", c.ne_limit as u64);
+    w.field_uint("peak_emitters", c.metrics.peak_emitters as u64);
+    w.field_uint("ee_cnots", c.metrics.ee_two_qubit_count as u64);
+    w.field_fixed("duration", c.metrics.duration, 3);
+    w.field_fixed("t_loss", c.metrics.t_loss, 3);
+    w.field_fixed("mean_photon_loss", c.metrics.loss.mean_photon_loss, 6);
+    w.field_fixed("any_photon_loss", c.metrics.loss.any_photon_loss, 6);
+    w.field_str("strategy", &format!("{:?}", c.strategy));
+    w.end_obj();
+}
+
+/// Renders the response to a compile request (`graph` is the request's
+/// target, echoed into the metrics for self-describing responses).
+pub fn render_compile(id: &Value, graph: &Graph, reply: &ServeReply, want_qasm: bool) -> String {
+    match &reply.result {
+        Ok(compiled) => {
+            let mut w = begin_response(id, true);
+            w.field_str("op", "compile");
+            w.field_str("outcome", reply.outcome.as_str());
+            w.field_raw("wall_micros", &reply.wall_micros.to_string());
+            write_metrics(&mut w, graph, compiled);
+            if want_qasm {
+                w.field_str("qasm", &qasm::to_qasm(&compiled.circuit));
+            }
+            w.end_obj();
+            w.finish()
+        }
+        Err(e) => render_error(id, e),
+    }
+}
+
+fn write_serve_stats(w: &mut Writer, s: &ServeStats) {
+    w.field_uint("requests", s.requests as u64);
+    w.field_uint("memory_hits", s.memory_hits as u64);
+    w.field_uint("disk_hits", s.disk_hits as u64);
+    w.field_uint("compiled", s.compiled as u64);
+    w.field_uint("coalesced", s.coalesced as u64);
+    w.field_uint("failures", s.failures as u64);
+}
+
+/// Renders the response to a status request.
+pub fn render_status(id: &Value, engine: &ServeEngine) -> String {
+    let mut w = begin_response(id, true);
+    w.field_str("op", "status");
+    w.field_uint("inflight", engine.inflight_len() as u64);
+    write_serve_stats(&mut w, &engine.stats());
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the response to a stats request: engine counters plus each
+/// cache layer's own counters.
+pub fn render_stats(id: &Value, engine: &ServeEngine) -> String {
+    let mut w = begin_response(id, true);
+    w.field_str("op", "stats");
+    write_serve_stats(&mut w, &engine.stats());
+    let cache = engine.batch().cache_stats();
+    w.key("cache");
+    w.begin_obj();
+    w.field_uint("hits", cache.hits as u64);
+    w.field_uint("misses", cache.misses as u64);
+    w.field_uint("bucket_collisions", cache.bucket_collisions as u64);
+    w.field_uint("evictions", cache.evictions as u64);
+    w.field_uint("corrupt_discarded", cache.corrupt_discarded as u64);
+    w.end_obj();
+    if let Some(store) = engine.batch().store() {
+        let s = store.stats();
+        w.key("store");
+        w.begin_obj();
+        w.field_uint("artifacts", store.len() as u64);
+        w.field_uint("total_bytes", store.total_bytes());
+        w.field_uint("disk_hits", s.disk_hits as u64);
+        w.field_uint("disk_misses", s.disk_misses as u64);
+        w.field_uint("corrupt_discarded", s.corrupt_discarded as u64);
+        w.field_uint("version_rejected", s.version_rejected as u64);
+        w.field_uint("evictions", s.evictions as u64);
+        w.field_uint("writes", s.writes as u64);
+        w.field_uint("write_errors", s.write_errors as u64);
+        w.end_obj();
+    }
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the response to an evict request.
+pub fn render_evict(id: &Value, dropped: usize) -> String {
+    let mut w = begin_response(id, true);
+    w.field_str("op", "evict");
+    w.field_uint("dropped", dropped as u64);
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the shutdown acknowledgement.
+pub fn render_shutdown(id: &Value) -> String {
+    let mut w = begin_response(id, true);
+    w.field_str("op", "shutdown");
+    w.end_obj();
+    w.finish()
+}

@@ -1,0 +1,205 @@
+//! End-to-end protocol tests against the real `epgs-serve` binary.
+//!
+//! Each test spawns the compiled daemon (via `CARGO_BIN_EXE_epgs-serve`),
+//! drives it over stdin/stdout with line-delimited JSON, and checks the
+//! responses — including a full kill-and-restart cycle against one store
+//! directory.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use epgs_corpus::json::Value;
+use epgs_graph::{generators, Graph};
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(store: &Path, threads: usize) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_epgs-serve"))
+            .args([
+                "--store",
+                store.to_str().expect("utf-8 path"),
+                "--threads",
+                &threads.to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn epgs-serve");
+        let stdin = child.stdin.take().expect("child stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+    }
+
+    fn read_response(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed stdout unexpectedly");
+        Value::parse(line.trim()).expect("response is JSON")
+    }
+
+    /// Reads `n` responses and indexes them by numeric id.
+    fn read_batch(&mut self, n: usize) -> HashMap<u64, Value> {
+        let mut out = HashMap::new();
+        for _ in 0..n {
+            let v = self.read_response();
+            let id = v.get("id").and_then(Value::as_u64).expect("numeric id");
+            out.insert(id, v);
+        }
+        out
+    }
+
+    fn shutdown(mut self) {
+        self.send("{\"op\":\"shutdown\",\"id\":999}");
+        let ack = self.read_response();
+        assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(ack.get("op").and_then(Value::as_str), Some("shutdown"));
+        let status = self.child.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+fn graph_json(g: &Graph) -> String {
+    let edges: Vec<String> = g.edges().map(|(a, b)| format!("[{a},{b}]")).collect();
+    format!(
+        "{{\"n\":{},\"edges\":[{}]}}",
+        g.vertex_count(),
+        edges.join(",")
+    )
+}
+
+fn compile_req(id: u64, g: &Graph) -> String {
+    format!(
+        "{{\"op\":\"compile\",\"id\":{id},\"graph\":{},\"qasm\":true}}",
+        graph_json(g)
+    )
+}
+
+fn targets() -> Vec<Graph> {
+    vec![
+        generators::path(6),
+        generators::cycle(7),
+        generators::tree(9, 2),
+    ]
+}
+
+#[test]
+fn daemon_compiles_reports_outcomes_and_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("epgs-daemon-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graphs = targets();
+
+    // ---- First lifetime: cold compiles + a duplicate + stats. ----
+    let mut daemon = Daemon::spawn(&dir, 2);
+    for (i, g) in graphs.iter().enumerate() {
+        daemon.send(&compile_req(i as u64, g));
+    }
+    // Duplicate of graph 0: memory hit or coalesced, never a recompile.
+    daemon.send(&compile_req(100, &graphs[0]));
+    let responses = daemon.read_batch(graphs.len() + 1);
+
+    let mut first_qasm = Vec::new();
+    for (i, _g) in graphs.iter().enumerate() {
+        let r = &responses[&(i as u64)];
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r}");
+        let metrics = r.get("metrics").expect("metrics");
+        assert!(metrics.get("ne_min").and_then(Value::as_u64).is_some());
+        assert!(r.get("wall_micros").and_then(Value::as_u64).is_some());
+        first_qasm.push(
+            r.get("qasm")
+                .and_then(Value::as_str)
+                .expect("qasm requested")
+                .to_string(),
+        );
+    }
+    let dup_outcome = responses[&100]
+        .get("outcome")
+        .and_then(Value::as_str)
+        .expect("outcome")
+        .to_string();
+    assert!(
+        ["memory_hit", "coalesced"].contains(&dup_outcome.as_str()),
+        "duplicate request outcome was '{dup_outcome}'"
+    );
+
+    daemon.send("{\"op\":\"stats\",\"id\":200}");
+    let stats = daemon.read_response();
+    assert_eq!(
+        stats.get("requests").and_then(Value::as_u64),
+        Some(graphs.len() as u64 + 1)
+    );
+    assert_eq!(
+        stats
+            .get("store")
+            .and_then(|s| s.get("writes"))
+            .and_then(Value::as_u64),
+        Some(graphs.len() as u64)
+    );
+
+    // Protocol errors answer without killing the daemon.
+    daemon.send("this is not json");
+    let err = daemon.read_response();
+    assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(err.get("error").and_then(Value::as_str).is_some());
+    daemon.send("{\"op\":\"frobnicate\",\"id\":7}");
+    let err = daemon.read_response();
+    assert_eq!(err.get("id").and_then(Value::as_u64), Some(7));
+    assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+
+    daemon.shutdown();
+
+    // ---- Second lifetime: same store directory → disk hits, identical
+    // QASM. ----
+    let mut daemon = Daemon::spawn(&dir, 2);
+    for (i, g) in graphs.iter().enumerate() {
+        daemon.send(&compile_req(i as u64, g));
+    }
+    let responses = daemon.read_batch(graphs.len());
+    let mut disk_hits = 0usize;
+    for (i, _g) in graphs.iter().enumerate() {
+        let r = &responses[&(i as u64)];
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        let outcome = r.get("outcome").and_then(Value::as_str).expect("outcome");
+        disk_hits += usize::from(outcome == "disk_hit");
+        assert_eq!(
+            r.get("qasm").and_then(Value::as_str),
+            Some(first_qasm[i].as_str()),
+            "restart changed the QASM of target {i}"
+        );
+    }
+    assert!(
+        disk_hits * 10 >= graphs.len() * 9,
+        "restart hit rate {disk_hits}/{} below 90%",
+        graphs.len()
+    );
+
+    // Evict target 0 everywhere, recompile it: a fresh compile again.
+    daemon.send(&format!(
+        "{{\"op\":\"evict\",\"id\":300,\"graph\":{}}}",
+        graph_json(&graphs[0])
+    ));
+    let evicted = daemon.read_response();
+    assert!(evicted.get("dropped").and_then(Value::as_u64).unwrap_or(0) >= 1);
+    daemon.send(&compile_req(301, &graphs[0]));
+    let r = daemon.read_response();
+    assert_eq!(r.get("outcome").and_then(Value::as_str), Some("compiled"));
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,6 +53,7 @@ fn main() {
         for r in &report.instances {
             let cache = match r.cache {
                 CacheOutcome::Hit => "hit ",
+                CacheOutcome::DiskHit => "disk",
                 CacheOutcome::Miss => "miss",
             };
             match &r.metrics {
