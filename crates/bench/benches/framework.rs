@@ -28,6 +28,7 @@ fn bench_partition(c: &mut Criterion) {
         lc_budget: 4,
         effort: 8,
         seed: 1,
+        ..Default::default()
     };
     c.bench_function("partition_lattice5x6_lc4", |b| {
         b.iter(|| partition_with_lc(&g, &spec))

@@ -41,6 +41,7 @@ fn fw(lc_budget: usize, slack: usize) -> Framework {
             lc_budget,
             effort: 8,
             seed: SEED,
+            ..Default::default()
         },
         orderings_per_subgraph: 8,
         flexible_slack: slack,

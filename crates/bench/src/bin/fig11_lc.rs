@@ -28,6 +28,7 @@ fn main() {
                 lc_budget: 0,
                 effort: 10,
                 seed: SEED + trial as u64,
+                ..Default::default()
             };
             let without = partition_with_lc(&g, &base);
             let with = partition_with_lc(

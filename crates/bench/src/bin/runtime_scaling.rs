@@ -22,9 +22,10 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use epgs_bench::{bench_framework, STAGES};
+use epgs_bench::{bench_framework, flat_framework, STAGES};
 use epgs_corpus::Value;
 use epgs_graph::generators;
+use epgs_partition::{multilevel_partition_traced, PartitionScheme};
 use epgs_solver::reverse::{solve_with_ordering_in, SolveOptions, SolverWorkspace};
 
 /// Exhaustively searches every emission ordering (the brute-force regime the
@@ -92,12 +93,19 @@ fn main() -> ExitCode {
     let exhaustive_sizes: &[usize] = if smoke { &[4, 5] } else { &[4, 5, 6, 7, 8] };
     // Smoke keeps n=30: its partition stage sits above bench_guard's noise
     // floor on the committed trajectory, so the CI guard has live
-    // comparisons rather than skipping everything as jitter.
+    // comparisons rather than skipping everything as jitter. n=60 is above
+    // the multilevel coarsening cutoff, so CI also exercises the coarsen →
+    // partition → uncoarsen path and its per-level trace end to end.
     let framework_sizes: &[usize] = if smoke {
-        &[10, 20, 30]
+        &[10, 20, 30, 60]
     } else {
-        &[10, 20, 30, 40, 50, 60, 80, 100]
+        &[10, 20, 30, 40, 50, 60, 80, 100, 200, 500, 1000]
     };
+    // Size at which the flat partitioner is re-timed alongside the default
+    // scheme — big enough that the flat engine's O(n²) swap passes dominate
+    // (the speedup headline), small enough that one flat run stays in
+    // seconds. Skipped in smoke mode.
+    const FLAT_COMPARE_N: usize = 100;
 
     println!("== exhaustive ordering search on linear clusters (brute-force regime) ==");
     println!(
@@ -148,10 +156,52 @@ fn main() -> ExitCode {
             "{n:>7} {ee:>9} {total:>9.2} {t_partition:>9.2} {t_plan:>9.2} {t_schedule:>9.2} \
              {t_recombine:>9.2} {t_verify:>9.2}"
         );
+        // Per-level engine trace: one direct multilevel run with the same
+        // spec arguments the LC search forwards, so the trajectory shows
+        // where inside the V-cycle each size spends its time.
+        let spec = &pipeline.config().partition;
+        let levels_json = match &spec.scheme {
+            PartitionScheme::Multilevel(opts) => {
+                let (_, _, trace) = multilevel_partition_traced(
+                    &g,
+                    spec.num_blocks(n),
+                    spec.g_max,
+                    spec.effort.max(2),
+                    spec.seed,
+                    opts,
+                );
+                let levels: Vec<String> = trace
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{{\"vertices\":{},\"edges\":{},\"seconds\":{:.6}}}",
+                            l.vertices, l.edges, l.seconds
+                        )
+                    })
+                    .collect();
+                format!(",\"partition_levels\":[{}]", levels.join(","))
+            }
+            PartitionScheme::Flat => String::new(),
+        };
+        // Headline comparison: re-time the partition stage under the flat
+        // scheme at one size so the committed trajectory itself shows the
+        // speedup, measured on the same machine in the same run.
+        let flat_json = if !smoke && n == FLAT_COMPARE_N {
+            let flat_fw = flat_framework();
+            let flat_pipeline = flat_fw.pipeline();
+            let t0 = Instant::now();
+            let _ = flat_pipeline.partition(&g);
+            let t_flat = t0.elapsed().as_secs_f64();
+            let speedup = t_flat / t_partition.max(1e-9);
+            println!("        (flat partition at n={n}: {t_flat:.2}s → {speedup:.1}x speedup)");
+            format!(",\"flat_partition_seconds\":{t_flat:.4},\"partition_speedup\":{speedup:.2}")
+        } else {
+            String::new()
+        };
         framework_entries.push(format!(
             "{{\"n\":{n},\"ee_cnots\":{ee},\"seconds\":{total:.4},\"stages\":{{\
              \"partition\":{t_partition:.4},\"plan\":{t_plan:.4},\"schedule\":{t_schedule:.4},\
-             \"recombine\":{t_recombine:.4},\"verify\":{t_verify:.4}}}}}"
+             \"recombine\":{t_recombine:.4},\"verify\":{t_verify:.4}}}{levels_json}{flat_json}}}"
         ));
     }
     println!("(polynomial: entire 100-qubit compile, verification included, in seconds)");

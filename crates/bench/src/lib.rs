@@ -72,6 +72,27 @@ pub fn bench_framework() -> Framework {
             lc_budget: 8,
             effort: 8,
             seed: SEED,
+            ..Default::default()
+        },
+        orderings_per_subgraph: 8,
+        flexible_slack: 2,
+        verify: true,
+        ..FrameworkConfig::default()
+    })
+}
+
+/// [`bench_framework`] pinned to the flat partition scheme — the
+/// pre-multilevel engine, kept measurable so `runtime_scaling` can record
+/// the flat-vs-multilevel partition-stage speedup in the same run, on the
+/// same machine.
+pub fn flat_framework() -> Framework {
+    Framework::new(FrameworkConfig {
+        partition: epgs_partition::PartitionSpec {
+            g_max: 7,
+            lc_budget: 8,
+            effort: 8,
+            seed: SEED,
+            scheme: epgs_partition::PartitionScheme::Flat,
         },
         orderings_per_subgraph: 8,
         flexible_slack: 2,
@@ -90,6 +111,7 @@ pub fn corpus_framework() -> Framework {
             lc_budget: 4,
             effort: 5,
             seed: SEED,
+            ..Default::default()
         },
         orderings_per_subgraph: 6,
         flexible_slack: 1,

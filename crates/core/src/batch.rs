@@ -83,6 +83,17 @@ pub fn config_fingerprint(cfg: &FrameworkConfig) -> u64 {
             .chain(hardware_words(hardware))
             .collect(),
     };
+    // Scheme discriminant plus every multilevel knob: two configs that can
+    // partition a graph differently must key cached artifacts apart.
+    let scheme_words: Vec<u64> = match &cfg.partition.scheme {
+        epgs_partition::PartitionScheme::Flat => vec![1],
+        epgs_partition::PartitionScheme::Multilevel(opts) => vec![
+            2,
+            opts.coarsen_cutoff as u64,
+            opts.matching_rounds as u64,
+            opts.refine_passes as u64,
+        ],
+    };
     let words = [
         cfg.partition.g_max as u64,
         cfg.partition.lc_budget as u64,
@@ -94,6 +105,7 @@ pub fn config_fingerprint(cfg: &FrameworkConfig) -> u64 {
         cfg.seed,
     ]
     .into_iter()
+    .chain(scheme_words)
     .chain(hardware_words(&cfg.hardware))
     .chain(budget_words)
     .chain(objective_words)

@@ -163,6 +163,7 @@ mod tests {
                 lc_budget: 3,
                 effort: 4,
                 seed: 1,
+                ..Default::default()
             },
             orderings_per_subgraph: 4,
             flexible_slack: 1,
@@ -208,6 +209,7 @@ mod tests {
                 lc_budget: 5,
                 effort: 6,
                 seed: 2,
+                ..Default::default()
             },
             ..quick_config()
         });

@@ -140,6 +140,7 @@ pub use batch::{
 };
 pub use config::{EmitterBudget, FrameworkConfig, FrameworkConfigBuilder};
 pub use epgs_hardware::{CompileObjective, ObjectiveFigures, ObjectiveScore};
+pub use epgs_partition::{MultilevelOptions, PartitionScheme, PartitionSpec};
 pub use error::FrameworkError;
 pub use framework::{compile, Compiled, Framework};
 pub use schedule::{schedule, Placement, Schedule, StepFn};

@@ -22,7 +22,8 @@ use rayon::prelude::*;
 use epgs_graph::{ops, Graph};
 
 use crate::fm::fm_partition;
-use crate::spec::{Partition, PartitionSpec};
+use crate::multilevel::multilevel_partition;
+use crate::spec::{Partition, PartitionScheme, PartitionSpec};
 
 /// Beam width of the LC search (states kept per depth).
 const BEAM_WIDTH: usize = 6;
@@ -46,14 +47,27 @@ struct Scored {
 pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
     let n = g.vertex_count();
     let num_blocks = spec.num_blocks(n);
+    // Scheme dispatch: the multilevel engine delegates to `fm_partition`
+    // with identical arguments at or below its coarsening cutoff, so the two
+    // schemes are byte-identical on small graphs.
     let score = |graph: &Graph, salt: u64| -> (Vec<usize>, usize) {
-        fm_partition(
-            graph,
-            num_blocks,
-            spec.g_max,
-            spec.effort.max(2),
-            spec.seed ^ salt,
-        )
+        match &spec.scheme {
+            PartitionScheme::Flat => fm_partition(
+                graph,
+                num_blocks,
+                spec.g_max,
+                spec.effort.max(2),
+                spec.seed ^ salt,
+            ),
+            PartitionScheme::Multilevel(opts) => multilevel_partition(
+                graph,
+                num_blocks,
+                spec.g_max,
+                spec.effort.max(2),
+                spec.seed ^ salt,
+                opts,
+            ),
+        }
     };
 
     let (base_assign, base_cut) = score(g, 0);
@@ -163,6 +177,7 @@ mod tests {
             lc_budget: 0,
             effort: 6,
             seed: 5,
+            ..Default::default()
         };
         let without = partition_with_lc(&g, &spec);
         spec.lc_budget = 4;
@@ -181,6 +196,7 @@ mod tests {
             lc_budget: 6,
             effort: 10,
             seed: 7,
+            ..Default::default()
         };
         let without = partition_with_lc(
             &g,
@@ -206,6 +222,7 @@ mod tests {
             lc_budget: 5,
             effort: 6,
             seed: 11,
+            ..Default::default()
         };
         let p = partition_with_lc(&g, &spec);
         let mut replay = g.clone();
@@ -223,6 +240,7 @@ mod tests {
             lc_budget: 2,
             effort: 5,
             seed: 3,
+            ..Default::default()
         };
         let p = partition_with_lc(&g, &spec);
         assert!(p.lc_sequence.len() <= 2);

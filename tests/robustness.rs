@@ -88,6 +88,7 @@ fn degenerate_partition_configs_do_not_crash() {
                 lc_budget: lc,
                 effort,
                 seed: 1,
+                ..Default::default()
             },
             orderings_per_subgraph: 2,
             flexible_slack: 0,
