@@ -10,7 +10,11 @@
 //! schedule / recombine / verify). Serve trajectories (`BENCH_serve.json`,
 //! recognized by their `phases` array) match phases by name and compare
 //! each phase's wall seconds, additionally warning when a phase's hit rate
-//! drops. A timing more than 25% above the baseline prints a `regression:`
+//! drops. Tableau trajectories (`BENCH_tableau.json`) contribute their
+//! `kernels` rows, matched by op and shape; those compare the blocked/scalar
+//! speedup *ratio* (warning below 75% of baseline) because the ratio is
+//! machine-noise-immune while the absolute per-iteration times are not. A
+//! timing more than 25% above the baseline prints a `regression:`
 //! warning. Timings under the 20 ms noise floor are skipped (sub-floor
 //! stages are dominated by scheduler jitter); the smoke sweep's n=30 point
 //! sits above the floor on the committed trajectory precisely so the CI
@@ -156,6 +160,52 @@ fn main() -> ExitCode {
                         compared += 1;
                         regressions += check(&format!("framework n={n} level {v}v"), b, f) as usize;
                     }
+                }
+            }
+        }
+    }
+    // Tableau trajectories: GF(2) kernel rows matched by op and shape. The
+    // per-iteration times sit under the wall-clock noise floor, so the guard
+    // compares the *speedup ratio* of blocked over scalar instead — the
+    // quantity the kernel rows exist to pin. A fresh ratio below 75% of the
+    // committed one means the blocked kernel lost ground against its own
+    // scalar oracle on the same machine, which no amount of global machine
+    // noise explains.
+    let kernel_key = |e: &Value| -> Option<String> {
+        let op = e.get("op")?.as_str()?.to_string();
+        match (
+            e.get("rows").and_then(Value::as_usize),
+            e.get("cols").and_then(Value::as_usize),
+        ) {
+            (Some(r), Some(c)) => Some(format!("{op} {r}x{c}")),
+            _ => Some(format!("{op} {}w", e.get("words")?.as_usize()?)),
+        }
+    };
+    let base_kernels: Vec<(String, Value)> = baseline
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|e| Some((kernel_key(e)?, e.clone())))
+                .collect()
+        })
+        .unwrap_or_default();
+    if let Some(arr) = fresh.get("kernels").and_then(Value::as_arr) {
+        for fresh_entry in arr {
+            let Some(key) = kernel_key(fresh_entry) else {
+                continue;
+            };
+            let Some((_, base_entry)) = base_kernels.iter().find(|(bk, _)| *bk == key) else {
+                continue;
+            };
+            if let (Some(b), Some(f)) = (
+                base_entry.get("speedup").and_then(Value::as_f64),
+                fresh_entry.get("speedup").and_then(Value::as_f64),
+            ) {
+                compared += 1;
+                if f < b * 0.75 {
+                    println!("regression: kernel {key} speedup {f:.2}x vs baseline {b:.2}x");
+                    regressions += 1;
                 }
             }
         }

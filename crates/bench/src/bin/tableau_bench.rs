@@ -25,6 +25,7 @@ use epgs::{BatchCompiler, BatchInstance};
 use epgs_bench::{corpus_framework, SEED};
 use epgs_corpus::{CorpusSpec, Value};
 use epgs_graph::generators;
+use epgs_graph::gf2::{kernels, BitMatrix};
 use epgs_stabilizer::reference::RefTableau;
 use epgs_stabilizer::Tableau;
 use rand::rngs::StdRng;
@@ -154,6 +155,115 @@ fn bench_size(n: usize, rounds: usize) -> Vec<ClassResult> {
     results
 }
 
+/// Measures the GF(2) kernel pairs directly: the Four-Russians blocked RREF
+/// against the retained word-loop oracle on the solver's constraint shapes
+/// (`2n×(n+1)` deterministic-sign systems), and the 4-lane word kernels
+/// against their scalar twins on bulk vectors. Returns JSON entries for the
+/// trajectory's `kernels` array.
+fn bench_kernels(smoke: bool) -> Vec<String> {
+    use std::hint::black_box;
+    println!("\n== gf2 kernels (blocked vs retained scalar oracle) ==");
+    let mut entries = Vec::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // The smoke shape is the first full shape so the guard's ratio
+    // comparison stays live on CI runs against the committed trajectory.
+    let shapes: &[(usize, usize)] = if smoke {
+        &[(128, 65)]
+    } else {
+        &[(128, 65), (256, 129), (512, 257)]
+    };
+    for &(rows, cols) in shapes {
+        let mut m = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<bool>() {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        let iters = if smoke {
+            8
+        } else {
+            (400_000_000 / (rows * cols)).max(8)
+        };
+        let mut pivots = Vec::new();
+        // Untimed warmup so page faults and lazy allocations don't land in
+        // either path's first timed iteration.
+        for _ in 0..2 {
+            let mut w = m.clone();
+            w.rref_within_wordloop_into(cols, &mut pivots);
+            let mut b = m.clone();
+            b.rref_within_blocked_into(cols, &mut pivots);
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut w = m.clone();
+            w.rref_within_wordloop_into(cols, &mut pivots);
+            black_box(&w);
+        }
+        let scalar_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut b = m.clone();
+            b.rref_within_blocked_into(cols, &mut pivots);
+            black_box(&b);
+        }
+        let blocked_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        let speedup = scalar_ms / blocked_ms.max(1e-12);
+        println!(
+            "rref {rows:>4}x{cols:<4} wordloop {scalar_ms:>8.4} ms  blocked {blocked_ms:>8.4} ms  {speedup:>5.2}x"
+        );
+        entries.push(format!(
+            "{{\"op\":\"rref\",\"rows\":{rows},\"cols\":{cols},\"scalar_ms\":{scalar_ms:.5},\"blocked_ms\":{blocked_ms:.5},\"speedup\":{speedup:.2}}}"
+        ));
+    }
+    // Bulk word kernels, each at the smallest width its blocked variant
+    // dispatches at (xor from 16 words; parity from its own higher cutoff —
+    // see `kernels::PARITY_CUTOFF_WORDS`).
+    for (op, words) in [
+        ("xor", 16usize),
+        ("parity_and", kernels::PARITY_CUTOFF_WORDS),
+    ] {
+        let a: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        let b: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        let iters = if smoke { 10_000 } else { 3_000_000 };
+        let t0 = Instant::now();
+        let mut acc = a.clone();
+        for _ in 0..iters {
+            match op {
+                "xor" => kernels::scalar::xor_words(&mut acc, &b),
+                _ => {
+                    black_box(kernels::scalar::parity_and_words(&acc, &b));
+                }
+            }
+        }
+        black_box(&acc);
+        let scalar_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let mut acc = a.clone();
+        for _ in 0..iters {
+            match op {
+                "xor" => kernels::blocked::xor_words(&mut acc, &b),
+                _ => {
+                    black_box(kernels::blocked::parity_and_words(&acc, &b));
+                }
+            }
+        }
+        black_box(&acc);
+        let blocked_s = t0.elapsed().as_secs_f64();
+        let scalar_mops = iters as f64 / scalar_s.max(1e-12) / 1e6;
+        let blocked_mops = iters as f64 / blocked_s.max(1e-12) / 1e6;
+        let speedup = blocked_mops / scalar_mops.max(1e-12);
+        println!(
+            "{op:>10} {words}w   scalar {scalar_mops:>8.1} Mop/s  blocked {blocked_mops:>8.1} Mop/s  {speedup:>5.2}x"
+        );
+        entries.push(format!(
+            "{{\"op\":\"{op}\",\"words\":{words},\"scalar_mops\":{scalar_mops:.1},\"blocked_mops\":{blocked_mops:.1},\"speedup\":{speedup:.2}}}"
+        ));
+    }
+    entries
+}
+
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut out_path = "BENCH_tableau.json".to_string();
@@ -231,6 +341,8 @@ fn main() -> ExitCode {
         ));
     }
 
+    let kernel_entries = bench_kernels(smoke);
+
     // Direct whole-graph solves: the tableau-dominated regime (no
     // partitioning), where the word-parallel engine and the shared
     // `rref_within` factorization show up end to end.
@@ -293,6 +405,7 @@ fn main() -> ExitCode {
         "\"gate_throughput\":[{}],",
         size_entries.join(",")
     ));
+    doc.push_str(&format!("\"kernels\":[{}],", kernel_entries.join(",")));
     doc.push_str(&format!("\"direct_solve\":[{}],", solve_entries.join(",")));
     doc.push_str(&format!(
         "\"end_to_end\":{{\"corpus\":{},\"instances\":{instances},\"succeeded\":{succeeded},\"wall_micros\":{wall_micros},\"elapsed_micros\":{elapsed_micros}",
@@ -341,8 +454,14 @@ fn main() -> ExitCode {
         .get("gate_throughput")
         .and_then(Value::as_arr)
         .map_or(0, <[Value]>::len);
+    let kernel_points = parsed
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .map_or(0, <[Value]>::len);
     let well_formed = parsed.get("bench").and_then(Value::as_str) == Some("tableau")
         && gate_points == sizes.len()
+        && kernel_points == kernel_entries.len()
+        && kernel_points > 0
         && parsed
             .get("end_to_end")
             .and_then(|e| e.get("wall_micros"))

@@ -15,7 +15,12 @@
 //!   of `n` bits.
 //!
 //! All sizes in this workspace are at most a few hundred, so no sparse
-//! representation is warranted.
+//! representation is warranted. Bulk word loops (XOR/OR/popcount/inner
+//! product) dispatch through [`kernels`], which pairs a 4×u64-lane blocked
+//! path with the retained scalar oracle; reductions beyond the 64-row
+//! transposed kernel go through a Four-Russians blocked elimination
+//! ([`BitMatrix::rref_within_blocked_into`]) that is bit-identical to the
+//! word-loop path it replaces.
 //!
 //! # Examples
 //!
@@ -28,6 +33,8 @@
 //! m.set(1, 2, true);
 //! assert_eq!(m.rank(), 2);
 //! ```
+
+pub mod kernels;
 
 /// Iterator over the indices of set bits in a run of 64-bit words, produced
 /// by [`BitVec::ones`] and [`BitMatrix::row_ones`].
@@ -191,12 +198,12 @@ impl BitVec {
 
     /// True if no bit is set.
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        kernels::is_zero_words(&self.words)
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count_ones_words(&self.words)
     }
 
     /// Iterates the indices of set bits in increasing order.
@@ -244,9 +251,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn xor_with(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (w, &o) in self.words.iter_mut().zip(&other.words) {
-            *w ^= o;
-        }
+        kernels::xor_words(&mut self.words, &other.words);
     }
 
     /// ORs `other` into `self` (`self |= other`).
@@ -256,9 +261,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn or_with(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (w, &o) in self.words.iter_mut().zip(&other.words) {
-            *w |= o;
-        }
+        kernels::or_words(&mut self.words, &other.words);
     }
 
     /// Parity of the AND with `other`: `popcount(self & other) mod 2`.
@@ -284,11 +287,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn parity_and(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        let mut acc = 0u64;
-        for (&a, &b) in self.words.iter().zip(&other.words) {
-            acc ^= a & b;
-        }
-        acc.count_ones() % 2 == 1
+        kernels::parity_and_words(&self.words, &other.words)
     }
 }
 
@@ -438,10 +437,12 @@ impl BitMatrix {
     pub fn xor_rows(&mut self, dst: usize, src: usize) {
         assert_ne!(dst, src, "xor_rows requires distinct rows");
         let w = self.words_per_row;
-        let (d, s) = (dst * w, src * w);
-        for k in 0..w {
-            let v = self.data[s + k];
-            self.data[d + k] ^= v;
+        let (lo, hi) = (dst.min(src) * w, dst.max(src) * w);
+        let (head, tail) = self.data.split_at_mut(hi);
+        if dst < src {
+            kernels::xor_words(&mut head[lo..lo + w], &tail[..w]);
+        } else {
+            kernels::xor_words(&mut tail[..w], &head[lo..lo + w]);
         }
     }
 
@@ -458,8 +459,7 @@ impl BitMatrix {
 
     /// Returns true if row `r` is all zeros.
     pub fn row_is_zero(&self, r: usize) -> bool {
-        let w = self.words_per_row;
-        self.data[r * w..(r + 1) * w].iter().all(|&x| x == 0)
+        kernels::is_zero_words(self.row_words(r))
     }
 
     /// The backing words of row `r`, least-significant bit first. Bits beyond
@@ -468,6 +468,27 @@ impl BitMatrix {
     pub fn row_words(&self, r: usize) -> &[u64] {
         let w = self.words_per_row;
         &self.data[r * w..(r + 1) * w]
+    }
+
+    /// Mutable access to the backing words of row `r`.
+    ///
+    /// Callers must keep bits at columns `>= cols()` zero; every bulk
+    /// operation in this module preserves that invariant.
+    #[inline]
+    pub fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
+        let w = self.words_per_row;
+        &mut self.data[r * w..(r + 1) * w]
+    }
+
+    /// Parity of the AND of row `r` with `v`: the GF(2) inner product
+    /// `popcount(row_r & v) mod 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn row_parity_and(&self, r: usize, v: &BitVec) -> bool {
+        assert_eq!(v.len(), self.cols, "bit-vector length must match cols");
+        kernels::parity_and_words(self.row_words(r), v.words())
     }
 
     /// Iterates the column indices of set bits in row `r`, in increasing
@@ -487,10 +508,7 @@ impl BitMatrix {
 
     /// Number of set bits in row `r`.
     pub fn row_count_ones(&self, r: usize) -> usize {
-        self.row_words(r)
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        kernels::count_ones_words(self.row_words(r))
     }
 
     /// Overwrites row `r` with the bits of `bits`; columns past `bits.len()`
@@ -514,9 +532,7 @@ impl BitMatrix {
     /// Panics if `acc.len() != self.cols()`.
     pub fn xor_row_into(&self, r: usize, acc: &mut BitVec) {
         assert_eq!(acc.len(), self.cols, "bit-vector length must match cols");
-        for (a, &w) in acc.words_mut().iter_mut().zip(self.row_words(r)) {
-            *a ^= w;
-        }
+        kernels::xor_words(acc.words_mut(), self.row_words(r));
     }
 
     /// Reduces the matrix in place to reduced row-echelon form and returns the
@@ -546,18 +562,37 @@ impl BitMatrix {
     /// Allocation-free [`BitMatrix::rref_within`]: the pivot columns are
     /// written into `pivots` (cleared first), reusing its storage.
     ///
-    /// The elimination works on whole row slices: the pivot row is staged in
-    /// a (stack) buffer so every other row is updated with one straight-line
-    /// word loop instead of per-bit queries.
+    /// Dispatches on shape: systems of ≤ 64 rows and ≤ 128 columns (every
+    /// per-photon constraint system the solver builds) go through the
+    /// transposed `rref_small` kernel; larger systems take the
+    /// Four-Russians blocked elimination
+    /// ([`BitMatrix::rref_within_blocked_into`]) unless
+    /// [`kernels::force_scalar`] pins dispatch to the retained word-loop
+    /// oracle ([`BitMatrix::rref_within_wordloop_into`]). All three paths
+    /// perform the same elementary row operations and produce bit-identical
+    /// reduced matrices and pivot lists.
     pub fn rref_within_into(&mut self, lead_cols: usize, pivots: &mut Vec<usize>) {
         assert!(lead_cols <= self.cols, "lead_cols out of range");
         pivots.clear();
         if self.rows <= 64 && self.cols <= 128 {
-            // Small systems (every per-photon constraint system the solver
-            // builds) go through the transposed kernel: one u64 per column.
             self.rref_small(lead_cols, pivots);
-            return;
+        } else if self.rows > 64 && !kernels::scalar_forced() {
+            self.rref_within_blocked_into(lead_cols, pivots);
+        } else {
+            self.rref_within_wordloop_into(lead_cols, pivots);
         }
+    }
+
+    /// The retained straight-line word-loop RREF — the oracle path the
+    /// differential suite reduces against, and the fallback when the scalar
+    /// toggle is pinned.
+    ///
+    /// The elimination works on whole row slices: the pivot row is staged in
+    /// a (stack) buffer so every other row is updated with one straight-line
+    /// word loop instead of per-bit queries.
+    pub fn rref_within_wordloop_into(&mut self, lead_cols: usize, pivots: &mut Vec<usize>) {
+        assert!(lead_cols <= self.cols, "lead_cols out of range");
+        pivots.clear();
         let wpr = self.words_per_row;
         let mut stack = [0u64; 8];
         let mut heap;
@@ -589,6 +624,174 @@ impl BitMatrix {
             }
             pivots.push(col);
             pivot_row += 1;
+        }
+    }
+
+    /// Four-Russians (M4RI-style) blocked RREF over the first `lead_cols`
+    /// columns, bit-identical to [`BitMatrix::rref_within_wordloop_into`].
+    ///
+    /// Columns are processed in windows of `k = clamp(⌊log₂ rows⌋ − 1, 4, 8)`.
+    /// Phase 1 finds the window's pivots: for each window column, candidate
+    /// rows are scanned by their *effective* bit — the raw bit XOR the parity
+    /// of contributions from the pivot rows already found in this window
+    /// (selected by the candidate's bits at those pivot columns) — so the
+    /// scan sees exactly what sequential elimination would have left there
+    /// without touching any non-pivot row. The chosen row is reduced against
+    /// the window's pivot rows, swapped into place, and earlier pivot rows
+    /// are reduced against it, keeping the block mutually reduced. Phase 2
+    /// then eliminates the window from every row outside the block with one
+    /// table lookup per row: a Gray-code table over the 2^k window patterns
+    /// (non-pivot window bits contribute nothing) turns k single-pivot
+    /// sweeps over the matrix into one. Because XOR is associative and each
+    /// row's combination is selected by its pre-elimination window bits, the
+    /// result — including the carried trailing columns — matches the
+    /// sequential path bit for bit.
+    ///
+    /// One scratch allocation (the pattern table) is made per call; this
+    /// path only runs for systems past the 64-row `rref_small`
+    /// cutoff, where the table build is amortized over whole-matrix sweeps.
+    pub fn rref_within_blocked_into(&mut self, lead_cols: usize, pivots: &mut Vec<usize>) {
+        assert!(lead_cols <= self.cols, "lead_cols out of range");
+        pivots.clear();
+        if self.rows == 0 || lead_cols == 0 {
+            return;
+        }
+        let wpr = self.words_per_row;
+        let rows = self.rows;
+        // Window width: larger tables amortize better over more rows, but a
+        // table entry costs the same to build as an elimination row-XOR, so
+        // 2^k must stay well below the row count. Measured on the solver's
+        // constraint shapes (2n×(n+1), 128–1024 rows), the sweet spot is
+        // k = ⌊log₂ rows⌋ − 3 clamped to [4, 6] — smaller than the textbook
+        // 6–8 because the monomorphized sweep makes per-row cost so low that
+        // table construction is the marginal cost.
+        let k = ((usize::BITS - 1 - rows.leading_zeros()) as usize) // ⌊log₂ rows⌋ (rows ≥ 1)
+            .saturating_sub(3)
+            .clamp(4, 6);
+        let mut table = vec![0u64; (1usize << k) * wpr];
+        let mut wcols = [0usize; 8]; // window-relative pivot column offsets
+        let mut r = 0usize; // first row of the current pivot block
+        let mut c = 0usize; // first column of the current window
+        while r < rows && c < lead_cols {
+            let kk = k.min(lead_cols - c);
+            // Phase 1: locate up to kk pivots inside columns [c, c+kk).
+            let mut npiv = 0usize;
+            for j in 0..kk {
+                if r + npiv >= rows {
+                    break;
+                }
+                let col = c + j;
+                let (cw, cm) = (col / 64, 1u64 << (col % 64));
+                // Window-pivot-row bits at this column (current state).
+                let mut pmask = 0u64;
+                for i in 0..npiv {
+                    if self.data[(r + i) * wpr + cw] & cm != 0 {
+                        pmask |= 1 << i;
+                    }
+                }
+                // First candidate whose effective bit (after the pending
+                // block elimination) is one — the same row the sequential
+                // path would pick.
+                let found = (r + npiv..rows).find(|&t| {
+                    let row = &self.data[t * wpr..(t + 1) * wpr];
+                    let mut eff = row[cw] & cm != 0;
+                    if pmask != 0 {
+                        let mut sel = 0u64;
+                        for (i, &wc) in wcols[..npiv].iter().enumerate() {
+                            let pc = c + wc;
+                            sel |= ((row[pc / 64] >> (pc % 64)) & 1) << i;
+                        }
+                        eff ^= (sel & pmask).count_ones() % 2 == 1;
+                    }
+                    eff
+                });
+                let Some(t) = found else { continue };
+                // Reduce the candidate by the block pivots it still carries
+                // (pivot rows are mutually reduced, so bits at the other
+                // pivot columns are untouched by each XOR).
+                for (i, &wc) in wcols.iter().enumerate().take(npiv) {
+                    let pc = c + wc;
+                    if self.data[t * wpr + pc / 64] & (1u64 << (pc % 64)) != 0 {
+                        self.xor_rows(t, r + i);
+                    }
+                }
+                debug_assert!(self.data[t * wpr + cw] & cm != 0);
+                self.swap_rows(r + npiv, t);
+                // Reduce earlier block pivots upward against the new pivot.
+                for i in 0..npiv {
+                    if self.data[(r + i) * wpr + cw] & cm != 0 {
+                        self.xor_rows(r + i, r + npiv);
+                    }
+                }
+                wcols[npiv] = j;
+                npiv += 1;
+                pivots.push(col);
+            }
+            if npiv == 0 {
+                c += kk;
+                continue;
+            }
+            // Phase 2: Gray-code table over the window's pivot-bit patterns,
+            // then one lookup + row XOR per row outside the block. Only the
+            // 2^npiv subsets of the pivot mask are reachable (non-pivot
+            // window bits are masked off below), so only those entries are
+            // built — each from its Gray-code predecessor XOR one pivot row.
+            let pivmask: u64 = wcols[..npiv]
+                .iter()
+                .map(|&j| 1u64 << j)
+                .fold(0, |a, b| a | b);
+            table[..wpr].fill(0);
+            let mut prev_idx = 0usize;
+            for g in 1u32..(1 << npiv) {
+                let gray = g ^ (g >> 1);
+                let i = g.trailing_zeros() as usize; // pivot toggled vs predecessor
+                let idx: usize = (0..npiv)
+                    .filter(|&b| gray & (1 << b) != 0)
+                    .map(|b| 1usize << wcols[b])
+                    .sum();
+                let (src, dst) = (prev_idx * wpr, idx * wpr);
+                let prow = (r + i) * wpr;
+                for w in 0..wpr {
+                    table[dst + w] = table[src + w] ^ self.data[prow + w];
+                }
+                prev_idx = idx;
+            }
+            let (w0, off) = (c / 64, c % 64);
+            let spill = off + kk > 64;
+            // Monomorphized sweeps: with the word count a compile-time
+            // constant the per-row XOR unrolls completely, which is where
+            // the blocked path's advantage over the word loop comes from.
+            match wpr {
+                1 => m4ri_sweep::<1>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                2 => m4ri_sweep::<2>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                3 => m4ri_sweep::<3>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                4 => m4ri_sweep::<4>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                5 => m4ri_sweep::<5>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                6 => m4ri_sweep::<6>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                7 => m4ri_sweep::<7>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                8 => m4ri_sweep::<8>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                9 => m4ri_sweep::<9>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                10 => m4ri_sweep::<10>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                11 => m4ri_sweep::<11>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                12 => m4ri_sweep::<12>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                13 => m4ri_sweep::<13>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                14 => m4ri_sweep::<14>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                15 => m4ri_sweep::<15>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                16 => m4ri_sweep::<16>(&mut self.data, &table, r, npiv, w0, off, spill, pivmask),
+                _ => m4ri_sweep_wide(
+                    &mut self.data,
+                    wpr,
+                    &table,
+                    r,
+                    npiv,
+                    w0,
+                    off,
+                    spill,
+                    pivmask,
+                ),
+            }
+            r += npiv;
+            c += kk;
         }
     }
 
@@ -846,6 +1049,69 @@ impl BitMatrix {
                 acc
             })
             .collect()
+    }
+}
+
+/// Phase-2 elimination sweep of [`BitMatrix::rref_within_blocked_into`] for
+/// rows of exactly `W` words: extracts each row's window pattern, masks it
+/// to the pivot bits, and XORs the matching table entry in (skipping the
+/// `npiv` pivot rows starting at `block_start`). `W` being a compile-time
+/// constant lets the row XOR unroll completely.
+#[allow(clippy::too_many_arguments)]
+fn m4ri_sweep<const W: usize>(
+    data: &mut [u64],
+    table: &[u64],
+    block_start: usize,
+    npiv: usize,
+    w0: usize,
+    off: usize,
+    spill: bool,
+    pivmask: u64,
+) {
+    for (t, row) in data.chunks_exact_mut(W).enumerate() {
+        if t.wrapping_sub(block_start) < npiv {
+            continue;
+        }
+        let mut pat = row[w0] >> off;
+        if spill {
+            pat |= row[w0 + 1] << (64 - off);
+        }
+        pat &= pivmask;
+        if pat != 0 {
+            let entry = &table[pat as usize * W..pat as usize * W + W];
+            for w in 0..W {
+                row[w] ^= entry[w];
+            }
+        }
+    }
+}
+
+/// [`m4ri_sweep`] for rows wider than 8 words (runtime word count).
+#[allow(clippy::too_many_arguments)]
+fn m4ri_sweep_wide(
+    data: &mut [u64],
+    wpr: usize,
+    table: &[u64],
+    block_start: usize,
+    npiv: usize,
+    w0: usize,
+    off: usize,
+    spill: bool,
+    pivmask: u64,
+) {
+    for (t, row) in data.chunks_exact_mut(wpr).enumerate() {
+        if t.wrapping_sub(block_start) < npiv {
+            continue;
+        }
+        let mut pat = row[w0] >> off;
+        if spill {
+            pat |= row[w0 + 1] << (64 - off);
+        }
+        pat &= pivmask;
+        if pat != 0 {
+            let entry = &table[pat as usize * wpr..pat as usize * wpr + wpr];
+            kernels::blocked::xor_words(row, entry);
+        }
     }
 }
 

@@ -1,0 +1,307 @@
+//! Differential kernel-oracle harness for the GF(2) layer.
+//!
+//! Every fast path in `epgs_graph::gf2` ships with a retained scalar
+//! implementation; this suite drives both over adversarial shapes — exact
+//! word boundaries (63/64/65/127/128/129), all-zero and full-rank matrices,
+//! rank-deficient systems, and random instances via the proptest shim — and
+//! requires bit-for-bit agreement: same reduced matrices, same pivot lists,
+//! same solutions and null-space bases, same kernel outputs.
+
+use proptest::prelude::*;
+
+use epgs_graph::gf2::{kernels, BitMatrix, BitVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bit lengths that straddle word boundaries plus a couple of bulk sizes.
+const ADVERSARIAL_LENS: [usize; 10] = [1, 63, 64, 65, 127, 128, 129, 255, 256, 513];
+
+/// Row/col shapes that straddle the `rref_small` cutoff (64 rows / 128 cols)
+/// and the word boundary in both dimensions.
+const ADVERSARIAL_SHAPES: [(usize, usize); 12] = [
+    (63, 63),
+    (64, 64),
+    (65, 65),
+    (65, 64),
+    (64, 129),
+    (65, 128),
+    (127, 127),
+    (128, 128),
+    (129, 129),
+    (129, 63),
+    (63, 129),
+    (200, 150),
+];
+
+fn random_bitvec(len: usize, rng: &mut StdRng) -> BitVec {
+    let mut v = BitVec::zeros(len);
+    for i in 0..len {
+        if rng.gen::<bool>() {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+fn random_matrix(rows: usize, cols: usize, density_num: u32, rng: &mut StdRng) -> BitMatrix {
+    let mut m = BitMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen::<u32>() % 8 < density_num {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+/// Reduces `m` along both elimination paths and asserts bit-identity of the
+/// reduced matrix, the pivot list, every augmented-column solution read, and
+/// the null-space basis.
+fn assert_rref_paths_agree(m: &BitMatrix, lead_cols: usize, label: &str) {
+    let mut via_blocked = m.clone();
+    let mut via_wordloop = m.clone();
+    let mut piv_b = Vec::new();
+    let mut piv_w = Vec::new();
+    via_blocked.rref_within_blocked_into(lead_cols, &mut piv_b);
+    via_wordloop.rref_within_wordloop_into(lead_cols, &mut piv_w);
+    assert_eq!(piv_b, piv_w, "{label}: pivot lists diverge");
+    assert_eq!(
+        via_blocked, via_wordloop,
+        "{label}: reduced matrices diverge"
+    );
+    for j in 0..m.cols() - lead_cols {
+        assert_eq!(
+            via_blocked.solution_from_reduced(&piv_b, lead_cols, j),
+            via_wordloop.solution_from_reduced(&piv_w, lead_cols, j),
+            "{label}: solution read {j} diverges"
+        );
+    }
+    assert_eq!(
+        via_blocked.null_space_from_reduced(&piv_b, lead_cols),
+        via_wordloop.null_space_from_reduced(&piv_w, lead_cols),
+        "{label}: null-space bases diverge"
+    );
+}
+
+#[test]
+fn bitvec_kernels_match_scalar_on_word_boundaries() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for &len in &ADVERSARIAL_LENS {
+        for case in 0..3 {
+            let (a, b) = match case {
+                0 => (BitVec::zeros(len), BitVec::zeros(len)), // all-zero
+                1 => {
+                    // all-ones
+                    let mut a = BitVec::zeros(len);
+                    let mut b = BitVec::zeros(len);
+                    for i in 0..len {
+                        a.set(i, true);
+                        b.set(i, true);
+                    }
+                    (a, b)
+                }
+                _ => (random_bitvec(len, &mut rng), random_bitvec(len, &mut rng)),
+            };
+            assert_eq!(
+                kernels::scalar::parity_and_words(a.words(), b.words()),
+                kernels::blocked::parity_and_words(a.words(), b.words()),
+                "parity_and len {len} case {case}"
+            );
+            assert_eq!(
+                kernels::scalar::count_ones_words(a.words()),
+                kernels::blocked::count_ones_words(a.words()),
+                "count_ones len {len} case {case}"
+            );
+            assert_eq!(
+                kernels::scalar::is_zero_words(a.words()),
+                kernels::blocked::is_zero_words(a.words()),
+                "is_zero len {len} case {case}"
+            );
+            let mut xs = a.clone();
+            let mut xb = a.clone();
+            kernels::scalar::xor_words(xs.words_mut(), b.words());
+            kernels::blocked::xor_words(xb.words_mut(), b.words());
+            assert_eq!(xs, xb, "xor len {len} case {case}");
+            let mut os = a.clone();
+            let mut ob = a.clone();
+            kernels::scalar::or_words(os.words_mut(), b.words());
+            kernels::blocked::or_words(ob.words_mut(), b.words());
+            assert_eq!(os, ob, "or len {len} case {case}");
+        }
+    }
+}
+
+#[test]
+fn rref_blocked_matches_wordloop_on_adversarial_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for &(rows, cols) in &ADVERSARIAL_SHAPES {
+        // All-zero: no pivots on either path.
+        assert_rref_paths_agree(
+            &BitMatrix::zeros(rows, cols),
+            cols,
+            &format!("zero {rows}x{cols}"),
+        );
+        // Full-rank leading block: identity in the top-left corner plus
+        // random trailing noise.
+        let mut full = random_matrix(rows, cols, 3, &mut rng);
+        for i in 0..rows.min(cols) {
+            for c in 0..rows.min(cols) {
+                full.set(i, c, i == c);
+            }
+        }
+        assert_rref_paths_agree(&full, cols, &format!("full-rank {rows}x{cols}"));
+        // Rank-deficient: random rows, then half the rows overwritten with
+        // sums of earlier rows so the elimination hits dependent candidates.
+        let mut deficient = random_matrix(rows, cols, 4, &mut rng);
+        for r in rows / 2..rows {
+            let a = rng.gen::<u64>() as usize % (rows / 2).max(1);
+            let b = rng.gen::<u64>() as usize % (rows / 2).max(1);
+            for c in 0..cols {
+                deficient.set(r, c, deficient.get(a, c) != deficient.get(b, c));
+            }
+        }
+        assert_rref_paths_agree(&deficient, cols, &format!("deficient {rows}x{cols}"));
+        // Sparse random with carried RHS columns (lead < cols), the shape
+        // `find_element_impl` and `deterministic_z_sign` actually build.
+        let lead = cols - (cols / 8).min(3);
+        let sparse = random_matrix(rows, cols, 1, &mut rng);
+        assert_rref_paths_agree(&sparse, lead, &format!("sparse {rows}x{cols} lead {lead}"));
+    }
+}
+
+#[test]
+fn rref_dispatch_is_bit_identical_under_forced_scalar() {
+    // Flip the process-global dispatch toggle around identical reductions:
+    // the dispatched entry point must produce the same pivots, reduced
+    // matrix, and null basis either way. Safe against concurrent tests
+    // because both kernels are bit-identical — the toggle only selects
+    // which one runs.
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for &(rows, cols) in &[(100, 90), (129, 129), (80, 200)] {
+        let m = random_matrix(rows, cols, 3, &mut rng);
+        let mut auto = m.clone();
+        let mut scalar = m.clone();
+        let mut piv_auto = Vec::new();
+        let mut piv_scalar = Vec::new();
+        kernels::force_scalar(false);
+        auto.rref_within_into(cols, &mut piv_auto);
+        kernels::force_scalar(true);
+        scalar.rref_within_into(cols, &mut piv_scalar);
+        kernels::force_scalar(false);
+        assert_eq!(piv_auto, piv_scalar, "{rows}x{cols}: pivots diverge");
+        assert_eq!(auto, scalar, "{rows}x{cols}: reduced matrices diverge");
+        assert_eq!(
+            auto.null_space_from_reduced(&piv_auto, cols),
+            scalar.null_space_from_reduced(&piv_scalar, cols),
+            "{rows}x{cols}: null bases diverge"
+        );
+    }
+}
+
+#[test]
+fn rref_small_matches_wordloop_below_cutoff() {
+    // The transposed small-system kernel claims to perform exactly the
+    // word-loop's row operations; hold it to that over boundary shapes.
+    let mut rng = StdRng::seed_from_u64(0x5A11);
+    for &(rows, cols) in &[(1, 1), (63, 127), (64, 128), (40, 100), (64, 65)] {
+        for density in [1u32, 4, 7] {
+            let m = random_matrix(rows, cols, density, &mut rng);
+            let mut small = m.clone();
+            let mut word = m.clone();
+            let mut piv_s = Vec::new();
+            let mut piv_w = Vec::new();
+            let lead = cols - 1;
+            small.rref_within_into(lead, &mut piv_s); // rows ≤ 64, cols ≤ 128 → rref_small
+            word.rref_within_wordloop_into(lead, &mut piv_w);
+            assert_eq!(piv_s, piv_w, "{rows}x{cols} d{density}: pivots diverge");
+            assert_eq!(small, word, "{rows}x{cols} d{density}: matrices diverge");
+        }
+    }
+}
+
+#[test]
+fn transpose_tile_round_trips_column_major_data() {
+    // Simulates the bit-sliced gather: column-major words in, row-major rows
+    // out, and a second transpose restores the original exactly.
+    let mut rng = StdRng::seed_from_u64(0x7117);
+    let mut tile = [0u64; 64];
+    for w in tile.iter_mut() {
+        *w = rng.gen::<u64>();
+    }
+    let original = tile;
+    let naive = kernels::transpose_64x64_naive(&tile);
+    kernels::transpose_64x64(&mut tile);
+    assert_eq!(tile, naive);
+    for (r, &row) in naive.iter().enumerate() {
+        for (c, &col) in original.iter().enumerate() {
+            assert_eq!((row >> c) & 1, (col >> r) & 1, "bit ({r},{c})");
+        }
+    }
+    kernels::transpose_64x64(&mut tile);
+    assert_eq!(tile, original);
+}
+
+proptest! {
+    #[test]
+    fn random_rref_paths_agree(
+        rows in 1usize..140,
+        cols in 1usize..140,
+        rhs in 0usize..3,
+        density in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_matrix(rows, cols + rhs, density, &mut rng);
+        let mut via_blocked = m.clone();
+        let mut via_wordloop = m.clone();
+        let mut piv_b = Vec::new();
+        let mut piv_w = Vec::new();
+        via_blocked.rref_within_blocked_into(cols, &mut piv_b);
+        via_wordloop.rref_within_wordloop_into(cols, &mut piv_w);
+        prop_assert_eq!(piv_b, piv_w);
+        prop_assert_eq!(via_blocked, via_wordloop);
+    }
+
+    #[test]
+    fn random_kernel_words_agree(raw in proptest::collection::vec(any::<u64>(), 40), len in 0usize..40) {
+        let words = raw[..len].to_vec();
+        let other: Vec<u64> = words.iter().map(|w| w.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15).collect();
+        let mut xs = words.clone();
+        let mut xb = words.clone();
+        kernels::scalar::xor_words(&mut xs, &other);
+        kernels::blocked::xor_words(&mut xb, &other);
+        prop_assert_eq!(&xs, &xb);
+        let mut os = words.clone();
+        let mut ob = words.clone();
+        kernels::scalar::or_words(&mut os, &other);
+        kernels::blocked::or_words(&mut ob, &other);
+        prop_assert_eq!(&os, &ob);
+        prop_assert_eq!(
+            kernels::scalar::parity_and_words(&words, &other),
+            kernels::blocked::parity_and_words(&words, &other)
+        );
+        prop_assert_eq!(
+            kernels::scalar::count_ones_words(&words),
+            kernels::blocked::count_ones_words(&words)
+        );
+        prop_assert_eq!(
+            kernels::scalar::is_zero_words(&words),
+            kernels::blocked::is_zero_words(&words)
+        );
+    }
+
+    #[test]
+    fn random_transpose_involution(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tile = [0u64; 64];
+        for w in tile.iter_mut() {
+            *w = rng.gen::<u64>();
+        }
+        let original = tile;
+        kernels::transpose_64x64(&mut tile);
+        prop_assert_eq!(tile, kernels::transpose_64x64_naive(&original));
+        kernels::transpose_64x64(&mut tile);
+        prop_assert_eq!(tile, original);
+    }
+}

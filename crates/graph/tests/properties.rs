@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use epgs_graph::gf2::BitMatrix;
+use epgs_graph::gf2::{BitMatrix, BitVec};
 use epgs_graph::{generators, height, metrics, ops, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +148,73 @@ proptest! {
     }
 
     #[test]
+    fn truncate_rows_then_rref_matches_smaller_build(
+        rows in 2usize..70,
+        cols in 1usize..100,
+        keep_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        // Reducing a truncated matrix must equal reducing a matrix built
+        // with only the kept rows — truncation leaves no ghost state.
+        let keep = 1 + (keep_seed as usize) % rows;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut big = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<bool>() {
+                    big.set(r, c, true);
+                }
+            }
+        }
+        let mut small = BitMatrix::zeros(keep, cols);
+        for r in 0..keep {
+            for c in 0..cols {
+                small.set(r, c, big.get(r, c));
+            }
+        }
+        big.truncate_rows(keep);
+        prop_assert_eq!(&big, &small);
+        let pa = big.rref();
+        let pb = small.rref();
+        prop_assert_eq!(pa, pb);
+        prop_assert_eq!(big, small);
+    }
+
+    #[test]
+    fn bitvec_copy_from_across_mismatched_capacities(
+        long_len in 65usize..300,
+        short_len in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut long = BitVec::zeros(long_len);
+        for i in 0..long_len {
+            if rng.gen::<bool>() {
+                long.set(i, true);
+            }
+        }
+        let mut short = BitVec::zeros(short_len);
+        if short_len > 0 {
+            short.set(short_len - 1, true);
+        }
+        // Small buffer grows to take a large vector…
+        let mut grown = short.clone();
+        grown.copy_from(&long);
+        prop_assert_eq!(&grown, &long);
+        // …and a large buffer shrinks to a small one with no stale bits:
+        // after the copy, ops that scan whole words must see only the
+        // short vector's contents.
+        let mut shrunk = long.clone();
+        shrunk.copy_from(&short);
+        prop_assert_eq!(&shrunk, &short);
+        prop_assert_eq!(shrunk.count_ones(), short.count_ones());
+        prop_assert_eq!(shrunk.is_zero(), short_len == 0);
+        prop_assert_eq!(shrunk.first_one(), if short_len > 0 { Some(short_len - 1) } else { None });
+    }
+
+    #[test]
     fn random_tree_height_at_most_log_plus_one(seed in any::<u64>(), n in 3usize..25) {
         // Trees have small cut ranks along DFS-ish orders; sanity bound:
         // emitters never exceed n/2 + 1 for the natural ordering.
@@ -155,4 +222,58 @@ proptest! {
         let g = generators::random_tree(n, &mut rng);
         prop_assert!(height::min_emitters_natural(&g) <= n / 2 + 1);
     }
+}
+
+#[test]
+fn degenerate_matrices_reduce_without_pivots() {
+    // Zero rows: nothing to reduce, full null space.
+    let mut no_rows = BitMatrix::zeros(0, 5);
+    assert_eq!(no_rows.rref(), Vec::<usize>::new());
+    assert_eq!(no_rows.rank(), 0);
+    assert_eq!(no_rows.null_space().len(), 5);
+    // Zero columns: no pivots possible regardless of row count, and the
+    // word-level paths must tolerate the minimum one-word stride.
+    let mut no_cols = BitMatrix::zeros(4, 0);
+    assert_eq!(no_cols.rref(), Vec::<usize>::new());
+    assert_eq!(no_cols.rank(), 0);
+    assert!(no_cols.null_space().is_empty());
+    assert!(no_cols.row_is_zero(0));
+    assert_eq!(no_cols.row_count_ones(3), 0);
+    // Both: the empty matrix round-trips every query.
+    let mut empty = BitMatrix::zeros(0, 0);
+    assert_eq!(empty.rref(), Vec::<usize>::new());
+    assert_eq!(empty.rank(), 0);
+    // Truncating to zero rows then reducing is the zero-row case again.
+    let mut m = BitMatrix::identity(3);
+    m.truncate_rows(0);
+    assert_eq!(m.rref(), Vec::<usize>::new());
+    assert_eq!(m.rows(), 0);
+}
+
+#[test]
+fn first_one_at_or_after_at_exact_word_boundaries() {
+    let mut v = BitVec::zeros(256);
+    for i in [63usize, 64, 127, 128, 191, 255] {
+        v.set(i, true);
+    }
+    // Starting exactly on a set boundary bit finds it…
+    for i in [63usize, 64, 127, 128, 191, 255] {
+        assert_eq!(v.first_one_at_or_after(i), Some(i), "start {i}");
+    }
+    // …one past each boundary finds the next one across the word edge.
+    assert_eq!(v.first_one_at_or_after(0), Some(63));
+    assert_eq!(v.first_one_at_or_after(65), Some(127));
+    assert_eq!(v.first_one_at_or_after(129), Some(191));
+    assert_eq!(v.first_one_at_or_after(192), Some(255));
+    // Start at or beyond the length is always empty, even with the last
+    // bit set.
+    assert_eq!(v.first_one_at_or_after(256), None);
+    assert_eq!(v.first_one_at_or_after(1000), None);
+    // A vector whose length is an exact word multiple with only the final
+    // bit set: the masked first-word probe must not skip it.
+    let mut w = BitVec::zeros(128);
+    w.set(127, true);
+    assert_eq!(w.first_one_at_or_after(127), Some(127));
+    assert_eq!(w.first_one_at_or_after(64), Some(127));
+    assert_eq!(w.first_one_at_or_after(128), None);
 }

@@ -31,7 +31,7 @@
 //! forced-outcome Z measurement (the compiler chooses the branch it encodes
 //! corrections for; verification exercises both branches).
 
-use epgs_graph::gf2::{BitMatrix, BitVec};
+use epgs_graph::gf2::{kernels, BitMatrix, BitVec};
 use epgs_graph::Graph;
 
 use crate::error::StabilizerError;
@@ -384,10 +384,15 @@ impl Tableau {
         // A single row is strided across the column store, so this walk
         // touches every column regardless; what it must NOT do is branch on
         // the (uniformly random) src bits — three mispredicted branches per
-        // column made this the one class slower than the row-major
-        // reference. The loop below is fully branchless: src bits are
-        // extracted as 0/1 words and XORed in shifted, the reordering
-        // parity accumulates in bit 0 of `swaps`.
+        // column once made this the one class slower than the row-major
+        // reference (see the `row_mul` baseline note in BENCH_tableau.json).
+        // The loop below is fully branchless — src bits are extracted as
+        // 0/1 words and XORed in shifted, the reordering parity accumulates
+        // in bit 0 of `swaps` — which holds the class at ≥ 2× the reference.
+        // (A transpose-tile batch path was measured and rejected for the
+        // single-row case: one row is O(n) to extract either way, and the
+        // tile only pays when many rows share a band — that is what
+        // `gather_rows_batch` is for.)
         let (dw, db) = (dst / 64, (dst % 64) as u32);
         let (sw, sb) = (src / 64, (src % 64) as u32);
         let mut swaps = 0u64;
@@ -583,21 +588,51 @@ impl Tableau {
         }
     }
 
-    /// Gathers the letters of row `r` into two packed bit-vectors over
-    /// *qubits* (the transpose direction of the column store).
-    fn gather_row(&self, r: usize, out_x: &mut BitVec, out_z: &mut BitVec) {
-        debug_assert_eq!(out_x.len(), self.n);
-        debug_assert_eq!(out_z.len(), self.n);
-        out_x.clear();
-        out_z.clear();
-        let (rw, rm) = (r / 64, 1u64 << (r % 64));
-        for q in 0..self.n {
-            if self.xs[q].words()[rw] & rm != 0 {
-                out_x.set(q, true);
+    /// Gathers the letters of every row in `rows` into the rows of `gx` /
+    /// `gz`, packed over *qubits* (the transpose direction of the column
+    /// store), in increasing row order.
+    ///
+    /// Extracting one row from the bit-sliced store costs a strided bit-read
+    /// per column no matter what; extracting a *set* of rows does not: each
+    /// 64-row band of each 64-column group is loaded once into a 64×64 tile,
+    /// bit-transposed in registers
+    /// ([`epgs_graph::gf2::kernels::transpose_64x64`]), and the wanted rows
+    /// are then whole words of the transposed tile. For the ~n/2-row
+    /// combinations [`Tableau::deterministic_z_sign_in`] multiplies out,
+    /// this replaces `O(n)` strided single-bit reads per row with amortized
+    /// `O(n/64)` word reads plus one transpose per tile.
+    fn gather_rows_batch(&self, rows: &BitVec, gx: &mut BitMatrix, gz: &mut BitMatrix) {
+        debug_assert_eq!(rows.len(), self.n);
+        let m = rows.count_ones();
+        gx.reset(m, self.n);
+        gz.reset(m, self.n);
+        let groups = self.n.div_ceil(64);
+        let mut tile = [0u64; 64];
+        let mut out_base = 0usize;
+        for (band, &band_bits) in rows.words().iter().enumerate() {
+            if band_bits == 0 {
+                continue;
             }
-            if self.zs[q].words()[rw] & rm != 0 {
-                out_z.set(q, true);
+            for g in 0..groups {
+                let q0 = g * 64;
+                let width = (self.n - q0).min(64);
+                for (plane, out) in [(&self.xs, &mut *gx), (&self.zs, &mut *gz)] {
+                    for (j, t) in tile[..width].iter_mut().enumerate() {
+                        *t = plane[q0 + j].words()[band];
+                    }
+                    tile[width..].fill(0);
+                    kernels::transpose_64x64(&mut tile);
+                    let mut bits = band_bits;
+                    let mut idx = out_base;
+                    while bits != 0 {
+                        let i = bits.trailing_zeros() as usize;
+                        out.row_words_mut(idx)[g] = tile[i];
+                        idx += 1;
+                        bits &= bits - 1;
+                    }
+                }
             }
+            out_base += band_bits.count_ones() as usize;
         }
     }
 
@@ -647,18 +682,18 @@ impl Tableau {
         {
             return None;
         }
-        // Multiply out the chosen rows on packed accumulators to get the sign.
+        // Multiply out the chosen rows on packed accumulators to get the
+        // sign. The rows are gathered in one transpose-tile batch pass; the
+        // sequential sweep below then works on row-major words.
+        self.gather_rows_batch(&s.c, &mut s.gather_x, &mut s.gather_z);
         s.acc_x.reset(self.n);
         s.acc_z.reset(self.n);
-        s.row_x.reset(self.n);
-        s.row_z.reset(self.n);
         let mut phase: u8 = 0;
-        for r in s.c.ones() {
-            self.gather_row(r, &mut s.row_x, &mut s.row_z);
-            let swaps = s.acc_z.parity_and(&s.row_x);
+        for (i, r) in s.c.ones().enumerate() {
+            let swaps = s.gather_x.row_parity_and(i, &s.acc_z);
             phase = (phase + self.phase_of(r) + if swaps { 2 } else { 0 }) % 4;
-            s.acc_x.xor_with(&s.row_x);
-            s.acc_z.xor_with(&s.row_z);
+            s.gather_x.xor_row_into(i, &mut s.acc_x);
+            s.gather_z.xor_row_into(i, &mut s.acc_z);
         }
         debug_assert!(s.acc_x.is_zero());
         debug_assert!((0..self.n).all(|col| s.acc_z.get(col) == (col == q)));
@@ -1062,9 +1097,10 @@ pub struct ElementScratch {
     /// Packed product accumulators (sign computation).
     acc_x: BitVec,
     acc_z: BitVec,
-    /// Packed single-row gather buffers.
-    row_x: BitVec,
-    row_z: BitVec,
+    /// Transpose-tile batch gather outputs (rows of the chosen combination,
+    /// packed over qubits).
+    gather_x: BitMatrix,
+    gather_z: BitMatrix,
     /// Membership masks over qubits.
     in_restrict: Vec<bool>,
     in_allowed: Vec<bool>,
@@ -1087,8 +1123,8 @@ impl ElementScratch {
             best: BitVec::zeros(0),
             acc_x: BitVec::zeros(0),
             acc_z: BitVec::zeros(0),
-            row_x: BitVec::zeros(0),
-            row_z: BitVec::zeros(0),
+            gather_x: BitMatrix::zeros(0, 0),
+            gather_z: BitMatrix::zeros(0, 0),
             in_restrict: Vec::new(),
             in_allowed: Vec::new(),
             allowed_sorted: Vec::new(),

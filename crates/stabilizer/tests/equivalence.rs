@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 
+use epgs_graph::gf2::kernels;
 use epgs_stabilizer::reference::RefTableau;
 use epgs_stabilizer::{MeasureOutcome, Tableau};
 
@@ -197,6 +198,42 @@ proptest! {
                 t.deterministic_z_sign(q),
                 r.deterministic_z_sign(q),
                 "deterministic sign diverged at qubit {}", q
+            );
+        }
+    }
+
+    /// The GF(2) kernel toggle must be unobservable: deterministic-sign
+    /// queries (whose ≥ 65-row constraint systems take the Four-Russians
+    /// path by default) give the same answer as the reference under both
+    /// the blocked and the forced-scalar elimination, on the same state.
+    ///
+    /// The toggle is process-global, which is safe here precisely because
+    /// the two paths are bit-identical (asserted by the gf2 differential
+    /// suite) — flipping it mid-run changes which kernel executes, never
+    /// any result.
+    #[test]
+    fn deterministic_sign_identical_on_both_kernel_paths(
+        n in 33usize..=70,
+        raw in arb_program(30)
+    ) {
+        let mut t = Tableau::zero_state(n);
+        let mut r = RefTableau::zero_state(n);
+        for &(op, a, b, flag) in &raw {
+            apply_both(&mut t, &mut r, decode(n, op, a, b, flag));
+        }
+        for q in 0..n {
+            kernels::force_scalar(false);
+            let blocked = t.deterministic_z_sign(q);
+            kernels::force_scalar(true);
+            let scalar = t.deterministic_z_sign(q);
+            kernels::force_scalar(false);
+            prop_assert_eq!(
+                blocked, scalar,
+                "kernel paths diverged at qubit {}", q
+            );
+            prop_assert_eq!(
+                blocked, r.deterministic_z_sign(q),
+                "blocked path diverged from reference at qubit {}", q
             );
         }
     }
