@@ -10,7 +10,9 @@
 //! schedule / recombine / verify). Serve trajectories (`BENCH_serve.json`,
 //! recognized by their `phases` array) match phases by name and compare
 //! each phase's wall seconds, additionally warning when a phase's hit rate
-//! drops. Tableau trajectories (`BENCH_tableau.json`) contribute their
+//! drops; when both documents carry a `chaos` object its error, degraded,
+//! and store-retry counters are diffed too (the chaos fault plan is
+//! seeded, so count growth means fault handling changed). Tableau trajectories (`BENCH_tableau.json`) contribute their
 //! `kernels` rows, matched by op and shape; those compare the blocked/scalar
 //! speedup *ratio* (warning below 75% of baseline) because the ratio is
 //! machine-noise-immune while the absolute per-iteration times are not. A
@@ -232,6 +234,38 @@ fn main() -> ExitCode {
             if f < b - 0.05 {
                 println!("regression: serve {name} hit rate {f:.3} vs baseline {b:.3}");
                 regressions += 1;
+            }
+        }
+    }
+    // Serve chaos counters: the chaos phase replays a fixed seeded fault
+    // plan over the fixed corpus, so its error/degradation accounting is
+    // (near-)deterministic — only wall-clock-dependent deadline behavior
+    // can legitimately move it. A fresh count above baseline on an error
+    // counter is flagged; any other drift is reported as a note.
+    let chaos_counter = |doc: &Value, path: &[&str]| -> Option<f64> {
+        let mut v = doc.get("chaos")?;
+        for p in path {
+            v = v.get(p)?;
+        }
+        v.as_f64()
+    };
+    let chaos_counters: [(&str, &[&str]); 7] = [
+        ("errors.compile_failed", &["errors", "compile_failed"]),
+        ("errors.deadline_exceeded", &["errors", "deadline_exceeded"]),
+        ("errors.overloaded", &["errors", "overloaded"]),
+        ("errors.panic", &["errors", "panic"]),
+        ("degraded", &["degraded"]),
+        ("store.read_retries", &["store", "read_retries"]),
+        ("store.quarantined", &["store", "quarantined"]),
+    ];
+    for (label, path) in chaos_counters {
+        if let (Some(b), Some(f)) = (chaos_counter(&baseline, path), chaos_counter(&fresh, path)) {
+            compared += 1;
+            if f > b {
+                println!("regression: serve chaos {label}: {f:.0} vs baseline {b:.0}");
+                regressions += 1;
+            } else if f < b {
+                println!("note: serve chaos {label} moved: {f:.0} vs baseline {b:.0}");
             }
         }
     }

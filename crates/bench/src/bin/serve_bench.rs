@@ -21,23 +21,35 @@
 //! enough for CI), so smoke and committed trajectories stay comparable
 //! point for point.
 //!
+//! `--chaos` appends a fourth engine-mode phase: the corpus runs against a
+//! scratch store under a fixed deterministic fault plan (panics, bit
+//! flips, I/O errors, forced-slow compiles, multilevel failures) plus a
+//! batch of already-expired requests, and the report gains a top-level
+//! `chaos` object — per-rule fault hits, error-kind counts, degraded and
+//! shed totals, store retry/quarantine counters, and a degraded-mode
+//! latency histogram. Failures are *expected* in this phase; what is
+//! validated is that every request terminates and the counters add up.
+//!
 //! Run with:
 //! `cargo run --release -p epgs-bench --bin serve_bench -- \
-//!     [--smoke] [--out FILE.json] [--store DIR] [--daemon PATH]`
+//!     [--smoke] [--chaos] [--out FILE.json] [--store DIR] [--daemon PATH]`
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use epgs::batch::{WALL_BUCKET_BOUNDS, WALL_BUCKET_LABELS};
+use epgs::faults::FaultPlan;
+use epgs::store::StoreStats;
 use epgs::BatchCompiler;
 use epgs_bench::corpus_framework;
 use epgs_corpus::json::{Value, Writer};
 use epgs_corpus::CorpusSpec;
 use epgs_graph::Graph;
-use epgs_serve::{ServeEngine, ServeOutcome};
+use epgs_serve::{ServeEngine, ServeErrorKind, ServeOutcome};
 
 /// Measured result of one benchmark phase.
 struct Phase {
@@ -133,12 +145,185 @@ fn run_phase(name: &'static str, engine: &ServeEngine, jobs: &[Graph]) -> Phase 
     phase
 }
 
+/// The deterministic fault plan behind `--chaos`: one fixed spec so two
+/// chaos runs (and the committed trajectory) see the same fault schedule.
+const CHAOS_SPEC: &str = "seed=0xbe9c;\
+     serve.compile:panic@1/10;\
+     batch.compile:slow(5)@1/6;\
+     store.read:bitflip@1/6;\
+     store.read:io@1/8;\
+     store.write:io@1/8;\
+     partition.multilevel:fail@1/3";
+
+/// Per-request deadline of the chaos phase (generous — real timeouts come
+/// from the already-expired extra requests, not from racing the clock).
+const CHAOS_DEADLINE: Duration = Duration::from_secs(2);
+
+/// How many already-expired (zero-deadline) requests the chaos phase adds
+/// on top of the corpus, pinning the `deadline_exceeded` path.
+const CHAOS_EXPIRED_REQUESTS: usize = 5;
+
+const ERROR_KIND_NAMES: [&str; 4] = ["compile_failed", "deadline_exceeded", "overloaded", "panic"];
+
+fn error_kind_slot(k: ServeErrorKind) -> usize {
+    match k {
+        ServeErrorKind::Compile => 0,
+        ServeErrorKind::DeadlineExceeded => 1,
+        ServeErrorKind::Overloaded => 2,
+        ServeErrorKind::Panic => 3,
+    }
+}
+
+/// Everything the `--chaos` phase measures beyond an ordinary [`Phase`].
+struct ChaosReport {
+    phase: Phase,
+    fault_hits: Vec<(String, u64)>,
+    errors: [usize; 4],
+    degraded: usize,
+    degraded_histogram: [usize; 5],
+    store: StoreStats,
+}
+
+impl ChaosReport {
+    fn write(&self, w: &mut Writer) {
+        w.key("chaos");
+        w.begin_obj();
+        w.field_str("spec", CHAOS_SPEC);
+        w.field_uint("deadline_ms", CHAOS_DEADLINE.as_millis() as u64);
+        w.key("fault_hits");
+        w.begin_obj();
+        for (label, hits) in &self.fault_hits {
+            w.field_uint(label, *hits);
+        }
+        w.end_obj();
+        w.key("errors");
+        w.begin_obj();
+        for (name, count) in ERROR_KIND_NAMES.iter().zip(self.errors) {
+            w.field_uint(name, count as u64);
+        }
+        w.end_obj();
+        w.field_uint("degraded", self.degraded as u64);
+        w.key("store");
+        w.begin_obj();
+        w.field_uint("read_retries", self.store.read_retries as u64);
+        w.field_uint("write_retries", self.store.write_retries as u64);
+        w.field_uint("quarantined", self.store.quarantined as u64);
+        w.field_uint("tmp_swept", self.store.tmp_swept as u64);
+        w.field_uint("corrupt_discarded", self.store.corrupt_discarded as u64);
+        w.end_obj();
+        w.key("degraded_latency_histogram");
+        w.begin_obj();
+        for (label, count) in WALL_BUCKET_LABELS.iter().zip(self.degraded_histogram) {
+            w.field_uint(label, count as u64);
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+}
+
+/// Runs the chaos phase: the corpus under the fixed fault plan (scratch
+/// store, per-request deadline) plus a batch of already-expired requests.
+fn run_chaos_phase(store: &Path, jobs: &[Graph]) -> Result<ChaosReport, String> {
+    // Injected panics are caught by the engine; keep the default hook from
+    // spamming stderr for them while leaving real panics loud.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected fault:"));
+        if !injected {
+            prev(info);
+        }
+    }));
+
+    let plan = Arc::new(FaultPlan::parse(CHAOS_SPEC).expect("chaos spec parses"));
+    let config = corpus_framework().config().clone();
+    let mut batch = BatchCompiler::new(config);
+    let opened = epgs::ArtifactStore::open(store)
+        .map_err(|e| format!("cannot open chaos store {}: {e}", store.display()))?;
+    batch.attach_store(opened);
+    let mut engine = ServeEngine::from_batch(batch);
+    engine.set_fault_plan(Arc::clone(&plan));
+    engine.set_default_deadline(Some(CHAOS_DEADLINE));
+
+    let start = Instant::now();
+    let mut phase = Phase {
+        name: "chaos",
+        requests: 0,
+        ok: 0,
+        outcomes: [0; 4],
+        seconds: 0.0,
+        histogram: [0; 5],
+        total_wall_micros: 0,
+    };
+    let mut errors = [0usize; 4];
+    let mut degraded = 0usize;
+    let mut degraded_histogram = [0usize; 5];
+    let mut tally = |reply: &epgs_serve::ServeReply, phase: &mut Phase| {
+        phase.requests += 1;
+        phase.outcomes[outcome_slot(reply.outcome)] += 1;
+        phase.histogram[bucket(reply.wall_micros)] += 1;
+        phase.total_wall_micros += reply.wall_micros;
+        if reply.degraded {
+            degraded += 1;
+            degraded_histogram[bucket(reply.wall_micros)] += 1;
+        }
+        match &reply.result {
+            Ok(_) => phase.ok += 1,
+            Err(e) => errors[error_kind_slot(e.kind)] += 1,
+        }
+    };
+    // Two passes so injected store faults hit real disk reads too, then
+    // the guaranteed-expired batch.
+    for _ in 0..2 {
+        for g in jobs {
+            tally(&engine.compile(g), &mut phase);
+        }
+    }
+    for g in jobs.iter().take(CHAOS_EXPIRED_REQUESTS) {
+        tally(
+            &engine.compile_with_deadline(g, Some(Duration::ZERO)),
+            &mut phase,
+        );
+    }
+    phase.seconds = start.elapsed().as_secs_f64();
+
+    let failed: usize = errors.iter().sum();
+    if phase.ok + failed != phase.requests {
+        return Err(format!(
+            "chaos accounting broken: {} ok + {} errors != {} requests",
+            phase.ok, failed, phase.requests
+        ));
+    }
+    if plan.total_hits() == 0 {
+        return Err("chaos plan never fired".to_string());
+    }
+    if errors[error_kind_slot(ServeErrorKind::DeadlineExceeded)] < CHAOS_EXPIRED_REQUESTS {
+        return Err("expired chaos requests did not report deadline_exceeded".to_string());
+    }
+    let store_stats = engine
+        .batch()
+        .store()
+        .map(|s| s.stats())
+        .unwrap_or_default();
+    Ok(ChaosReport {
+        phase,
+        fault_hits: plan.hits(),
+        errors,
+        degraded,
+        degraded_histogram,
+        store: store_stats,
+    })
+}
+
 fn emit(
     out: &Path,
     mode: &str,
     corpus: &str,
     instances: usize,
     phases: &[Phase],
+    chaos: Option<&ChaosReport>,
 ) -> Result<(), String> {
     let mut w = Writer::with_capacity(2048);
     w.begin_obj();
@@ -151,7 +336,13 @@ fn emit(
     for p in phases {
         p.write(&mut w);
     }
+    if let Some(c) = chaos {
+        c.phase.write(&mut w);
+    }
     w.end_arr();
+    if let Some(c) = chaos {
+        c.write(&mut w);
+    }
     let speedup = match phases.iter().find(|p| p.name == "cold") {
         Some(cold) if cold.requests_per_sec() > 0.0 => phases
             .iter()
@@ -225,11 +416,43 @@ fn validate(out: &Path, require_speedup: bool) -> Result<(), String> {
             _ => return Err("cold/warm phases missing from emitted JSON".to_string()),
         }
     }
+    if let Some(chaos) = doc.get("chaos") {
+        for field in [
+            "fault_hits",
+            "errors",
+            "store",
+            "degraded_latency_histogram",
+        ] {
+            if chaos.get(field).is_none() {
+                return Err(format!("chaos object lacks '{field}'"));
+            }
+        }
+        for kind in ERROR_KIND_NAMES {
+            if chaos
+                .get("errors")
+                .and_then(|e| e.get(kind))
+                .and_then(Value::as_u64)
+                .is_none()
+            {
+                return Err(format!("chaos errors object lacks '{kind}'"));
+            }
+        }
+        if chaos.get("degraded").and_then(Value::as_u64).is_none() {
+            return Err("chaos object lacks a numeric 'degraded'".to_string());
+        }
+    }
     Ok(())
 }
 
-/// Engine mode: cold / warm / restart over one store directory.
-fn run_engine_mode(out: &Path, mode: &str, store: &Path, jobs: &[Graph]) -> Result<(), String> {
+/// Engine mode: cold / warm / restart over one store directory, plus the
+/// optional chaos phase over a scratch subdirectory of it.
+fn run_engine_mode(
+    out: &Path,
+    mode: &str,
+    store: &Path,
+    jobs: &[Graph],
+    chaos: bool,
+) -> Result<(), String> {
     let config = corpus_framework().config().clone();
     let new_engine = || -> Result<ServeEngine, String> {
         let mut batch = BatchCompiler::with_cache_capacity(
@@ -273,6 +496,8 @@ fn run_engine_mode(out: &Path, mode: &str, store: &Path, jobs: &[Graph]) -> Resu
     );
 
     let phases = [cold, warm, restart];
+    // Fault-free phases must be flawless; the chaos phase below is the one
+    // place failures are expected (and separately accounted).
     if let Some(p) = phases.iter().find(|p| p.ok != p.requests) {
         return Err(format!(
             "{} of {} requests failed in phase '{}'",
@@ -281,7 +506,31 @@ fn run_engine_mode(out: &Path, mode: &str, store: &Path, jobs: &[Graph]) -> Resu
             p.name
         ));
     }
-    emit(out, mode, "default", jobs.len(), &phases)?;
+    let chaos_report = if chaos {
+        let chaos_store = store.join("chaos");
+        let _ = std::fs::remove_dir_all(&chaos_store);
+        let report = run_chaos_phase(&chaos_store, jobs)?;
+        println!(
+            "chaos:   {} requests in {:.2} s ({} ok, {} errors, {} degraded, {} fault hits)",
+            report.phase.requests,
+            report.phase.seconds,
+            report.phase.ok,
+            report.errors.iter().sum::<usize>(),
+            report.degraded,
+            report.fault_hits.iter().map(|(_, n)| n).sum::<u64>()
+        );
+        Some(report)
+    } else {
+        None
+    };
+    emit(
+        out,
+        mode,
+        "default",
+        jobs.len(),
+        &phases,
+        chaos_report.as_ref(),
+    )?;
     validate(out, true)?;
     println!("report written to {}", out.display());
     Ok(())
@@ -388,7 +637,7 @@ fn run_daemon_mode(daemon: &str, out: &Path, store: &Path, jobs: &[Graph]) -> Re
                 pass2.hit_rate()
             ));
         }
-        emit(out, "daemon", "default", jobs.len(), &[pass1, pass2])?;
+        emit(out, "daemon", "default", jobs.len(), &[pass1, pass2], None)?;
         validate(out, false)?;
         println!("report written to {}", out.display());
         Ok(())
@@ -403,7 +652,9 @@ fn run_daemon_mode(daemon: &str, out: &Path, store: &Path, jobs: &[Graph]) -> Re
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: serve_bench [--smoke] [--out FILE.json] [--store DIR] [--daemon PATH]");
+    eprintln!(
+        "usage: serve_bench [--smoke] [--chaos] [--out FILE.json] [--store DIR] [--daemon PATH]"
+    );
     ExitCode::FAILURE
 }
 
@@ -412,10 +663,12 @@ fn main() -> ExitCode {
     let mut store: Option<String> = None;
     let mut daemon: Option<String> = None;
     let mut smoke = false;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => {
@@ -475,6 +728,9 @@ fn main() -> ExitCode {
         let _ = std::fs::remove_dir_all(&store_dir);
     }
 
+    if chaos && daemon.is_some() {
+        eprintln!("--chaos is an engine-mode phase; ignored with --daemon");
+    }
     let result = match &daemon {
         Some(path) => run_daemon_mode(path, &out, &store_dir, &jobs),
         None => run_engine_mode(
@@ -482,6 +738,7 @@ fn main() -> ExitCode {
             if smoke { "smoke" } else { "full" },
             &store_dir,
             &jobs,
+            chaos,
         ),
     };
     if scratch {

@@ -465,6 +465,9 @@ fn decode_payload(
         lc_sequence: usize_arr(field(p, "lc_sequence")?, "lc_sequence")?,
         transformed: decode_graph(field(p, "transformed")?)?,
         cut: need_usize(field(p, "cut")?, "cut")?,
+        // Degraded plans are never persisted, so a decoded one is pristine
+        // by construction and the codec needs no new field.
+        degraded: false,
     };
     let plans = field(payload, "plans")?
         .as_arr()

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -31,8 +31,11 @@ use epgs_corpus::json::Writer;
 use epgs_graph::canon::{canonical_hash, fnv1a_all};
 use epgs_graph::Graph;
 use epgs_hardware::{CompileObjective, HardwareModel};
+use epgs_partition::{FaultHook, InjectedFault, SearchControl};
 
 use crate::config::{EmitterBudget, FrameworkConfig};
+use crate::error::FrameworkError;
+use crate::faults::{self, lock_recover, FaultKind, FaultPlan, RequestCtx};
 use crate::framework::Compiled;
 use crate::stages::{Pipeline, Planned, RecombineStrategy};
 use crate::store::{ArtifactStore, StoreStats};
@@ -389,6 +392,13 @@ pub struct InstanceReport {
     pub error: Option<String>,
     /// Wall time of this instance (µs), cache lookup included.
     pub wall_micros: u128,
+    /// The partition search degraded (deadline truncation or multilevel →
+    /// flat fallback); the result is valid but possibly lower quality and
+    /// was not cached or persisted.
+    pub degraded: bool,
+    /// The compile was cancelled at its deadline
+    /// ([`FrameworkError::DeadlineExceeded`]).
+    pub timed_out: bool,
 }
 
 impl InstanceReport {
@@ -648,6 +658,14 @@ impl BatchReport {
             if let Some(e) = &r.error {
                 w.field_str("error", e);
             }
+            // Robustness flags: emitted only when set, so fault-free runs
+            // keep their historical shape byte for byte.
+            if r.degraded {
+                w.field_bool("degraded", true);
+            }
+            if r.timed_out {
+                w.field_bool("timed_out", true);
+            }
             w.end_obj();
         }
         w.end_arr();
@@ -684,6 +702,7 @@ pub struct BatchCompiler {
     config_fp: u64,
     cache: Mutex<ArtifactCache>,
     store: Option<ArtifactStore>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl BatchCompiler {
@@ -703,6 +722,7 @@ impl BatchCompiler {
             config_fp,
             cache: Mutex::new(ArtifactCache::new(capacity)),
             store: None,
+            faults: None,
         }
     }
 
@@ -722,8 +742,23 @@ impl BatchCompiler {
     }
 
     /// Attaches an already-opened store (memory → disk → compile layering).
-    pub fn attach_store(&mut self, store: ArtifactStore) {
+    /// An armed fault plan is forwarded to the store's I/O points.
+    pub fn attach_store(&mut self, mut store: ArtifactStore) {
+        if let Some(plan) = &self.faults {
+            store.set_fault_plan(Arc::clone(plan));
+        }
         self.store = Some(store);
+    }
+
+    /// Arms a fault-injection plan on the compiler (its `batch.compile`
+    /// and `partition.multilevel` points) and forwards it to the attached
+    /// store's I/O points. Chaos testing only; compilers without a plan
+    /// pay nothing.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        if let Some(store) = &mut self.store {
+            store.set_fault_plan(Arc::clone(&plan));
+        }
+        self.faults = Some(plan);
     }
 
     /// The attached persistent store, if any.
@@ -746,17 +781,17 @@ impl BatchCompiler {
 
     /// Snapshot of the cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        lock_recover(&self.cache).stats()
     }
 
     /// Number of artifacts currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        lock_recover(&self.cache).len()
     }
 
     /// Drops every cached artifact (counters survive).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        lock_recover(&self.cache).clear();
     }
 
     /// Evicts the cache entries for `graph`; returns how many were
@@ -766,7 +801,27 @@ impl BatchCompiler {
             canonical: canonical_hash(graph),
             config: self.config_fp,
         };
-        self.cache.lock().expect("cache lock").evict(key)
+        lock_recover(&self.cache).evict(key)
+    }
+
+    /// Builds the partition-search controls for one request: the
+    /// cooperative deadline plus the multilevel fault hook when a plan is
+    /// armed. A multilevel failure (injected or real) degrades to the flat
+    /// engine inside the search rather than failing the request.
+    fn search_control(&self, ctx: &RequestCtx) -> SearchControl {
+        let multilevel_fault: Option<FaultHook> = self.faults.as_ref().map(|plan| {
+            let plan = Arc::clone(plan);
+            Arc::new(move || match plan.at(faults::POINT_MULTILEVEL) {
+                Some(FaultKind::Fail | FaultKind::IoError) => Some(InjectedFault::Fail),
+                Some(FaultKind::Panic) => Some(InjectedFault::Panic),
+                Some(FaultKind::Slow(ms)) => Some(InjectedFault::Slow(ms)),
+                Some(FaultKind::BitFlip) | None => None,
+            }) as FaultHook
+        });
+        SearchControl {
+            deadline: ctx.deadline,
+            multilevel_fault,
+        }
     }
 
     /// Compiles one instance, going through the artifact cache.
@@ -780,7 +835,23 @@ impl BatchCompiler {
         family: &str,
         graph: &Graph,
     ) -> (InstanceReport, Option<Compiled>) {
-        self.compile_with_hash(id, family, graph, canonical_hash(graph))
+        self.compile_instance_ctx(id, family, graph, &RequestCtx::default())
+    }
+
+    /// [`BatchCompiler::compile_instance`] under a request context: the
+    /// deadline is checked cooperatively between pipeline stages (a
+    /// [`FrameworkError::DeadlineExceeded`] report, `timed_out` set) and
+    /// inside the partition search (which truncates to its incumbent —
+    /// `degraded` set — instead of failing). Degraded plans are never
+    /// cached or persisted.
+    pub fn compile_instance_ctx(
+        &self,
+        id: &str,
+        family: &str,
+        graph: &Graph,
+        ctx: &RequestCtx,
+    ) -> (InstanceReport, Option<Compiled>) {
+        self.compile_with_hash(id, family, graph, canonical_hash(graph), ctx)
     }
 
     /// [`BatchCompiler::compile_instance`] with the WL hash precomputed —
@@ -792,42 +863,110 @@ impl BatchCompiler {
         family: &str,
         graph: &Graph,
         canonical: u64,
+        ctx: &RequestCtx,
     ) -> (InstanceReport, Option<Compiled>) {
         let start = Instant::now();
         let key = CacheKey {
             canonical,
             config: self.config_fp,
         };
+        let base_report =
+            |cache: CacheOutcome, error: FrameworkError, start: Instant| InstanceReport {
+                id: id.to_string(),
+                family: family.to_string(),
+                vertices: graph.vertex_count(),
+                edges: graph.edge_count(),
+                canonical_hash: key.canonical,
+                cache,
+                metrics: None,
+                error: Some(error.to_string()),
+                wall_micros: start.elapsed().as_micros(),
+                degraded: false,
+                timed_out: matches!(error, FrameworkError::DeadlineExceeded),
+            };
+        // Entry fault point. The panic fires before any lock is taken, so
+        // injected panics can never poison the cache from inside it.
+        match self
+            .faults
+            .as_ref()
+            .and_then(|f| f.at(faults::POINT_COMPILE))
+        {
+            Some(FaultKind::Panic) => panic!("injected fault: batch.compile"),
+            Some(FaultKind::Slow(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(FaultKind::Fail | FaultKind::IoError) => {
+                let mut report = base_report(
+                    CacheOutcome::Miss,
+                    FrameworkError::VerificationFailed,
+                    start,
+                );
+                report.error = Some("injected fault: batch.compile".to_string());
+                return (report, None);
+            }
+            Some(FaultKind::BitFlip) | None => {}
+        }
         let mut outcome = CacheOutcome::Miss;
-        let mut cached = self.cache.lock().expect("cache lock").lookup(key, graph);
+        let mut cached = lock_recover(&self.cache).lookup(key, graph);
         if cached.is_some() {
             outcome = CacheOutcome::Hit;
         } else if let Some(store) = &self.store {
             cached = store.load(key, graph, &self.pipeline).inspect(|p| {
                 outcome = CacheOutcome::DiskHit;
                 // Promote to the memory layer so the next lookup is free.
-                self.cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key, graph.clone(), p.clone());
+                lock_recover(&self.cache).insert(key, graph.clone(), p.clone());
             });
+        }
+        if cached.is_none() && ctx.expired() {
+            // The expensive prefix hasn't started; cancel instead of
+            // burning a partition search on a dead request.
+            return (
+                base_report(outcome, FrameworkError::DeadlineExceeded, start),
+                None,
+            );
         }
         // The planning stage runs outside the cache lock: concurrent misses
         // on the same content may plan twice, but never block each other.
         let planned = match cached {
             Some(p) => Ok(p),
-            None => self.pipeline.partition(graph).plan_leaves().inspect(|p| {
-                self.cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key, graph.clone(), p.clone());
-                if let Some(store) = &self.store {
-                    store.save(key, p);
-                }
-            }),
+            None => self
+                .pipeline
+                .partition_with_control(graph, &self.search_control(ctx))
+                .plan_leaves()
+                .inspect(|p| {
+                    // Degraded plans (deadline-truncated search, multilevel
+                    // fallback) stay out of both cache layers: a transient
+                    // fault must not pin reduced quality for future
+                    // requests.
+                    if !p.partition().degraded {
+                        lock_recover(&self.cache).insert(key, graph.clone(), p.clone());
+                        if let Some(store) = &self.store {
+                            store.save(key, p);
+                        }
+                    }
+                }),
         };
-        let compiled =
-            planned.and_then(|p| p.schedule(p.configured_budget()).recombine()?.verify());
+        let degraded = planned
+            .as_ref()
+            .map(|p| p.partition().degraded)
+            .unwrap_or(false);
+        // Cooperative deadline between the remaining stages. A degraded
+        // request already absorbed its deadline inside the partition search
+        // and runs the cheap suffix to a terminal (degraded) answer.
+        let compiled = planned.and_then(|p| {
+            if ctx.expired() && !degraded {
+                return Err(FrameworkError::DeadlineExceeded);
+            }
+            let scheduled = p.schedule(p.configured_budget());
+            if ctx.expired() && !degraded {
+                return Err(FrameworkError::DeadlineExceeded);
+            }
+            let recombined = scheduled.recombine()?;
+            if ctx.expired() && !degraded {
+                return Err(FrameworkError::DeadlineExceeded);
+            }
+            recombined.verify()
+        });
         let report = InstanceReport {
             id: id.to_string(),
             family: family.to_string(),
@@ -848,6 +987,8 @@ impl BatchCompiler {
             }),
             error: compiled.as_ref().err().map(ToString::to_string),
             wall_micros: start.elapsed().as_micros(),
+            degraded,
+            timed_out: matches!(compiled, Err(FrameworkError::DeadlineExceeded)),
         };
         (report, compiled.ok())
     }
@@ -881,8 +1022,14 @@ impl BatchCompiler {
                         let inst = &instances[i];
                         (
                             i,
-                            self.compile_with_hash(&inst.id, &inst.family, &inst.graph, *canonical)
-                                .0,
+                            self.compile_with_hash(
+                                &inst.id,
+                                &inst.family,
+                                &inst.graph,
+                                *canonical,
+                                &RequestCtx::default(),
+                            )
+                            .0,
                         )
                     })
                     .collect()
@@ -922,6 +1069,90 @@ mod tests {
             .orderings_per_subgraph(4)
             .flexible_slack(1)
             .build()
+    }
+
+    #[test]
+    fn expired_deadline_on_a_cold_compile_is_a_structured_timeout() {
+        let batch = BatchCompiler::new(quick_config());
+        let g = generators::lattice(3, 3);
+        let ctx = RequestCtx {
+            deadline: Some(Instant::now()),
+        };
+        let (report, compiled) = batch.compile_instance_ctx("cold", "lattice", &g, &ctx);
+        assert!(compiled.is_none());
+        assert!(report.timed_out);
+        assert!(!report.degraded);
+        assert_eq!(
+            report.error.as_deref(),
+            Some("compile deadline exceeded"),
+            "structured deadline error, not a solver failure"
+        );
+        assert_eq!(batch.cache_len(), 0, "nothing was planned or cached");
+        // An expired deadline cancels even a cache hit — the request is
+        // dead either way — while a live deadline lets the hit answer.
+        let (warm, warm_compiled) = batch.compile_instance("warm", "lattice", &g);
+        assert!(warm_compiled.is_some());
+        assert_eq!(warm.cache, CacheOutcome::Miss);
+        let (hit, hit_compiled) = batch.compile_instance_ctx("hit", "lattice", &g, &ctx);
+        assert!(hit_compiled.is_none());
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert!(hit.timed_out);
+        let live = RequestCtx::with_timeout(std::time::Duration::from_secs(60));
+        let (ok, ok_compiled) = batch.compile_instance_ctx("ok", "lattice", &g, &live);
+        assert!(ok_compiled.is_some(), "cached prefix + cheap suffix");
+        assert_eq!(ok.cache, CacheOutcome::Hit);
+        assert!(!ok.timed_out);
+    }
+
+    #[test]
+    fn injected_multilevel_faults_degrade_and_stay_out_of_the_cache() {
+        use crate::faults::{FaultKind, FaultPlan, Trigger};
+        let mut batch = BatchCompiler::new(quick_config());
+        let plan = Arc::new(FaultPlan::new(5).rule(
+            faults::POINT_MULTILEVEL,
+            FaultKind::Fail,
+            Trigger::Always,
+        ));
+        batch.set_fault_plan(Arc::clone(&plan));
+        let g = generators::lattice(3, 3);
+        let (report, compiled) = batch.compile_instance("deg", "lattice", &g);
+        assert!(compiled.is_some(), "degraded, not failed");
+        assert!(report.degraded);
+        assert!(!report.timed_out);
+        assert!(plan.total_hits() > 0);
+        assert_eq!(batch.cache_len(), 0, "degraded plans are not cached");
+        plan.disarm();
+        let (clean, clean_compiled) = batch.compile_instance("clean", "lattice", &g);
+        assert!(clean_compiled.is_some());
+        assert!(!clean.degraded);
+        assert_eq!(
+            clean.cache,
+            CacheOutcome::Miss,
+            "recompiled at full quality"
+        );
+        assert_eq!(batch.cache_len(), 1, "pristine plan cached normally");
+    }
+
+    #[test]
+    fn injected_compile_failure_is_reported_not_propagated() {
+        use crate::faults::{FaultKind, FaultPlan, Trigger};
+        let mut batch = BatchCompiler::new(quick_config());
+        batch.set_fault_plan(Arc::new(FaultPlan::new(6).rule_limited(
+            faults::POINT_COMPILE,
+            FaultKind::Fail,
+            Trigger::Nth(0),
+            1,
+        )));
+        let g = generators::path(6);
+        let (report, compiled) = batch.compile_instance("boom", "path", &g);
+        assert!(compiled.is_none());
+        assert_eq!(
+            report.error.as_deref(),
+            Some("injected fault: batch.compile")
+        );
+        let (ok, ok_compiled) = batch.compile_instance("fine", "path", &g);
+        assert!(ok_compiled.is_some(), "only invocation 0 was armed");
+        assert!(ok.ok());
     }
 
     #[test]

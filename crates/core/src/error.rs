@@ -13,6 +13,9 @@ pub enum FrameworkError {
     /// Recombination was invoked with an empty strategy list (see
     /// [`crate::Scheduled::recombine_with`]).
     NoRecombineStrategy,
+    /// The request's compile deadline passed between pipeline stages (see
+    /// [`crate::RequestCtx`]); the compile was cancelled cooperatively.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for FrameworkError {
@@ -28,6 +31,7 @@ impl std::fmt::Display for FrameworkError {
             FrameworkError::NoRecombineStrategy => {
                 write!(f, "recombination requires at least one strategy")
             }
+            FrameworkError::DeadlineExceeded => write!(f, "compile deadline exceeded"),
         }
     }
 }
@@ -36,7 +40,9 @@ impl std::error::Error for FrameworkError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FrameworkError::Solver(e) => Some(e),
-            FrameworkError::VerificationFailed | FrameworkError::NoRecombineStrategy => None,
+            FrameworkError::VerificationFailed
+            | FrameworkError::NoRecombineStrategy
+            | FrameworkError::DeadlineExceeded => None,
         }
     }
 }

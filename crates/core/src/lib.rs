@@ -126,6 +126,7 @@ pub mod artifact;
 pub mod batch;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod framework;
 pub mod report;
 pub mod schedule;
@@ -142,6 +143,9 @@ pub use config::{EmitterBudget, FrameworkConfig, FrameworkConfigBuilder};
 pub use epgs_hardware::{CompileObjective, ObjectiveFigures, ObjectiveScore};
 pub use epgs_partition::{MultilevelOptions, PartitionScheme, PartitionSpec};
 pub use error::FrameworkError;
+pub use faults::{
+    lock_recover, panic_message, FaultKind, FaultPlan, FaultRule, RequestCtx, Trigger,
+};
 pub use framework::{compile, Compiled, Framework};
 pub use schedule::{schedule, Placement, Schedule, StepFn};
 pub use stages::{

@@ -54,6 +54,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use epgs_graph::{height, Graph};
+use epgs_partition::SearchControl;
 use epgs_solver::ordering;
 
 use crate::config::FrameworkConfig;
@@ -138,6 +139,16 @@ impl Pipeline {
     /// complementation (paper §IV.A) and computes its `Ne_min` reference.
     pub fn partition(&self, target: &Graph) -> Partitioned {
         Partitioned::build(Arc::clone(&self.shared), target)
+    }
+
+    /// [`Pipeline::partition`] under runtime controls — a cooperative
+    /// deadline and/or fault hooks for the partition search (see
+    /// [`epgs_partition::SearchControl`]). With default controls this is
+    /// byte-identical to [`Pipeline::partition`]. A truncated or
+    /// fallen-back search marks the result
+    /// [degraded](epgs_partition::Partition::degraded).
+    pub fn partition_with_control(&self, target: &Graph, ctrl: &SearchControl) -> Partitioned {
+        Partitioned::build_controlled(Arc::clone(&self.shared), target, ctrl)
     }
 
     /// Runs all five stages for `target` under the configured emitter

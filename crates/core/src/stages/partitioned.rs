@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use epgs_graph::Graph;
-use epgs_partition::{partition_with_lc, Partition};
+use epgs_partition::{partition_with_lc_controlled, Partition, SearchControl};
 
 use crate::error::FrameworkError;
 use crate::stages::planned::Planned;
@@ -37,7 +37,16 @@ pub struct Partitioned {
 
 impl Partitioned {
     pub(crate) fn build(shared: Arc<Shared>, target: &Graph) -> Self {
-        let partition = partition_with_lc(target, &shared.config.partition);
+        Self::build_controlled(shared, target, &SearchControl::default())
+    }
+
+    pub(crate) fn build_controlled(
+        shared: Arc<Shared>,
+        target: &Graph,
+        ctrl: &SearchControl,
+    ) -> Self {
+        let (partition, _report) =
+            partition_with_lc_controlled(target, &shared.config.partition, ctrl);
         let ne_min = ne_min_of(target);
         shared
             .counters

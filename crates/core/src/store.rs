@@ -26,27 +26,54 @@
 //!   schema-violating files are deleted on load and counted in
 //!   [`StoreStats::corrupt_discarded`]; version-mismatched files are
 //!   deleted and counted in [`StoreStats::version_rejected`].
+//! * **Two strikes and quarantined** — a name whose file fails the
+//!   corruption check *twice* is renamed to `<name>.quarantine` instead of
+//!   deleted, and is never read or rewritten again by this process (or any
+//!   later one: quarantine files are re-detected at open). A recurring bad
+//!   entry — a flaky sector, a writer bug — cannot be served and cannot
+//!   churn through a delete/rewrite loop.
+//! * **I/O retry with capped backoff** — transient read/write failures are
+//!   retried up to 3 attempts (1–2 ms backoff) and counted in
+//!   [`StoreStats::read_retries`] / [`StoreStats::write_retries`]; a
+//!   missing file is a plain miss, never retried.
+//! * **Crash-orphan sweep** — `open` deletes `.tmp-*` files abandoned by a
+//!   crash between write and rename, counted in [`StoreStats::tmp_swept`].
 //! * **LRU byte budget** — the store tracks total bytes and evicts
 //!   least-recently-used files when a write pushes it past the budget.
 //!   Recency is per-process (seeded from file modification times at open).
+//!
+//! For fault-injection testing a seeded [`FaultPlan`] can be armed on the
+//! handle (points [`POINT_STORE_READ`](crate::faults::POINT_STORE_READ) /
+//! [`POINT_STORE_WRITE`](crate::faults::POINT_STORE_WRITE)); unarmed
+//! handles skip the probes entirely.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::SystemTime;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 use epgs_graph::canon::fnv1a_all;
 use epgs_graph::Graph;
 
 use crate::artifact::{self, ArtifactError};
 use crate::batch::CacheKey;
+use crate::faults::{self, lock_recover, FaultKind, FaultPlan};
 use crate::stages::{Pipeline, Planned};
 
 /// Filename suffix of every artifact in a store directory.
 const SUFFIX: &str = ".art.json";
+
+/// Filename suffix of quarantined (never re-read) artifacts.
+const QUARANTINE_SUFFIX: &str = ".quarantine";
+
+/// Read/write attempts per operation (1 initial + 2 retries).
+const MAX_IO_ATTEMPTS: u32 = 3;
+
+/// Corruption strikes against one name before it is quarantined.
+const QUARANTINE_STRIKES: u32 = 2;
 
 /// Process-wide counter making temporary file names unique.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -84,6 +111,16 @@ pub struct StoreStats {
     /// Writes that failed at the filesystem level (artifact dropped, the
     /// compile result itself is unaffected).
     pub write_errors: usize,
+    /// Names quarantined after failing the corruption check twice — their
+    /// files are renamed to `.quarantine` and never read again.
+    pub quarantined: usize,
+    /// Orphaned `.tmp-*` files (crash between write and rename) deleted by
+    /// [`ArtifactStore::open`].
+    pub tmp_swept: usize,
+    /// Load attempts retried after a transient read failure.
+    pub read_retries: usize,
+    /// Save attempts retried after a transient write failure.
+    pub write_retries: usize,
 }
 
 #[derive(Debug)]
@@ -98,6 +135,11 @@ struct StoreIndex {
     total_bytes: u64,
     clock: u64,
     stats: StoreStats,
+    /// Corruption strikes per name; at [`QUARANTINE_STRIKES`] the name
+    /// moves to `quarantined`.
+    strikes: HashMap<String, u32>,
+    /// Names never read or written again (file renamed to `.quarantine`).
+    quarantined: HashSet<String>,
 }
 
 impl StoreIndex {
@@ -128,6 +170,7 @@ pub struct ArtifactStore {
     dir: PathBuf,
     budget: u64,
     index: Mutex<StoreIndex>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ArtifactStore {
@@ -156,14 +199,25 @@ impl ArtifactStore {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let mut found: Vec<(String, u64, SystemTime)> = Vec::new();
+        let mut index = StoreIndex::default();
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
-            if !name.ends_with(SUFFIX) {
-                continue;
-            }
             let meta = entry.metadata()?;
             if !meta.is_file() {
+                continue;
+            }
+            if name.starts_with(".tmp-") {
+                // Orphan from a crash between write and rename.
+                let _ = fs::remove_file(entry.path());
+                index.stats.tmp_swept += 1;
+                continue;
+            }
+            if let Some(original) = name.strip_suffix(QUARANTINE_SUFFIX) {
+                index.quarantined.insert(original.to_string());
+                continue;
+            }
+            if !name.ends_with(SUFFIX) {
                 continue;
             }
             let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
@@ -171,7 +225,7 @@ impl ArtifactStore {
         }
         // Oldest first, so clocks reproduce the on-disk recency order.
         found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
-        let mut index = StoreIndex::default();
+        index.stats.quarantined = index.quarantined.len();
         for (name, bytes, _) in found {
             index.clock += 1;
             index.total_bytes += bytes;
@@ -187,9 +241,17 @@ impl ArtifactStore {
             dir,
             budget: budget_bytes.max(1),
             index: Mutex::new(index),
+            faults: None,
         };
-        store.evict_over_budget(&mut store.index.lock().expect("store lock"));
+        store.evict_over_budget(&mut lock_recover(&store.index));
         Ok(store)
+    }
+
+    /// Arms a fault-injection plan on this handle (chaos testing); every
+    /// later load/save probes the plan's `store.read` / `store.write`
+    /// points. Handles without a plan skip the probes entirely.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// The directory this store lives in.
@@ -204,7 +266,7 @@ impl ArtifactStore {
 
     /// Number of artifacts currently indexed.
     pub fn len(&self) -> usize {
-        self.index.lock().expect("store lock").files.len()
+        lock_recover(&self.index).files.len()
     }
 
     /// Whether the store holds no artifacts.
@@ -214,12 +276,12 @@ impl ArtifactStore {
 
     /// Total indexed artifact bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.index.lock().expect("store lock").total_bytes
+        lock_recover(&self.index).total_bytes
     }
 
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> StoreStats {
-        self.index.lock().expect("store lock").stats
+        lock_recover(&self.index).stats
     }
 
     fn file_name(key: CacheKey, exact: u64) -> String {
@@ -229,22 +291,70 @@ impl ArtifactStore {
         )
     }
 
+    /// Reads the file behind an artifact, retrying transient failures with
+    /// capped backoff and applying any armed read faults. Returns the text,
+    /// the retry count, and whether a definitive not-found was seen (which
+    /// is a plain miss, never retried).
+    fn read_with_retry(&self, path: &Path) -> (Option<String>, usize, bool) {
+        let mut retries = 0;
+        for attempt in 0..MAX_IO_ATTEMPTS {
+            if attempt > 0 {
+                retries += 1;
+                std::thread::sleep(Duration::from_millis(1 << (attempt - 1)));
+            }
+            let injected = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.at(faults::POINT_STORE_READ));
+            if let Some(FaultKind::Slow(ms)) = injected {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            if matches!(
+                injected,
+                Some(FaultKind::IoError | FaultKind::Fail | FaultKind::Panic)
+            ) {
+                continue; // this attempt fails
+            }
+            match fs::read_to_string(path) {
+                Ok(mut text) => {
+                    if matches!(injected, Some(FaultKind::BitFlip)) {
+                        if let Some(f) = &self.faults {
+                            f.corrupt_text(&mut text);
+                        }
+                    }
+                    return (Some(text), retries, false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return (None, retries, true),
+                Err(_) => continue,
+            }
+        }
+        (None, retries, false)
+    }
+
     /// Loads the artifact for exactly `graph` under `key`, binding it to
-    /// `pipeline`. Any invalid file encountered is deleted and the load
-    /// reports a miss; see [`StoreStats`] for the per-cause counters.
+    /// `pipeline`. Any invalid file encountered is deleted on first strike
+    /// and quarantined on second; see [`StoreStats`] for the per-cause
+    /// counters and the [module docs](self) for the retry and quarantine
+    /// policies.
     pub fn load(&self, key: CacheKey, graph: &Graph, pipeline: &Pipeline) -> Option<Planned> {
         let name = Self::file_name(key, exact_graph_hash(graph));
         let path = self.dir.join(&name);
-        let mut index = self.index.lock().expect("store lock");
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(_) => {
-                // Absent here but present in the index means another
-                // process evicted it; resynchronize.
-                index.remove(&name);
-                index.stats.disk_misses += 1;
-                return None;
-            }
+        if lock_recover(&self.index).quarantined.contains(&name) {
+            lock_recover(&self.index).stats.disk_misses += 1;
+            return None;
+        }
+        // I/O runs outside the index lock: backoff sleeps and injected
+        // stalls must not serialize unrelated loads.
+        let (text, retries, _not_found) = self.read_with_retry(&path);
+        let mut index = lock_recover(&self.index);
+        index.stats.read_retries += retries;
+        let Some(text) = text else {
+            // Absent here but present in the index means another process
+            // evicted it; resynchronize. Persistent read failure lands
+            // here too — a miss (recompile), not a request failure.
+            index.remove(&name);
+            index.stats.disk_misses += 1;
+            return None;
         };
         match artifact::decode(&text, key, pipeline) {
             Ok(planned) if planned.target() == graph => {
@@ -282,47 +392,100 @@ impl ArtifactStore {
                 index.stats.corrupt_discarded += 1;
                 index.stats.disk_misses += 1;
                 index.remove(&name);
-                drop(index);
-                let _ = fs::remove_file(&path);
+                let strikes = index.strikes.entry(name.clone()).or_insert(0);
+                *strikes += 1;
+                if *strikes >= QUARANTINE_STRIKES {
+                    index.quarantined.insert(name.clone());
+                    index.stats.quarantined = index.quarantined.len();
+                    drop(index);
+                    let _ = fs::rename(&path, self.dir.join(format!("{name}{QUARANTINE_SUFFIX}")));
+                } else {
+                    drop(index);
+                    let _ = fs::remove_file(&path);
+                }
                 None
             }
         }
     }
 
     /// Stores `planned` under `key`, atomically (tmp file + rename), then
-    /// enforces the byte budget. Filesystem failures are absorbed into
+    /// enforces the byte budget. Transient filesystem failures are retried
+    /// with capped backoff; a write that still fails is absorbed into
     /// [`StoreStats::write_errors`] — a failed artifact write must never
-    /// fail the compilation that produced it.
+    /// fail the compilation that produced it. Quarantined names are never
+    /// rewritten.
     pub fn save(&self, key: CacheKey, planned: &Planned) {
         let text = artifact::encode(planned, key);
         let name = Self::file_name(key, exact_graph_hash(planned.target()));
-        let tmp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        let result = fs::write(&tmp, &text).and_then(|()| fs::rename(&tmp, self.dir.join(&name)));
-        let mut index = self.index.lock().expect("store lock");
-        match result {
-            Ok(()) => {
-                index.remove(&name); // overwrite: drop the old byte count
-                index.clock += 1;
-                let clock = index.clock;
-                index.total_bytes += text.len() as u64;
-                index.files.insert(
-                    name,
-                    FileEntry {
-                        bytes: text.len() as u64,
-                        last_used: clock,
-                    },
-                );
-                index.stats.writes += 1;
-                self.evict_over_budget(&mut index);
+        if lock_recover(&self.index).quarantined.contains(&name) {
+            return;
+        }
+        let mut retries = 0;
+        let mut written = false;
+        for attempt in 0..MAX_IO_ATTEMPTS {
+            if attempt > 0 {
+                retries += 1;
+                std::thread::sleep(Duration::from_millis(1 << (attempt - 1)));
             }
-            Err(_) => {
-                let _ = fs::remove_file(&tmp);
-                index.stats.write_errors += 1;
+            let injected = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.at(faults::POINT_STORE_WRITE));
+            if let Some(FaultKind::Slow(ms)) = injected {
+                std::thread::sleep(Duration::from_millis(ms));
             }
+            if matches!(
+                injected,
+                Some(FaultKind::IoError | FaultKind::Fail | FaultKind::Panic)
+            ) {
+                continue; // this attempt fails
+            }
+            // A bit-flip fault silently persists a corrupted payload (same
+            // length) — the load path's checksum must catch it later.
+            let payload = if matches!(injected, Some(FaultKind::BitFlip)) {
+                let mut corrupted = text.clone();
+                if let Some(f) = &self.faults {
+                    f.corrupt_text(&mut corrupted);
+                }
+                std::borrow::Cow::Owned(corrupted)
+            } else {
+                std::borrow::Cow::Borrowed(text.as_str())
+            };
+            let tmp = self.dir.join(format!(
+                ".tmp-{}-{}",
+                std::process::id(),
+                TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            match fs::write(&tmp, payload.as_bytes())
+                .and_then(|()| fs::rename(&tmp, self.dir.join(&name)))
+            {
+                Ok(()) => {
+                    written = true;
+                    break;
+                }
+                Err(_) => {
+                    let _ = fs::remove_file(&tmp);
+                }
+            }
+        }
+        let mut index = lock_recover(&self.index);
+        index.stats.write_retries += retries;
+        if written {
+            index.remove(&name); // overwrite: drop the old byte count
+            index.clock += 1;
+            let clock = index.clock;
+            index.total_bytes += text.len() as u64;
+            index.files.insert(
+                name,
+                FileEntry {
+                    bytes: text.len() as u64,
+                    last_used: clock,
+                },
+            );
+            index.stats.writes += 1;
+            self.evict_over_budget(&mut index);
+        } else {
+            index.stats.write_errors += 1;
         }
     }
 
@@ -330,7 +493,7 @@ impl ArtifactStore {
     /// returns how many files were removed.
     pub fn evict(&self, key: CacheKey) -> usize {
         let prefix = format!("{:016x}-{:016x}-", key.canonical, key.config);
-        let mut index = self.index.lock().expect("store lock");
+        let mut index = lock_recover(&self.index);
         let victims: Vec<String> = index
             .files
             .keys()
@@ -498,7 +661,9 @@ mod tests {
         assert_eq!(store.stats().corrupt_discarded, 1);
         assert!(!path.exists(), "corrupt file deleted");
 
-        // Bit flip inside a hex field: valid JSON, checksum mismatch.
+        // Bit flip inside a hex field: valid JSON, checksum mismatch. The
+        // name's second corruption strike quarantines it instead of
+        // deleting.
         store.save(key, &planned);
         let text = fs::read_to_string(&path).unwrap();
         let pos = text.find("\"t_loss\":\"").expect("t_loss field") + 10;
@@ -506,8 +671,95 @@ mod tests {
         bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
         fs::write(&path, bytes).unwrap();
         assert!(store.load(key, &g, &pipeline).is_none());
-        assert_eq!(store.stats().corrupt_discarded, 2);
-        assert!(!path.exists());
+        let stats = store.stats();
+        assert_eq!(stats.corrupt_discarded, 2);
+        assert_eq!(stats.quarantined, 1);
+        assert!(!path.exists(), "second strike renames the file away");
+        let qpath = dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+        assert!(qpath.exists(), "quarantine file kept for forensics");
+
+        // Quarantined names refuse writes and miss on load without a
+        // delete/rewrite churn loop.
+        store.save(key, &planned);
+        assert!(!path.exists(), "save against a quarantined name is a no-op");
+        assert!(store.load(key, &g, &pipeline).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_survives_reopen_and_orphaned_tmp_files_are_swept() {
+        let dir = tmp_dir("quarantine-reopen");
+        let pipeline = quick_pipeline();
+        let g = generators::cycle(8);
+        let key = key_for(&pipeline, &g);
+        let planned = pipeline.partition(&g).plan_leaves().unwrap();
+        let name = ArtifactStore::file_name(key, exact_graph_hash(&g));
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            for _ in 0..2 {
+                store.save(key, &planned);
+                fs::write(dir.join(&name), "{").unwrap();
+                assert!(store.load(key, &g, &pipeline).is_none());
+            }
+            assert_eq!(store.stats().quarantined, 1);
+        }
+        // Simulate a crash mid-write: an orphaned tmp file.
+        fs::write(dir.join(".tmp-9999-0"), "half an artifact").unwrap();
+
+        let store = ArtifactStore::open(&dir).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.quarantined, 1, "quarantine re-detected at open");
+        assert_eq!(stats.tmp_swept, 1);
+        assert!(!dir.join(".tmp-9999-0").exists());
+        assert!(
+            store.load(key, &g, &pipeline).is_none(),
+            "a fresh process still refuses the quarantined entry"
+        );
+        store.save(key, &planned);
+        assert!(!dir.join(&name).exists(), "still refuses writes");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_faults_retry_and_injected_write_faults_are_absorbed() {
+        use crate::faults::{FaultKind, FaultPlan, Trigger};
+        let dir = tmp_dir("faults");
+        let pipeline = quick_pipeline();
+        let g = generators::path(7);
+        let key = key_for(&pipeline, &g);
+        let planned = pipeline.partition(&g).plan_leaves().unwrap();
+
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        // First read attempt fails, first whole save fails (all 3 write
+        // attempts), second save's first attempt fails then succeeds.
+        store.set_fault_plan(Arc::new(
+            FaultPlan::new(11)
+                .rule_limited(
+                    faults::POINT_STORE_READ,
+                    FaultKind::IoError,
+                    Trigger::Nth(0),
+                    1,
+                )
+                .rule_limited(
+                    faults::POINT_STORE_WRITE,
+                    FaultKind::IoError,
+                    Trigger::Always,
+                    4,
+                ),
+        ));
+        store.save(key, &planned);
+        let stats = store.stats();
+        assert_eq!(stats.write_errors, 1, "3 failed attempts = 1 failed save");
+        assert_eq!(stats.write_retries, 2);
+        store.save(key, &planned);
+        let stats = store.stats();
+        assert_eq!(stats.writes, 1, "second save survives on retry");
+        assert_eq!(stats.write_retries, 3);
+        let loaded = store.load(key, &g, &pipeline);
+        assert!(loaded.is_some(), "read survives the injected failure");
+        let stats = store.stats();
+        assert_eq!(stats.read_retries, 1);
+        assert_eq!(stats.disk_hits, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

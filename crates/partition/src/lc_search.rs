@@ -17,10 +17,14 @@
 //! incumbent updates, and tie-breaks replicate the sequential loop exactly,
 //! so the returned partition is bit-identical.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
 use rayon::prelude::*;
 
 use epgs_graph::{ops, Graph};
 
+use crate::control::{InjectedFault, SearchControl, SearchReport};
 use crate::fm::fm_partition;
 use crate::multilevel::multilevel_partition;
 use crate::spec::{Partition, PartitionScheme, PartitionSpec};
@@ -45,28 +49,75 @@ struct Scored {
 /// Searches LC sequences up to `spec.lc_budget` and returns the best
 /// partition found across every visited transformed graph.
 pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
+    partition_with_lc_controlled(g, spec, &SearchControl::default()).0
+}
+
+/// [`partition_with_lc`] with runtime controls: a cooperative deadline
+/// (checked between scoring calls; the incumbent is returned when it
+/// passes) and a multilevel fault hook (a failed or panicked multilevel
+/// call falls back to the flat FM engine for that one scoring call). With
+/// a default [`SearchControl`] this is byte-identical to the uncontrolled
+/// search. The [`SearchReport`] says what, if anything, was given up, and
+/// is mirrored into [`Partition::degraded`].
+pub fn partition_with_lc_controlled(
+    g: &Graph,
+    spec: &PartitionSpec,
+    ctrl: &SearchControl,
+) -> (Partition, SearchReport) {
     let n = g.vertex_count();
     let num_blocks = spec.num_blocks(n);
+    let fallbacks = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
     // Scheme dispatch: the multilevel engine delegates to `fm_partition`
     // with identical arguments at or below its coarsening cutoff, so the two
     // schemes are byte-identical on small graphs.
+    //
+    // The multilevel arm must contain an injected panic *here*, inside the
+    // worker closure: the rayon shim joins scoped worker threads, so an
+    // escaping panic would poison its result mutex and take down the whole
+    // scoring round instead of one call.
+    let flat = |graph: &Graph, salt: u64| -> (Vec<usize>, usize) {
+        fm_partition(
+            graph,
+            num_blocks,
+            spec.g_max,
+            spec.effort.max(2),
+            spec.seed ^ salt,
+        )
+    };
     let score = |graph: &Graph, salt: u64| -> (Vec<usize>, usize) {
         match &spec.scheme {
-            PartitionScheme::Flat => fm_partition(
-                graph,
-                num_blocks,
-                spec.g_max,
-                spec.effort.max(2),
-                spec.seed ^ salt,
-            ),
-            PartitionScheme::Multilevel(opts) => multilevel_partition(
-                graph,
-                num_blocks,
-                spec.g_max,
-                spec.effort.max(2),
-                spec.seed ^ salt,
-                opts,
-            ),
+            PartitionScheme::Flat => flat(graph, salt),
+            PartitionScheme::Multilevel(opts) => {
+                let injected = ctrl.multilevel_fault.as_ref().and_then(|hook| hook());
+                match injected {
+                    Some(InjectedFault::Fail) => {
+                        fallbacks.fetch_add(1, Ordering::Relaxed);
+                        return flat(graph, salt);
+                    }
+                    Some(InjectedFault::Slow(ms)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    Some(InjectedFault::Panic) | None => {}
+                }
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    if injected == Some(InjectedFault::Panic) {
+                        panic!("injected fault: multilevel partitioner");
+                    }
+                    multilevel_partition(
+                        graph,
+                        num_blocks,
+                        spec.g_max,
+                        spec.effort.max(2),
+                        spec.seed ^ salt,
+                        opts,
+                    )
+                }));
+                attempt.unwrap_or_else(|_| {
+                    fallbacks.fetch_add(1, Ordering::Relaxed);
+                    flat(graph, salt)
+                })
+            }
         }
     };
 
@@ -76,14 +127,27 @@ pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
         lc_sequence: vec![],
         transformed: g.clone(),
         cut: base_cut,
+        degraded: false,
     };
     if spec.lc_budget == 0 || n == 0 {
-        return best;
+        let report = SearchReport {
+            truncated: false,
+            multilevel_fallbacks: fallbacks.load(Ordering::Relaxed),
+        };
+        best.degraded = report.degraded();
+        return (best, report);
     }
 
     // Beam of (graph, lc_sequence, cut).
     let mut beam: Vec<(Graph, Vec<usize>, usize)> = vec![(g.clone(), vec![], base_cut)];
     for depth in 0..spec.lc_budget {
+        // Cooperative deadline: stop expanding and keep the incumbent. The
+        // base partition above always runs, so a terminal result exists even
+        // with an already-expired deadline.
+        if ctrl.expired() {
+            truncated.store(true, Ordering::Relaxed);
+            break;
+        }
         // Score every expansion of every beam state, beam-states in
         // parallel. Each task owns one working graph and applies/undoes the
         // LC around the FM call instead of cloning per candidate.
@@ -95,6 +159,10 @@ pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
                 let mut work = graph.clone();
                 let mut out = Vec::new();
                 for v in 0..n {
+                    if ctrl.expired() {
+                        truncated.store(true, Ordering::Relaxed);
+                        break; // partial round: incumbent updates below stay valid
+                    }
                     if work.degree(v) < 2 {
                         continue; // LC at degree ≤ 1 vertices never changes edges
                     }
@@ -132,6 +200,7 @@ pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
                     lc_sequence,
                     transformed,
                     cut: s.cut,
+                    degraded: false,
                 };
             }
         }
@@ -161,7 +230,12 @@ pub fn partition_with_lc(g: &Graph, spec: &PartitionSpec) -> Partition {
             .collect();
     }
     debug_assert_eq!(best.cut, best.recompute_cut());
-    best
+    let report = SearchReport {
+        truncated: truncated.load(Ordering::Relaxed),
+        multilevel_fallbacks: fallbacks.load(Ordering::Relaxed),
+    };
+    best.degraded = report.degraded();
+    (best, report)
 }
 
 #[cfg(test)]
@@ -251,5 +325,97 @@ mod tests {
         let g = Graph::new(0);
         let p = partition_with_lc(&g, &PartitionSpec::default());
         assert_eq!(p.cut, 0);
+        assert!(!p.degraded);
+    }
+
+    #[test]
+    fn default_control_is_byte_identical_to_uncontrolled() {
+        let g = generators::lattice(3, 4);
+        let spec = PartitionSpec {
+            g_max: 6,
+            lc_budget: 3,
+            effort: 5,
+            seed: 5,
+            ..Default::default()
+        };
+        let plain = partition_with_lc(&g, &spec);
+        let (controlled, report) =
+            partition_with_lc_controlled(&g, &spec, &SearchControl::default());
+        assert_eq!(plain, controlled);
+        assert_eq!(report, SearchReport::default());
+        assert!(!controlled.degraded);
+    }
+
+    #[test]
+    fn multilevel_faults_fall_back_to_flat_and_mark_degraded() {
+        use std::sync::Arc;
+        // Complete(9) with g_max 3 exceeds nothing structural, but the point
+        // is the dispatch: every multilevel call is forced to fail (half
+        // cleanly, half by panic), so the whole search scores via the flat
+        // engine — which must produce the Flat scheme's exact result.
+        let g = generators::complete(9);
+        let spec = PartitionSpec {
+            g_max: 3,
+            lc_budget: 2,
+            effort: 5,
+            seed: 3,
+            scheme: PartitionScheme::Multilevel(crate::MultilevelOptions::default()),
+        };
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_in_hook = Arc::clone(&calls);
+        let ctrl = SearchControl {
+            deadline: None,
+            multilevel_fault: Some(Arc::new(move || {
+                let n = calls_in_hook.fetch_add(1, Ordering::Relaxed);
+                Some(if n.is_multiple_of(2) {
+                    InjectedFault::Fail
+                } else {
+                    InjectedFault::Panic
+                })
+            })),
+        };
+        let (p, report) = partition_with_lc_controlled(&g, &spec, &ctrl);
+        assert!(report.multilevel_fallbacks > 0);
+        assert!(!report.truncated);
+        assert!(p.degraded);
+        let flat = partition_with_lc(
+            &g,
+            &PartitionSpec {
+                scheme: PartitionScheme::Flat,
+                ..spec
+            },
+        );
+        assert_eq!(p.block_of, flat.block_of);
+        assert_eq!(p.cut, flat.cut);
+        assert_eq!(calls.load(Ordering::Relaxed), report.multilevel_fallbacks);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_to_the_base_partition() {
+        let g = generators::lattice(3, 4);
+        let spec = PartitionSpec {
+            g_max: 6,
+            lc_budget: 4,
+            effort: 5,
+            seed: 5,
+            ..Default::default()
+        };
+        let ctrl = SearchControl {
+            deadline: Some(std::time::Instant::now()),
+            multilevel_fault: None,
+        };
+        let (p, report) = partition_with_lc_controlled(&g, &spec, &ctrl);
+        assert!(report.truncated);
+        assert!(p.degraded);
+        assert!(p.lc_sequence.is_empty(), "no depth was explored");
+        let base = partition_with_lc(
+            &g,
+            &PartitionSpec {
+                lc_budget: 0,
+                ..spec
+            },
+        );
+        assert_eq!(p.cut, base.cut);
+        assert_eq!(p.block_of, base.block_of);
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod anneal;
+pub mod control;
 pub mod error;
 pub mod exact;
 pub mod fm;
@@ -39,7 +40,8 @@ pub mod multilevel;
 pub mod spec;
 
 pub use anneal::{anneal, AnnealOptions};
+pub use control::{FaultHook, InjectedFault, SearchControl, SearchReport};
 pub use error::PartitionError;
-pub use lc_search::partition_with_lc;
+pub use lc_search::{partition_with_lc, partition_with_lc_controlled};
 pub use multilevel::{multilevel_partition, multilevel_partition_traced, Hierarchy, LevelTrace};
 pub use spec::{MultilevelOptions, Partition, PartitionScheme, PartitionSpec};

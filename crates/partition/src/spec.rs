@@ -107,6 +107,11 @@ pub struct Partition {
     pub transformed: Graph,
     /// Number of inter-subgraph edges in `transformed` (objective K, Eq. 5).
     pub cut: usize,
+    /// Set when the search gave something up — truncated at a deadline or
+    /// fell back from the multilevel to the flat engine (see
+    /// [`crate::SearchReport`]). Degraded partitions are valid but possibly
+    /// lower quality, and are never persisted to the artifact store.
+    pub degraded: bool,
 }
 
 impl Partition {
@@ -160,6 +165,7 @@ mod tests {
             lc_sequence: vec![],
             transformed: g,
             cut: 1,
+            degraded: false,
         };
         assert_eq!(p.recompute_cut(), 1);
         assert_eq!(p.blocks(), vec![vec![0, 1], vec![2, 3]]);

@@ -38,7 +38,7 @@
 pub mod engine;
 pub mod protocol;
 
-pub use engine::{ServeEngine, ServeOutcome, ServeReply, ServeStats};
+pub use engine::{ServeEngine, ServeError, ServeErrorKind, ServeOutcome, ServeReply, ServeStats};
 pub use protocol::Request;
 
 /// The daemon's framework configuration — the corpus-bench settings

@@ -16,12 +16,15 @@
 //! ```
 //!
 //! A successful response always carries `"ok":true` and repeats the `op`;
-//! failures carry `"ok":false` and an `"error"` string (requests whose
-//! very `id` cannot be parsed are answered with `"id":null`). Compile
-//! responses report the cache `outcome` (`memory_hit` / `disk_hit` /
-//! `compiled` / `coalesced`), the request wall time, the compiled metrics,
-//! and — when the request set `"qasm":true` — the full OpenQASM 3 text of
-//! the generation circuit.
+//! failures carry `"ok":false`, an `"error"` string, and a machine-readable
+//! `"error_kind"` (`bad_request` for unparsable requests — answered with
+//! `"id":null` when even the id is lost — plus the engine's
+//! `compile_failed` / `deadline_exceeded` / `overloaded` / `panic`).
+//! Compile responses report the cache `outcome` (`memory_hit` / `disk_hit`
+//! / `compiled` / `coalesced`), the request wall time, whether the answer
+//! came from a `degraded` partition search, the compiled metrics, and —
+//! when the request set `"qasm":true` — the full OpenQASM 3 text of the
+//! generation circuit.
 
 use epgs::Compiled;
 use epgs_circuit::qasm;
@@ -150,13 +153,27 @@ fn begin_response(id: &Value, ok: bool) -> Writer {
     w
 }
 
-/// Renders a protocol-level error response (parse failures, bad graphs,
-/// failed compilations).
-pub fn render_error(id: &Value, error: &str) -> String {
+/// Renders a protocol-level error response. `kind` is the machine-readable
+/// `error_kind` (`bad_request` for parse failures and bad graphs, or a
+/// [`ServeErrorKind`](crate::ServeErrorKind) wire name for failed
+/// compiles).
+pub fn render_error(id: &Value, error: &str, kind: &str) -> String {
     let mut w = begin_response(id, false);
     w.field_str("error", error);
+    w.field_str("error_kind", kind);
     w.end_obj();
     w.finish()
+}
+
+/// Renders the load-shedding response: the daemon's bounded queue is full
+/// and the request was never dispatched. Clients should back off and
+/// retry.
+pub fn render_overloaded(id: &Value) -> String {
+    render_error(
+        id,
+        "server overloaded: request shed at queue limit",
+        "overloaded",
+    )
 }
 
 fn write_metrics(w: &mut Writer, graph: &Graph, c: &Compiled) {
@@ -185,6 +202,7 @@ pub fn render_compile(id: &Value, graph: &Graph, reply: &ServeReply, want_qasm: 
             w.field_str("op", "compile");
             w.field_str("outcome", reply.outcome.as_str());
             w.field_raw("wall_micros", &reply.wall_micros.to_string());
+            w.field_bool("degraded", reply.degraded);
             write_metrics(&mut w, graph, compiled);
             if want_qasm {
                 w.field_str("qasm", &qasm::to_qasm(&compiled.circuit));
@@ -192,7 +210,7 @@ pub fn render_compile(id: &Value, graph: &Graph, reply: &ServeReply, want_qasm: 
             w.end_obj();
             w.finish()
         }
-        Err(e) => render_error(id, e),
+        Err(e) => render_error(id, &e.message, e.kind.as_str()),
     }
 }
 
@@ -203,6 +221,10 @@ fn write_serve_stats(w: &mut Writer, s: &ServeStats) {
     w.field_uint("compiled", s.compiled as u64);
     w.field_uint("coalesced", s.coalesced as u64);
     w.field_uint("failures", s.failures as u64);
+    w.field_uint("shed", s.shed as u64);
+    w.field_uint("panics", s.panics as u64);
+    w.field_uint("deadline_exceeded", s.deadline_exceeded as u64);
+    w.field_uint("degraded", s.degraded as u64);
 }
 
 /// Renders the response to a status request.
@@ -243,6 +265,10 @@ pub fn render_stats(id: &Value, engine: &ServeEngine) -> String {
         w.field_uint("evictions", s.evictions as u64);
         w.field_uint("writes", s.writes as u64);
         w.field_uint("write_errors", s.write_errors as u64);
+        w.field_uint("quarantined", s.quarantined as u64);
+        w.field_uint("tmp_swept", s.tmp_swept as u64);
+        w.field_uint("read_retries", s.read_retries as u64);
+        w.field_uint("write_retries", s.write_retries as u64);
         w.end_obj();
     }
     w.end_obj();

@@ -21,13 +21,21 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(store: &Path, threads: usize) -> Daemon {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_epgs-serve"))
-            .args([
+        Daemon::spawn_full(
+            &[
                 "--store",
                 store.to_str().expect("utf-8 path"),
                 "--threads",
                 &threads.to_string(),
-            ])
+            ],
+            &[],
+        )
+    }
+
+    fn spawn_full(args: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_epgs-serve"))
+            .args(args)
+            .envs(envs.iter().copied())
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -202,4 +210,57 @@ fn daemon_compiles_reports_outcomes_and_survives_restart() {
 
     daemon.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_flooded_daemon_sheds_with_structured_overloaded_errors() {
+    // One worker, a queue of one, and every compile stalled 150 ms by an
+    // injected fault: flooding guarantees shedding, and every request —
+    // shed or served — must still get exactly one correlated response.
+    let mut daemon = Daemon::spawn_full(
+        &["--threads", "1", "--queue-limit", "1"],
+        &[("EPGS_FAULT_PLAN", "batch.compile:slow(150)")],
+    );
+    const FLOOD: u64 = 12;
+    let g = generators::cycle(6);
+    for i in 0..FLOOD {
+        daemon.send(&compile_req(i, &g));
+    }
+    let responses = daemon.read_batch(FLOOD as usize);
+
+    let mut shed = 0usize;
+    let mut served = 0usize;
+    for i in 0..FLOOD {
+        let r = responses
+            .get(&i)
+            .unwrap_or_else(|| panic!("request {i} got no response"));
+        match r.get("ok").and_then(Value::as_bool) {
+            Some(true) => served += 1,
+            _ => {
+                assert_eq!(
+                    r.get("error_kind").and_then(Value::as_str),
+                    Some("overloaded"),
+                    "failed response must be a structured shed: {r}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert!(served >= 1, "the worker must serve at least one request");
+    assert!(shed >= 1, "a flood past queue-limit 1 must shed");
+
+    // The shed counter is visible over the protocol.
+    daemon.send("{\"op\":\"stats\",\"id\":500}");
+    let stats = daemon.read_response();
+    assert_eq!(
+        stats.get("shed").and_then(Value::as_u64),
+        Some(shed as u64),
+        "{stats}"
+    );
+    assert_eq!(
+        stats.get("requests").and_then(Value::as_u64),
+        Some(FLOOD),
+        "{stats}"
+    );
+    daemon.shutdown();
 }
