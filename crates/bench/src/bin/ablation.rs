@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release -p epgs-bench --bin ablation`
 
+use std::process::ExitCode;
+
 use epgs::{Framework, FrameworkConfig};
 use epgs_bench::{hw, SEED};
 use epgs_graph::{generators, Graph};
@@ -49,7 +51,17 @@ fn fw(lc_budget: usize, slack: usize) -> Framework {
     })
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let hw = hw();
     println!("== ablation: ee-CNOT / duration per configuration ==");
     println!(
@@ -57,9 +69,15 @@ fn main() {
         "target", "full", "no-LC", "no-flex", "vanilla-select"
     );
     for (name, g) in targets() {
-        let full = fw(8, 2).compile(&g).expect("full config compiles");
-        let no_lc = fw(0, 2).compile(&g).expect("no-LC compiles");
-        let no_flex = fw(8, 0).compile(&g).expect("no-flex compiles");
+        let full = fw(8, 2)
+            .compile(&g)
+            .map_err(|e| format!("{name}: full config compile failed: {e}"))?;
+        let no_lc = fw(0, 2)
+            .compile(&g)
+            .map_err(|e| format!("{name}: no-LC compile failed: {e}"))?;
+        let no_flex = fw(8, 0)
+            .compile(&g)
+            .map_err(|e| format!("{name}: no-flex compile failed: {e}"))?;
         // Vanilla generator selection on the same natural ordering, solo.
         let natural: Vec<usize> = (0..g.vertex_count()).collect();
         let vanilla = solve_with_ordering(
@@ -71,7 +89,7 @@ fn main() {
                 ..Default::default()
             },
         )
-        .expect("vanilla solves");
+        .map_err(|e| format!("{name}: vanilla-selection solve failed: {e}"))?;
         let vd = epgs_circuit::timeline(&hw, &vanilla.circuit).duration;
         println!(
             "{:<14} {:>7}/{:>6.1} {:>7}/{:>6.1} {:>7}/{:>6.1} {:>9}/{:>6.1}",
@@ -88,4 +106,5 @@ fn main() {
     }
     println!("\nreading: full ≤ each ablated variant on the primary metric in aggregate;");
     println!("vanilla-select shows the cost of the published generator choice alone.");
+    Ok(())
 }

@@ -12,7 +12,8 @@
 //! each phase's wall seconds, additionally warning when a phase's hit rate
 //! drops; when both documents carry a `chaos` object its error, degraded,
 //! and store-retry counters are diffed too (the chaos fault plan is
-//! seeded, so count growth means fault handling changed). Tableau trajectories (`BENCH_tableau.json`) contribute their
+//! seeded, so count growth means fault handling changed). Tableau
+//! trajectories (`BENCH_tableau.json`) contribute their
 //! `kernels` rows, matched by op and shape; those compare the blocked/scalar
 //! speedup *ratio* (warning below 75% of baseline) because the ratio is
 //! machine-noise-immune while the absolute per-iteration times are not. A
@@ -22,9 +23,15 @@
 //! sits above the floor on the committed trajectory precisely so the CI
 //! wiring of this guard always has live comparisons.
 //!
-//! The guard is advisory: it exits 0 even when regressions are found (CI
-//! hardware is too noisy for a hard gate) and non-zero only when an input
-//! file is missing or malformed.
+//! Timing comparisons are advisory: they print warnings but never fail the
+//! run (CI hardware is too noisy for a hard wall-clock gate). The chaos
+//! counters are different: when both trajectories replayed the *same* fault
+//! spec, every counter except `errors.deadline_exceeded` is a pure function
+//! of (seed, corpus, fault-handling code), so any drift is a behavioral
+//! change, not noise — those are gated strictly and fail the run with a
+//! non-zero exit. `deadline_exceeded` stays advisory because deadline
+//! expiry depends on wall-clock scheduling. The guard also exits non-zero
+//! when an input file is missing or malformed.
 
 use std::process::ExitCode;
 
@@ -238,10 +245,13 @@ fn main() -> ExitCode {
         }
     }
     // Serve chaos counters: the chaos phase replays a fixed seeded fault
-    // plan over the fixed corpus, so its error/degradation accounting is
-    // (near-)deterministic — only wall-clock-dependent deadline behavior
-    // can legitimately move it. A fresh count above baseline on an error
-    // counter is flagged; any other drift is reported as a note.
+    // plan over the fixed corpus, so when both trajectories carry the same
+    // `spec` string every counter except deadline expiry is a pure function
+    // of the fault-handling code. Those counters are gated STRICTLY: any
+    // drift — up or down — means the chaos behavior changed and fails the
+    // run. `errors.deadline_exceeded` is the one wall-clock-dependent
+    // counter and stays advisory. If the specs differ the counts are not
+    // comparable and everything falls back to advisory diffing.
     let chaos_counter = |doc: &Value, path: &[&str]| -> Option<f64> {
         let mut v = doc.get("chaos")?;
         for p in path {
@@ -249,19 +259,43 @@ fn main() -> ExitCode {
         }
         v.as_f64()
     };
-    let chaos_counters: [(&str, &[&str]); 7] = [
-        ("errors.compile_failed", &["errors", "compile_failed"]),
-        ("errors.deadline_exceeded", &["errors", "deadline_exceeded"]),
-        ("errors.overloaded", &["errors", "overloaded"]),
-        ("errors.panic", &["errors", "panic"]),
-        ("degraded", &["degraded"]),
-        ("store.read_retries", &["store", "read_retries"]),
-        ("store.quarantined", &["store", "quarantined"]),
+    let chaos_spec = |doc: &Value| -> Option<String> {
+        Some(doc.get("chaos")?.get("spec")?.as_str()?.to_string())
+    };
+    let same_spec = match (chaos_spec(&baseline), chaos_spec(&fresh)) {
+        (Some(b), Some(f)) => {
+            if b != f {
+                println!("note: chaos fault specs differ, counters diffed advisorily only");
+            }
+            b == f
+        }
+        _ => false,
+    };
+    // (label, path, strict): strict counters hard-fail on any drift when the
+    // specs match; non-strict ones only ever warn.
+    let chaos_counters: [(&str, &[&str], bool); 7] = [
+        ("errors.compile_failed", &["errors", "compile_failed"], true),
+        (
+            "errors.deadline_exceeded",
+            &["errors", "deadline_exceeded"],
+            false,
+        ),
+        ("errors.overloaded", &["errors", "overloaded"], true),
+        ("errors.panic", &["errors", "panic"], true),
+        ("degraded", &["degraded"], true),
+        ("store.read_retries", &["store", "read_retries"], true),
+        ("store.quarantined", &["store", "quarantined"], true),
     ];
-    for (label, path) in chaos_counters {
+    let mut chaos_failures = 0usize;
+    for (label, path, strict) in chaos_counters {
         if let (Some(b), Some(f)) = (chaos_counter(&baseline, path), chaos_counter(&fresh, path)) {
             compared += 1;
-            if f > b {
+            if same_spec && strict {
+                if f != b {
+                    println!("chaos gate: serve chaos {label}: {f:.0} vs baseline {b:.0}");
+                    chaos_failures += 1;
+                }
+            } else if f > b {
                 println!("regression: serve chaos {label}: {f:.0} vs baseline {b:.0}");
                 regressions += 1;
             } else if f < b {
@@ -271,8 +305,15 @@ fn main() -> ExitCode {
     }
     println!(
         "bench_guard: {compared} timings compared, {regressions} regression warning(s) \
-         (advisory, threshold +{:.0}%)",
+         (advisory, threshold +{:.0}%), {chaos_failures} chaos gate failure(s) (strict)",
         THRESHOLD * 100.0
     );
+    if chaos_failures > 0 {
+        eprintln!(
+            "bench_guard: chaos counters drifted under an identical seeded fault plan — \
+             fault handling changed; regenerate the baseline if intentional"
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

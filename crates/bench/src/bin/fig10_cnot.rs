@@ -4,10 +4,22 @@
 //!
 //! Run with: `cargo run --release -p epgs-bench --bin fig10_cnot`
 
+use std::process::ExitCode;
+
 use epgs_bench::{all_families, bench_baseline, bench_framework, hw, reduction_pct};
 use epgs_solver::solve_baseline;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig10_cnot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let fw = bench_framework();
     let hw = hw();
     let base_opts = bench_baseline();
@@ -19,8 +31,11 @@ fn main() {
         );
         let mut reductions = Vec::new();
         for (n, g) in sweep {
-            let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");
-            let ours = fw.compile(&g).expect("framework compiles");
+            let base = solve_baseline(&g, &hw, &base_opts)
+                .map_err(|e| format!("{family} n={n}: baseline solve failed: {e}"))?;
+            let ours = fw
+                .compile(&g)
+                .map_err(|e| format!("{family} n={n}: framework compile failed: {e}"))?;
             let (b, o) = (
                 base.circuit.ee_two_qubit_count(),
                 ours.metrics.ee_two_qubit_count,
@@ -34,4 +49,5 @@ fn main() {
         println!("average reduction {avg:.1}%  (max {max:.1}%)\n");
     }
     println!("paper reports: avg 25/28/37% (max 40/39/52%) for lattice/tree/random");
+    Ok(())
 }

@@ -7,11 +7,23 @@
 //!
 //! Run with: `cargo run --release -p epgs-bench --bin fig10_duration`
 
+use std::process::ExitCode;
+
 use epgs_bench::{all_families, bench_baseline, bench_framework, hw, reduction_pct};
 use epgs_circuit::timeline;
 use epgs_solver::{solve_baseline, BaselineOptions};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig10_duration: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let fw = bench_framework();
     let hw = hw();
     for (family, sweep) in all_families() {
@@ -35,7 +47,7 @@ fn main() {
                 .pipeline()
                 .partition(&g)
                 .plan_leaves()
-                .expect("leaf compilation succeeds");
+                .map_err(|e| format!("{family} n={n}: leaf compilation failed: {e}"))?;
             let ne_min = planned.ne_min();
             let mut row = Vec::new();
             for factor in [1.5f64, 2.0] {
@@ -44,13 +56,16 @@ fn main() {
                     emitters: Some(budget),
                     ..bench_baseline()
                 };
-                let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");
+                let base = solve_baseline(&g, &hw, &base_opts)
+                    .map_err(|e| format!("{family} n={n}: baseline solve failed: {e}"))?;
                 let base_dur = timeline(&hw, &base.circuit).duration;
                 let ours = planned
                     .schedule(budget)
                     .recombine()
                     .and_then(|r| r.verify())
-                    .expect("framework compiles");
+                    .map_err(|e| {
+                        format!("{family} n={n} budget={budget}: framework compile failed: {e}")
+                    })?;
                 row.push((base_dur, ours.metrics.duration));
             }
             let r15 = reduction_pct(row[0].0, row[0].1);
@@ -67,4 +82,5 @@ fn main() {
         println!("average reduction: {avg15:.1}% at 1.5×, {avg20:.1}% at 2×\n");
     }
     println!("paper reports: avg 33/32/39% at 1.5× and 38/38/43% at 2× (lattice/tree/random)");
+    Ok(())
 }

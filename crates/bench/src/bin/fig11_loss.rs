@@ -4,11 +4,23 @@
 //!
 //! Run with: `cargo run --release -p epgs-bench --bin fig11_loss`
 
+use std::process::ExitCode;
+
 use epgs_bench::{all_families, bench_baseline, bench_framework, hw};
 use epgs_circuit::circuit_metrics;
 use epgs_solver::{solve_baseline, BaselineOptions};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig11_loss: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let fw = bench_framework();
     let hw = hw();
     for (family, sweep) in all_families() {
@@ -24,19 +36,20 @@ fn main() {
                 .pipeline()
                 .partition(&g)
                 .plan_leaves()
-                .expect("leaf compilation succeeds");
+                .map_err(|e| format!("{family} n={n}: leaf compilation failed: {e}"))?;
             let budget = ((planned.ne_min() as f64 * 1.5).ceil() as usize).max(1);
             let base_opts = BaselineOptions {
                 emitters: Some(budget),
                 ..bench_baseline()
             };
-            let base = solve_baseline(&g, &hw, &base_opts).expect("baseline solves");
+            let base = solve_baseline(&g, &hw, &base_opts)
+                .map_err(|e| format!("{family} n={n}: baseline solve failed: {e}"))?;
             let base_loss = circuit_metrics(&hw, &base.circuit).loss.mean_photon_loss;
             let ours = planned
                 .schedule(budget)
                 .recombine()
                 .and_then(|r| r.verify())
-                .expect("framework compiles");
+                .map_err(|e| format!("{family} n={n}: framework compile failed: {e}"))?;
             let ours_loss = ours.metrics.loss.mean_photon_loss;
             let factor = if ours_loss > 0.0 {
                 base_loss / ours_loss
@@ -50,4 +63,5 @@ fn main() {
         println!("average suppression ×{avg:.2}\n");
     }
     println!("paper reports: ×1.3 / ×1.4 / ×1.9 average for lattice/tree/random");
+    Ok(())
 }

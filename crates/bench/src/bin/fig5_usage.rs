@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release -p epgs-bench --bin fig5_usage`
 
+use std::process::ExitCode;
+
 use epgs_bench::{bench_baseline, bench_framework, hw};
 use epgs_circuit::usage_curve;
 use epgs_graph::generators;
@@ -17,7 +19,17 @@ fn print_curve(label: &str, times: &[f64], counts: &[usize]) {
     println!();
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig5_usage: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let g = generators::lattice(3, 5);
     let hw = hw();
     let fw = bench_framework();
@@ -25,7 +37,7 @@ fn main() {
         .pipeline()
         .partition(&g)
         .plan_leaves()
-        .expect("leaf compilation succeeds");
+        .map_err(|e| format!("leaf compilation failed: {e}"))?;
     let budget = ((planned.ne_min() as f64 * 1.5).ceil() as usize).max(1);
 
     let base = solve_baseline(
@@ -36,7 +48,7 @@ fn main() {
             ..bench_baseline()
         },
     )
-    .expect("baseline solves");
+    .map_err(|e| format!("baseline solve failed: {e}"))?;
     let (bt, bc) = usage_curve(&hw, &base.circuit);
     print_curve(
         "baseline emitter usage (under-utilized stretches visible)",
@@ -48,11 +60,12 @@ fn main() {
         .schedule(budget)
         .recombine()
         .and_then(|r| r.verify())
-        .expect("framework compiles");
+        .map_err(|e| format!("framework compile failed: {e}"))?;
     let (ot, oc) = usage_curve(&hw, &ours.circuit);
     print_curve("framework emitter usage (Tetris-packed)", &ot, &oc);
 
     let base_peak = bc.iter().copied().max().unwrap_or(0);
     let ours_peak = oc.iter().copied().max().unwrap_or(0);
     println!("budget {budget}, peak usage: baseline {base_peak}, framework {ours_peak}");
+    Ok(())
 }

@@ -138,17 +138,35 @@ fn main() -> ExitCode {
         let partitioned = pipeline.partition(&g);
         let t_partition = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let planned = partitioned.plan_leaves().expect("framework plans leaves");
+        let planned = match partitioned.plan_leaves() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("runtime_scaling: n={n}: leaf planning failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let t_plan = t0.elapsed().as_secs_f64();
         let budget = pipeline.config().emitter_budget.resolve(planned.ne_min());
         let t0 = Instant::now();
         let scheduled = planned.schedule(budget);
         let t_schedule = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let recombined = scheduled.recombine().expect("framework recombines");
+        let recombined = match scheduled.recombine() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("runtime_scaling: n={n}: recombination failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let t_recombine = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let compiled = recombined.verify().expect("framework verifies");
+        let compiled = match recombined.verify() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("runtime_scaling: n={n}: verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let t_verify = t0.elapsed().as_secs_f64();
         let total = t_partition + t_plan + t_schedule + t_recombine + t_verify;
         let ee = compiled.metrics.ee_two_qubit_count;

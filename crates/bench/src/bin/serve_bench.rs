@@ -237,7 +237,9 @@ fn run_chaos_phase(store: &Path, jobs: &[Graph]) -> Result<ChaosReport, String> 
         }
     }));
 
-    let plan = Arc::new(FaultPlan::parse(CHAOS_SPEC).expect("chaos spec parses"));
+    let plan = Arc::new(
+        FaultPlan::parse(CHAOS_SPEC).map_err(|e| format!("chaos spec failed to parse: {e}"))?,
+    );
     let config = corpus_framework().config().clone();
     let mut batch = BatchCompiler::new(config);
     let opened = epgs::ArtifactStore::open(store)

@@ -4,12 +4,23 @@
 //!
 //! Run with: `cargo run --release -p epgs-bench --bin sweep_reuse`
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use epgs_bench::bench_framework;
 use epgs_graph::generators;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep_reuse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let fw = bench_framework();
     let budgets: Vec<usize> = (1..=6).collect();
     println!(
@@ -26,19 +37,26 @@ fn main() {
         ("rgs m=3", generators::repeater_graph_state(3)),
     ] {
         let t0 = Instant::now();
-        let pointwise: Vec<_> = budgets
+        let pointwise = budgets
             .iter()
-            .map(|&b| fw.compile_with_budget(&g, b).expect("compiles"))
-            .collect();
+            .map(|&b| {
+                fw.compile_with_budget(&g, b)
+                    .map_err(|e| format!("{name} budget={b}: pointwise compile failed: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         let t_pointwise = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let staged = fw.sweep(&g, &budgets).expect("sweeps");
+        let staged = fw
+            .sweep(&g, &budgets)
+            .map_err(|e| format!("{name}: staged sweep failed: {e}"))?;
         let t_staged = t1.elapsed().as_secs_f64();
 
         // Same results either way — the sweep is purely a caching win.
         for (a, b) in pointwise.iter().zip(&staged) {
-            assert_eq!(a.circuit, b.circuit, "{name}: sweep must match pointwise");
+            if a.circuit != b.circuit {
+                return Err(format!("{name}: staged sweep diverged from pointwise"));
+            }
         }
         println!(
             "{name:<14} {t_pointwise:>12.2} {t_staged:>12.2} {:>8.1}x",
@@ -46,4 +64,5 @@ fn main() {
         );
     }
     println!("\n(staged ≈ one partition + leaf compile, plus k cheap schedule/recombine passes)");
+    Ok(())
 }

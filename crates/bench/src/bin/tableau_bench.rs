@@ -353,7 +353,13 @@ fn main() -> ExitCode {
         let g = generators::lattice(4, n / 4);
         let opts = epgs_solver::reverse::SolveOptions::default();
         let t0 = Instant::now();
-        let solved = epgs_solver::reverse::solve(&g, &opts).expect("lattice solves");
+        let solved = match epgs_solver::reverse::solve(&g, &opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tableau_bench: lattice n={n}: direct solve failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let dt = t0.elapsed().as_secs_f64();
         println!("{n:>5} qubits: {dt:.3} s  emitters={}", solved.emitters);
         solve_entries.push(format!(

@@ -88,8 +88,9 @@ impl From<JsonError> for ArtifactError {
     }
 }
 
-/// FNV-1a over a byte string (the payload checksum).
-fn checksum_bytes(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte string (the payload checksum; shared with the
+/// store's manifest envelope).
+pub(crate) fn checksum_bytes(bytes: &[u8]) -> u64 {
     fnv1a_all(bytes.iter().map(|&b| u64::from(b)))
 }
 

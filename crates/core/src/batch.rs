@@ -815,7 +815,7 @@ impl BatchCompiler {
                 Some(FaultKind::Fail | FaultKind::IoError) => Some(InjectedFault::Fail),
                 Some(FaultKind::Panic) => Some(InjectedFault::Panic),
                 Some(FaultKind::Slow(ms)) => Some(InjectedFault::Slow(ms)),
-                Some(FaultKind::BitFlip) | None => None,
+                Some(FaultKind::BitFlip | FaultKind::Crash) | None => None,
             }) as FaultHook
         });
         SearchControl {
@@ -904,7 +904,8 @@ impl BatchCompiler {
                 report.error = Some("injected fault: batch.compile".to_string());
                 return (report, None);
             }
-            Some(FaultKind::BitFlip) | None => {}
+            // Crash aborts inside the probe; BitFlip has no bytes here.
+            Some(FaultKind::BitFlip | FaultKind::Crash) | None => {}
         }
         let mut outcome = CacheOutcome::Miss;
         let mut cached = lock_recover(&self.cache).lookup(key, graph);

@@ -22,7 +22,7 @@
 //! ```text
 //! plan    := [ "seed=" u64 ] ( ";" rule )*
 //! rule    := point ":" kind [ trigger ] [ "x" limit ]
-//! kind    := "io" | "bitflip" | "slow(" millis ")" | "panic" | "fail"
+//! kind    := "io" | "bitflip" | "slow(" millis ")" | "panic" | "fail" | "crash"
 //! trigger := "@" num "/" den        fire when hash(seed,rule,point,n) % den < num
 //!          | "#" n                  fire exactly on the n-th invocation (0-based)
 //!          (absent)                 fire on every invocation
@@ -51,6 +51,22 @@ use std::time::{Duration, Instant};
 pub const POINT_STORE_READ: &str = "store.read";
 /// Fault point: every [`crate::ArtifactStore`] save attempt.
 pub const POINT_STORE_WRITE: &str = "store.write";
+/// Crash boundary: after the store writes an artifact's temp file but
+/// before the rename into place (a crash here leaves an orphan temp).
+pub const POINT_STORE_WRITE_TMP: &str = "store.write.tmp";
+/// Crash boundary: after the store renames an artifact into place but
+/// before the manifest commit (a crash here leaves an untracked orphan
+/// artifact for `fsck` to re-index).
+pub const POINT_STORE_WRITE_RENAME: &str = "store.write.rename";
+/// Crash boundary: after the store unlinks an evicted artifact but before
+/// the manifest commit (a crash here leaves a stale manifest entry).
+pub const POINT_STORE_EVICT: &str = "store.evict";
+/// Crash boundary: after the store renames a corrupt artifact to its
+/// `.quarantine` name but before the manifest commit.
+pub const POINT_STORE_QUARANTINE: &str = "store.quarantine";
+/// Crash boundary: after the store writes a manifest generation's temp
+/// file but before the rename that commits it.
+pub const POINT_STORE_MANIFEST: &str = "store.manifest";
 /// Fault point: entry of every [`crate::BatchCompiler`] instance compile.
 pub const POINT_COMPILE: &str = "batch.compile";
 /// Fault point: entry of every serve-engine leader compile.
@@ -76,6 +92,11 @@ pub enum FaultKind {
     Panic,
     /// Fail the operation cleanly (multilevel fallback, compile error).
     Fail,
+    /// Abort the process at the probe (`std::process::abort`), simulating
+    /// power loss at a byte-persistence boundary. Unlike every other kind,
+    /// `crash` is applied by [`FaultPlan::at`] itself, so any armed point
+    /// — including the crash-only `store.*` boundaries — honors it.
+    Crash,
 }
 
 impl FaultKind {
@@ -87,6 +108,7 @@ impl FaultKind {
             FaultKind::Slow(_) => "slow",
             FaultKind::Panic => "panic",
             FaultKind::Fail => "fail",
+            FaultKind::Crash => "crash",
         }
     }
 }
@@ -120,6 +142,62 @@ pub struct FaultRule {
     /// Maximum number of fires (`u64::MAX` = unlimited).
     pub limit: u64,
 }
+
+/// A malformed [`FaultPlan`] clause: which clause failed and why.
+///
+/// [`FaultPlan::parse`] never panics on malformed input — bad fractions,
+/// unknown kinds, and overflowing counts all surface here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Zero-based index of the offending `;`-separated clause.
+    pub clause: usize,
+    /// What was wrong with it.
+    pub kind: PlanErrorKind,
+}
+
+/// The ways a [`FaultPlan`] clause can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanErrorKind {
+    /// `seed=` value is not a decimal or `0x`-hex `u64`.
+    BadSeed(String),
+    /// Clause has no `point:kind` separator.
+    MissingKind(String),
+    /// `x` limit suffix is not a `u64` (overflow included).
+    BadLimit(String),
+    /// `@` trigger is not a `num/den` fraction with `den > 0`.
+    BadFraction(String),
+    /// `#` invocation index is not a `u64`.
+    BadIndex(String),
+    /// Fault kind word is not in the grammar.
+    UnknownKind(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.clause;
+        match &self.kind {
+            PlanErrorKind::BadSeed(s) => write!(f, "clause {c}: bad seed '{s}'"),
+            PlanErrorKind::MissingKind(s) => {
+                write!(f, "clause {c}: expected 'point:kind', got '{s}'")
+            }
+            PlanErrorKind::BadLimit(s) => write!(f, "clause {c}: bad limit in '{s}'"),
+            PlanErrorKind::BadFraction(s) => {
+                write!(
+                    f,
+                    "clause {c}: trigger needs 'num/den' with den > 0 in '{s}'"
+                )
+            }
+            PlanErrorKind::BadIndex(s) => {
+                write!(f, "clause {c}: bad invocation index in '{s}'")
+            }
+            PlanErrorKind::UnknownKind(s) => {
+                write!(f, "clause {c}: unknown fault kind '{s}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A seeded, deterministic fault-injection plan. See the [module
 /// docs](self) for the grammar and the guarantees.
@@ -183,22 +261,24 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// A human-readable description of the first malformed clause.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// A structured [`PlanError`] naming the first malformed clause;
+    /// malformed input never panics.
+    pub fn parse(spec: &str) -> Result<Self, PlanError> {
         let mut plan = FaultPlan::new(0);
         for (i, clause) in spec.split(';').enumerate() {
             let clause = clause.trim();
             if clause.is_empty() {
                 continue;
             }
+            let err = |kind: PlanErrorKind| PlanError { clause: i, kind };
             if let Some(seed) = clause.strip_prefix("seed=") {
                 plan.seed = parse_u64(seed.trim())
-                    .ok_or_else(|| format!("clause {i}: bad seed '{seed}'"))?;
+                    .ok_or_else(|| err(PlanErrorKind::BadSeed(seed.trim().to_string())))?;
                 continue;
             }
             let (point, rest) = clause
                 .split_once(':')
-                .ok_or_else(|| format!("clause {i}: expected 'point:kind', got '{clause}'"))?;
+                .ok_or_else(|| err(PlanErrorKind::MissingKind(clause.to_string())))?;
             // Split off trailing limit ("x3") and trigger ("@1/8" or "#2").
             let (rest, limit) = match rest.rfind('x') {
                 Some(p)
@@ -206,7 +286,7 @@ impl FaultPlan {
                         && !rest[p + 1..].is_empty() =>
                 {
                     let limit = parse_u64(&rest[p + 1..])
-                        .ok_or_else(|| format!("clause {i}: bad limit in '{clause}'"))?;
+                        .ok_or_else(|| err(PlanErrorKind::BadLimit(clause.to_string())))?;
                     (&rest[..p], limit)
                 }
                 _ => (rest, u64::MAX),
@@ -214,16 +294,16 @@ impl FaultPlan {
             let (kind_text, trigger) = if let Some((k, t)) = rest.split_once('@') {
                 let (num, den) = t
                     .split_once('/')
-                    .ok_or_else(|| format!("clause {i}: trigger needs 'num/den' in '{clause}'"))?;
+                    .ok_or_else(|| err(PlanErrorKind::BadFraction(clause.to_string())))?;
                 let num = parse_u64(num)
-                    .ok_or_else(|| format!("clause {i}: bad numerator in '{clause}'"))?;
+                    .ok_or_else(|| err(PlanErrorKind::BadFraction(clause.to_string())))?;
                 let den = parse_u64(den)
                     .filter(|&d| d > 0)
-                    .ok_or_else(|| format!("clause {i}: bad denominator in '{clause}'"))?;
+                    .ok_or_else(|| err(PlanErrorKind::BadFraction(clause.to_string())))?;
                 (k, Trigger::Ratio { num, den })
             } else if let Some((k, n)) = rest.split_once('#') {
-                let n = parse_u64(n)
-                    .ok_or_else(|| format!("clause {i}: bad invocation index in '{clause}'"))?;
+                let n =
+                    parse_u64(n).ok_or_else(|| err(PlanErrorKind::BadIndex(clause.to_string())))?;
                 (k, Trigger::Nth(n))
             } else {
                 (rest, Trigger::Always)
@@ -233,13 +313,14 @@ impl FaultPlan {
                 "bitflip" => FaultKind::BitFlip,
                 "panic" => FaultKind::Panic,
                 "fail" => FaultKind::Fail,
+                "crash" => FaultKind::Crash,
                 other => match other
                     .strip_prefix("slow(")
                     .and_then(|r| r.strip_suffix(')'))
                     .and_then(parse_u64)
                 {
                     Some(ms) => FaultKind::Slow(ms),
-                    None => return Err(format!("clause {i}: unknown fault kind '{other}'")),
+                    None => return Err(err(PlanErrorKind::UnknownKind(other.to_string()))),
                 },
             };
             plan = plan.rule_limited(point.trim(), kind, trigger, limit);
@@ -255,6 +336,10 @@ impl FaultPlan {
     /// Probes a fault point: counts the invocation, then returns the kind
     /// of the first armed rule that fires for it (or `None`). Disarmed
     /// plans never fire but still do not count invocations.
+    ///
+    /// A fired [`FaultKind::Crash`] rule aborts the process here, at the
+    /// probe itself — simulated power loss. No call site ever observes
+    /// `Some(Crash)`, so crash-only boundary points can discard the value.
     pub fn at(&self, point: &str) -> Option<FaultKind> {
         if !self.armed.load(Ordering::Relaxed) {
             return None;
@@ -278,6 +363,9 @@ impl FaultPlan {
                 }
             };
             if fires && self.fired[i].fetch_add(1, Ordering::Relaxed) < rule.limit {
+                if rule.kind == FaultKind::Crash {
+                    std::process::abort();
+                }
                 return Some(rule.kind);
             }
         }
@@ -334,6 +422,31 @@ impl FaultPlan {
     /// Total fires across every rule.
     pub fn total_hits(&self) -> u64 {
         self.hits().iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Renders the plan back in the [grammar](self) it was parsed from:
+/// `seed=N;point:kind[@num/den|#n][xL]`. `FaultPlan::parse(&plan.to_string())`
+/// reconstructs the same seed and rules (counters start fresh).
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for rule in &self.rules {
+            write!(f, ";{}:", rule.point)?;
+            match rule.kind {
+                FaultKind::Slow(ms) => write!(f, "slow({ms})")?,
+                kind => write!(f, "{}", kind.name())?,
+            }
+            match rule.trigger {
+                Trigger::Always => {}
+                Trigger::Nth(n) => write!(f, "#{n}")?,
+                Trigger::Ratio { num, den } => write!(f, "@{num}/{den}")?,
+            }
+            if rule.limit != u64::MAX {
+                write!(f, "x{}", rule.limit)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -467,6 +580,105 @@ mod tests {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must not parse");
         }
         assert!(FaultPlan::parse("").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_structured() {
+        let kind = |spec: &str| FaultPlan::parse(spec).unwrap_err().kind;
+        assert!(matches!(kind("seed=zz"), PlanErrorKind::BadSeed(_)));
+        assert!(matches!(kind("store.read"), PlanErrorKind::MissingKind(_)));
+        assert!(matches!(kind("a:io@1"), PlanErrorKind::BadFraction(_)));
+        assert!(matches!(kind("a:io@1/0"), PlanErrorKind::BadFraction(_)));
+        assert!(matches!(kind("a:io#b"), PlanErrorKind::BadIndex(_)));
+        assert!(matches!(kind("a:warp"), PlanErrorKind::UnknownKind(_)));
+        // Overflowing counts are rejected, not wrapped or panicked on.
+        let big = "99999999999999999999";
+        assert!(matches!(
+            kind(&format!("seed={big}")),
+            PlanErrorKind::BadSeed(_)
+        ));
+        assert!(matches!(
+            kind(&format!("a:io#{big}")),
+            PlanErrorKind::BadIndex(_)
+        ));
+        assert!(matches!(
+            kind(&format!("a:io@{big}/2")),
+            PlanErrorKind::BadFraction(_)
+        ));
+        assert!(matches!(
+            kind(&format!("a:iox{big}")),
+            PlanErrorKind::BadLimit(_)
+        ));
+        let err = FaultPlan::parse("seed=1;ok:io;bad").unwrap_err();
+        assert_eq!(err.clause, 2, "error names the offending clause");
+        assert!(err.to_string().contains("clause 2"));
+    }
+
+    /// Deterministic pseudo-random generator for the property suites below
+    /// (the repo vendors no proptest; `mix` is the same FNV coin the plan
+    /// itself uses).
+    struct Gen(u64);
+
+    impl Gen {
+        fn next(&mut self, bound: u64) -> u64 {
+            self.0 = mix([self.0, 0x9e37_79b9]);
+            self.0 % bound.max(1)
+        }
+    }
+
+    #[test]
+    fn property_display_parse_round_trip() {
+        let points = ["store.read", "store.write.rename", "batch.compile", "p.q"];
+        let mut g = Gen(0x5eed);
+        for case in 0..200u64 {
+            let mut plan = FaultPlan::new(g.next(u64::MAX));
+            for _ in 0..g.next(5) {
+                let kind = match g.next(6) {
+                    0 => FaultKind::IoError,
+                    1 => FaultKind::BitFlip,
+                    2 => FaultKind::Slow(g.next(1000)),
+                    3 => FaultKind::Panic,
+                    4 => FaultKind::Fail,
+                    _ => FaultKind::Crash,
+                };
+                let trigger = match g.next(3) {
+                    0 => Trigger::Always,
+                    1 => Trigger::Nth(g.next(100)),
+                    _ => Trigger::Ratio {
+                        num: g.next(16),
+                        den: 1 + g.next(16),
+                    },
+                };
+                let limit = if g.next(2) == 0 { u64::MAX } else { g.next(50) };
+                plan = plan.rule_limited(points[g.next(4) as usize], kind, trigger, limit);
+            }
+            let rendered = plan.to_string();
+            let reparsed = FaultPlan::parse(&rendered)
+                .unwrap_or_else(|e| panic!("case {case}: '{rendered}' failed: {e}"));
+            assert_eq!(reparsed.seed, plan.seed, "case {case}: '{rendered}'");
+            assert_eq!(reparsed.rules, plan.rules, "case {case}: '{rendered}'");
+            assert_eq!(reparsed.to_string(), rendered, "case {case}");
+        }
+    }
+
+    #[test]
+    fn property_parse_never_panics_on_fuzzed_input() {
+        // Mutated grammar fragments plus raw byte soup: parse must return
+        // Ok or a structured PlanError, never panic or abort.
+        let alphabet: Vec<char> = "abz019:;@#/x().=seed slow crash io-\u{e9}\u{1f600}"
+            .chars()
+            .collect();
+        let mut g = Gen(0xfa57);
+        for _ in 0..2000 {
+            let len = g.next(40) as usize;
+            let s: String = (0..len)
+                .map(|_| alphabet[g.next(alphabet.len() as u64) as usize])
+                .collect();
+            match FaultPlan::parse(&s) {
+                Ok(plan) => drop(plan.to_string()),
+                Err(e) => assert!(e.to_string().contains("clause")),
+            }
+        }
     }
 
     #[test]

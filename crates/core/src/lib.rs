@@ -144,12 +144,13 @@ pub use epgs_hardware::{CompileObjective, ObjectiveFigures, ObjectiveScore};
 pub use epgs_partition::{MultilevelOptions, PartitionScheme, PartitionSpec};
 pub use error::FrameworkError;
 pub use faults::{
-    lock_recover, panic_message, FaultKind, FaultPlan, FaultRule, RequestCtx, Trigger,
+    lock_recover, panic_message, FaultKind, FaultPlan, FaultRule, PlanError, PlanErrorKind,
+    RequestCtx, Trigger,
 };
 pub use framework::{compile, Compiled, Framework};
 pub use schedule::{schedule, Placement, Schedule, StepFn};
 pub use stages::{
     Partitioned, Pipeline, Planned, RecombineStrategy, Recombined, Scheduled, StageCounts,
 };
-pub use store::{ArtifactStore, StoreStats};
+pub use store::{ArtifactStore, RecoveryReport, StoreStats};
 pub use subgraph::{compile_subgraph, SubgraphPlan, SubgraphVariant};

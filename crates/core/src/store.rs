@@ -40,12 +40,30 @@
 //!   crash between write and rename, counted in [`StoreStats::tmp_swept`].
 //! * **LRU byte budget** — the store tracks total bytes and evicts
 //!   least-recently-used files when a write pushes it past the budget.
-//!   Recency is per-process (seeded from file modification times at open).
+//! * **Versioned manifest** — every entry-set mutation commits a
+//!   generation-numbered, checksummed manifest (`manifest-<gen:16hex>.json`,
+//!   tmp + rename atomic like the artifacts themselves) recording the
+//!   expected entry set, per-entry LRU clocks, and byte accounting. Reopened
+//!   stores recover exact recency from the manifest instead of coarse file
+//!   mtimes; when no manifest survives, mtime order with a deterministic
+//!   name tie-break is the fallback.
+//! * **`fsck` at open** — [`ArtifactStore::open`] reconciles the manifest
+//!   against the directory: orphaned artifacts (crash after rename, before
+//!   the manifest commit) are re-indexed, empty orphans discarded, files
+//!   whose size disagrees with the manifest quarantined as torn, manifest
+//!   entries without a file dropped, stale manifest generations deleted, and
+//!   byte accounting rebuilt from a directory walk. The outcome is a
+//!   structured [`RecoveryReport`]; [`ArtifactStore::fsck`] re-runs the same
+//!   pass on a live handle.
 //!
 //! For fault-injection testing a seeded [`FaultPlan`] can be armed on the
 //! handle (points [`POINT_STORE_READ`](crate::faults::POINT_STORE_READ) /
 //! [`POINT_STORE_WRITE`](crate::faults::POINT_STORE_WRITE)); unarmed
-//! handles skip the probes entirely.
+//! handles skip the probes entirely. Crash-only boundary points
+//! (`store.write.tmp`, `store.write.rename`, `store.evict`,
+//! `store.quarantine`, `store.manifest`) sit at every byte-persistence
+//! boundary so a [`FaultKind::Crash`] rule can kill the process between any
+//! two filesystem effects; see `ARCHITECTURE.md`, "Failure model".
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -55,6 +73,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
+use epgs_corpus::json::{Value, Writer};
 use epgs_graph::canon::fnv1a_all;
 use epgs_graph::Graph;
 
@@ -68,6 +87,15 @@ const SUFFIX: &str = ".art.json";
 
 /// Filename suffix of quarantined (never re-read) artifacts.
 const QUARANTINE_SUFFIX: &str = ".quarantine";
+
+/// Manifest filename shape: `manifest-<generation:16hex>.json`.
+const MANIFEST_PREFIX: &str = "manifest-";
+/// Manifest filename suffix (see [`MANIFEST_PREFIX`]).
+const MANIFEST_SUFFIX: &str = ".json";
+/// `format` field of every manifest document.
+const MANIFEST_FORMAT: &str = "epgs-manifest";
+/// Manifest schema version; other versions are treated as stale.
+const MANIFEST_VERSION: u64 = 1;
 
 /// Read/write attempts per operation (1 initial + 2 retries).
 const MAX_IO_ATTEMPTS: u32 = 3;
@@ -121,6 +149,54 @@ pub struct StoreStats {
     pub read_retries: usize,
     /// Save attempts retried after a transient write failure.
     pub write_retries: usize,
+    /// Manifest generations committed (tmp write + rename) by this handle.
+    pub manifest_commits: usize,
+}
+
+/// What the `fsck` pass at [`ArtifactStore::open`] (or an explicit
+/// [`ArtifactStore::fsck`]) found and repaired while reconciling the
+/// manifest against the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a valid manifest generation was found and loaded.
+    pub manifest_found: bool,
+    /// Generation number of the loaded manifest (0 when none was found).
+    pub manifest_generation: u64,
+    /// Stale, torn, or unreadable manifest generations deleted.
+    pub stale_manifests_deleted: usize,
+    /// Entries the loaded manifest expected to exist.
+    pub entries_expected: usize,
+    /// Artifacts present on disk but missing from the manifest (crash after
+    /// rename, before the manifest commit) that were re-indexed.
+    pub orphans_reindexed: usize,
+    /// Empty orphaned artifact files discarded outright.
+    pub orphans_discarded: usize,
+    /// Manifest entries whose file no longer exists (crash after unlink,
+    /// before the manifest commit) dropped from the index.
+    pub missing_dropped: usize,
+    /// Files whose on-disk size disagrees with the manifest record, renamed
+    /// to `.quarantine` as torn.
+    pub torn_quarantined: usize,
+    /// Orphaned `.tmp-*` files (crash between write and rename) deleted.
+    pub tmp_swept: usize,
+    /// Total artifact bytes indexed after reconciliation (rebuilt from the
+    /// directory walk, never trusted from the manifest).
+    pub recovered_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the directory matched the manifest exactly — nothing was
+    /// repaired, discarded, or rebuilt. A store that just recovered from a
+    /// crash reports a dirty pass once; the next pass must be clean.
+    pub fn is_clean(&self) -> bool {
+        self.stale_manifests_deleted == 0
+            && self.orphans_reindexed == 0
+            && self.orphans_discarded == 0
+            && self.missing_dropped == 0
+            && self.torn_quarantined == 0
+            && self.tmp_swept == 0
+            && (self.manifest_found || self.entries_expected == 0 && self.recovered_bytes == 0)
+    }
 }
 
 #[derive(Debug)]
@@ -140,6 +216,16 @@ struct StoreIndex {
     strikes: HashMap<String, u32>,
     /// Names never read or written again (file renamed to `.quarantine`).
     quarantined: HashSet<String>,
+    /// Manifest generation counter (next commit uses `generation + 1`).
+    generation: u64,
+    /// Generation of the last successfully committed manifest file.
+    committed: Option<u64>,
+    /// What the most recent `fsck` pass found.
+    recovery: RecoveryReport,
+    /// Whether in-memory state (LRU clocks) has drifted from the committed
+    /// manifest. Entry-set mutations commit immediately; touch-only drift
+    /// is flushed by `Drop`, so clean shutdown persists exact recency.
+    dirty: bool,
 }
 
 impl StoreIndex {
@@ -147,6 +233,7 @@ impl StoreIndex {
         self.clock += 1;
         if let Some(e) = self.files.get_mut(name) {
             e.last_used = self.clock;
+            self.dirty = true;
         }
     }
 
@@ -155,6 +242,111 @@ impl StoreIndex {
             self.total_bytes -= e.bytes;
         }
     }
+}
+
+/// A parsed, checksum-validated manifest generation.
+struct ManifestData {
+    generation: u64,
+    clock: u64,
+    /// `(name, bytes, last_used)` per expected entry.
+    entries: Vec<(String, u64, u64)>,
+    quarantined: Vec<String>,
+}
+
+fn manifest_file_name(generation: u64) -> String {
+    format!("{MANIFEST_PREFIX}{generation:016x}{MANIFEST_SUFFIX}")
+}
+
+/// Extracts the generation from a manifest filename, if it is one.
+fn manifest_generation(name: &str) -> Option<u64> {
+    let hex = name
+        .strip_prefix(MANIFEST_PREFIX)?
+        .strip_suffix(MANIFEST_SUFFIX)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Serializes the expected entry set as a manifest document — the same
+/// checksummed envelope discipline as the artifacts (entries sorted by
+/// name, so identical states render identical bytes).
+fn render_manifest(generation: u64, index: &StoreIndex) -> String {
+    let mut p = Writer::with_capacity(64 + index.files.len() * 96);
+    p.begin_obj();
+    p.field_uint("clock", index.clock);
+    p.key("entries");
+    p.begin_arr();
+    let mut names: Vec<&String> = index.files.keys().collect();
+    names.sort();
+    for name in names {
+        let e = &index.files[name.as_str()];
+        p.begin_obj();
+        p.field_str("name", name);
+        p.field_uint("bytes", e.bytes);
+        p.field_uint("used", e.last_used);
+        p.end_obj();
+    }
+    p.end_arr();
+    p.key("quarantined");
+    p.begin_arr();
+    let mut quarantined: Vec<&String> = index.quarantined.iter().collect();
+    quarantined.sort();
+    for name in quarantined {
+        p.string(name);
+    }
+    p.end_arr();
+    p.end_obj();
+    let payload = p.finish();
+    let mut w = Writer::with_capacity(payload.len() + 128);
+    w.begin_obj();
+    w.field_str("format", MANIFEST_FORMAT);
+    w.field_uint("version", MANIFEST_VERSION);
+    w.field_hex("generation", generation);
+    w.field_hex("checksum", artifact::checksum_bytes(payload.as_bytes()));
+    w.field_raw("payload", &payload);
+    w.end_obj();
+    w.finish()
+}
+
+/// Parses and validates a manifest document; any structural problem —
+/// bad JSON, wrong format or version, checksum mismatch — is `None`
+/// (the generation is treated as stale and deleted by `fsck`).
+fn parse_manifest(text: &str) -> Option<ManifestData> {
+    let doc = Value::parse(text).ok()?;
+    if doc.get("format")?.as_str()? != MANIFEST_FORMAT
+        || doc.get("version")?.as_u64()? != MANIFEST_VERSION
+    {
+        return None;
+    }
+    let hex16 = |v: &Value| -> Option<u64> {
+        let s = v.as_str()?;
+        (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+    };
+    let generation = hex16(doc.get("generation")?)?;
+    let checksum = hex16(doc.get("checksum")?)?;
+    let payload = doc.get("payload")?;
+    if artifact::checksum_bytes(payload.to_string().as_bytes()) != checksum {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for e in payload.get("entries")?.as_arr()? {
+        entries.push((
+            e.get("name")?.as_str()?.to_string(),
+            e.get("bytes")?.as_u64()?,
+            e.get("used")?.as_u64()?,
+        ));
+    }
+    let mut quarantined = Vec::new();
+    for q in payload.get("quarantined")?.as_arr()? {
+        quarantined.push(q.as_str()?.to_string());
+    }
+    Some(ManifestData {
+        generation,
+        clock: payload.get("clock")?.as_u64()?,
+        entries,
+        quarantined,
+    })
 }
 
 /// A content-addressed, byte-budgeted, crash-tolerant directory of
@@ -188,9 +380,11 @@ impl ArtifactStore {
     }
 
     /// Opens the store at `dir`, bounding it to `budget_bytes` (clamped to
-    /// ≥ 1). Existing artifacts are indexed with recency seeded from file
-    /// modification times; if they already exceed the budget, the oldest
-    /// are evicted immediately.
+    /// ≥ 1). Opening runs the `fsck` recovery pass (see the [module
+    /// docs](self)): the manifest is reconciled against a directory walk,
+    /// crash leftovers are repaired, and the reconciled state is committed
+    /// as a fresh manifest generation. If the recovered artifacts already
+    /// exceed the budget, the least recently used are evicted immediately.
     ///
     /// # Errors
     ///
@@ -198,9 +392,30 @@ impl ArtifactStore {
     pub fn open_with_budget(dir: impl AsRef<Path>, budget_bytes: u64) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        let mut found: Vec<(String, u64, SystemTime)> = Vec::new();
-        let mut index = StoreIndex::default();
-        for entry in fs::read_dir(&dir)? {
+        let store = ArtifactStore {
+            dir,
+            budget: budget_bytes.max(1),
+            index: Mutex::new(StoreIndex::default()),
+            faults: None,
+        };
+        let mut index = lock_recover(&store.index);
+        store.reconcile(&mut index)?;
+        store.evict_over_budget(&mut index);
+        store.commit_manifest(&mut index);
+        drop(index);
+        Ok(store)
+    }
+
+    /// The `fsck` pass: walks the directory, loads the newest valid
+    /// manifest generation, repairs every discrepancy between them, and
+    /// rebuilds the in-memory index (preserving cumulative stats and
+    /// strikes). See [`RecoveryReport`] for the repair taxonomy.
+    fn reconcile(&self, index: &mut StoreIndex) -> io::Result<()> {
+        let mut report = RecoveryReport::default();
+        let mut artifacts: Vec<(String, u64, SystemTime)> = Vec::new();
+        let mut manifests: Vec<u64> = Vec::new();
+        let mut quarantined: HashSet<String> = HashSet::new();
+        for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
             let meta = entry.metadata()?;
@@ -208,43 +423,191 @@ impl ArtifactStore {
                 continue;
             }
             if name.starts_with(".tmp-") {
-                // Orphan from a crash between write and rename.
+                // Orphan from a crash between write and rename — artifact
+                // or manifest temp alike, never renamed, never trusted.
                 let _ = fs::remove_file(entry.path());
-                index.stats.tmp_swept += 1;
+                report.tmp_swept += 1;
                 continue;
             }
             if let Some(original) = name.strip_suffix(QUARANTINE_SUFFIX) {
-                index.quarantined.insert(original.to_string());
+                quarantined.insert(original.to_string());
+                continue;
+            }
+            if let Some(generation) = manifest_generation(&name) {
+                manifests.push(generation);
                 continue;
             }
             if !name.ends_with(SUFFIX) {
                 continue;
             }
             let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-            found.push((name, meta.len(), mtime));
+            artifacts.push((name, meta.len(), mtime));
         }
-        // Oldest first, so clocks reproduce the on-disk recency order.
-        found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+
+        // Newest valid manifest generation wins; every other generation —
+        // older, torn, or unreadable — is stale and deleted.
+        manifests.sort_unstable_by(|a, b| b.cmp(a));
+        let mut manifest: Option<ManifestData> = None;
+        for &generation in &manifests {
+            let path = self.dir.join(manifest_file_name(generation));
+            if manifest.is_none() {
+                if let Some(data) = fs::read_to_string(&path)
+                    .ok()
+                    .as_deref()
+                    .and_then(parse_manifest)
+                {
+                    manifest = Some(data);
+                    continue;
+                }
+            }
+            let _ = fs::remove_file(&path);
+            report.stale_manifests_deleted += 1;
+        }
+
+        let mut expected: HashMap<String, (u64, u64)> = HashMap::new();
+        let mut clock = 0;
+        let mut generation = 0;
+        if let Some(data) = &manifest {
+            report.manifest_found = true;
+            report.manifest_generation = data.generation;
+            report.entries_expected = data.entries.len();
+            generation = data.generation;
+            clock = data.clock;
+            for (name, bytes, used) in &data.entries {
+                expected.insert(name.clone(), (*bytes, *used));
+            }
+            for name in &data.quarantined {
+                quarantined.insert(name.clone());
+            }
+        }
+
+        // Oldest first so fallback clocks reproduce on-disk recency; the
+        // name tie-break keeps coarse-mtime collisions deterministic.
+        artifacts.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut files: HashMap<String, FileEntry> = HashMap::new();
+        let mut total_bytes = 0;
+        for (name, bytes, _) in artifacts {
+            if quarantined.contains(&name) {
+                // A plain file next to its .quarantine marker: a crash
+                // between quarantine rename and commit cannot produce this
+                // (rename moves the file), so it is a rewrite from an old
+                // process — quarantine wins, the file is never served.
+                let _ = fs::remove_file(self.dir.join(&name));
+                continue;
+            }
+            match expected.remove(&name) {
+                Some((recorded, used)) if recorded == bytes => {
+                    total_bytes += bytes;
+                    files.insert(
+                        name,
+                        FileEntry {
+                            bytes,
+                            last_used: used,
+                        },
+                    );
+                }
+                Some(_) => {
+                    // Size disagrees with the manifest: torn or tampered.
+                    let _ = fs::rename(
+                        self.dir.join(&name),
+                        self.dir.join(format!("{name}{QUARANTINE_SUFFIX}")),
+                    );
+                    quarantined.insert(name);
+                    report.torn_quarantined += 1;
+                }
+                None if bytes == 0 => {
+                    let _ = fs::remove_file(self.dir.join(&name));
+                    report.orphans_discarded += 1;
+                }
+                None => {
+                    // Crash after rename, before the manifest commit: the
+                    // artifact is whole (renames are atomic) but untracked.
+                    // Re-index it as most recent; its checksum is still
+                    // validated on every load.
+                    clock += 1;
+                    total_bytes += bytes;
+                    files.insert(
+                        name,
+                        FileEntry {
+                            bytes,
+                            last_used: clock,
+                        },
+                    );
+                    report.orphans_reindexed += 1;
+                }
+            }
+        }
+        // Whatever the manifest still expects has no file behind it — a
+        // crash between unlink and commit, or outside deletion.
+        report.missing_dropped = expected.len();
+        report.recovered_bytes = total_bytes;
+
+        index.files = files;
+        index.total_bytes = total_bytes;
+        index.clock = clock.max(index.clock);
+        index.generation = generation.max(index.generation);
+        index.committed = report.manifest_found.then_some(generation);
+        index.quarantined = quarantined;
         index.stats.quarantined = index.quarantined.len();
-        for (name, bytes, _) in found {
-            index.clock += 1;
-            index.total_bytes += bytes;
-            index.files.insert(
-                name,
-                FileEntry {
-                    bytes,
-                    last_used: index.clock,
-                },
-            );
+        index.stats.tmp_swept += report.tmp_swept;
+        index.recovery = report;
+        Ok(())
+    }
+
+    /// Commits the expected entry set as the next manifest generation:
+    /// tmp write, crash probe, atomic rename, then best-effort deletion of
+    /// the previous generation. A failed commit is absorbed — the prior
+    /// generation stays authoritative and `fsck` re-indexes the difference
+    /// as orphans on the next open.
+    fn commit_manifest(&self, index: &mut StoreIndex) {
+        index.generation += 1;
+        let generation = index.generation;
+        let doc = render_manifest(generation, index);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let committed = fs::write(&tmp, doc.as_bytes())
+            .and_then(|()| {
+                if let Some(f) = &self.faults {
+                    f.at(faults::POINT_STORE_MANIFEST);
+                }
+                fs::rename(&tmp, self.dir.join(manifest_file_name(generation)))
+            })
+            .is_ok();
+        if committed {
+            index.stats.manifest_commits += 1;
+            index.dirty = false;
+            if let Some(prev) = index.committed.take() {
+                let _ = fs::remove_file(self.dir.join(manifest_file_name(prev)));
+            }
+            index.committed = Some(generation);
+        } else {
+            let _ = fs::remove_file(&tmp);
         }
-        let store = ArtifactStore {
-            dir,
-            budget: budget_bytes.max(1),
-            index: Mutex::new(index),
-            faults: None,
-        };
-        store.evict_over_budget(&mut lock_recover(&store.index));
-        Ok(store)
+    }
+
+    /// Re-runs the `fsck` recovery pass on a live handle: reconciles the
+    /// manifest against the directory, repairs discrepancies, commits the
+    /// reconciled state, and returns what it found. On a healthy store the
+    /// report [is clean](RecoveryReport::is_clean).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from scanning the directory.
+    pub fn fsck(&self) -> io::Result<RecoveryReport> {
+        let mut index = lock_recover(&self.index);
+        self.reconcile(&mut index)?;
+        self.evict_over_budget(&mut index);
+        self.commit_manifest(&mut index);
+        Ok(index.recovery)
+    }
+
+    /// What the most recent `fsck` pass (at open, or an explicit
+    /// [`ArtifactStore::fsck`]) found and repaired.
+    pub fn recovery(&self) -> RecoveryReport {
+        lock_recover(&self.index).recovery
     }
 
     /// Arms a fault-injection plan on this handle (chaos testing); every
@@ -352,13 +715,17 @@ impl ArtifactStore {
             // Absent here but present in the index means another process
             // evicted it; resynchronize. Persistent read failure lands
             // here too — a miss (recompile), not a request failure.
-            index.remove(&name);
+            if index.files.contains_key(&name) {
+                index.remove(&name);
+                self.commit_manifest(&mut index);
+            }
             index.stats.disk_misses += 1;
             return None;
         };
         match artifact::decode(&text, key, pipeline) {
             Ok(planned) if planned.target() == graph => {
-                if !index.files.contains_key(&name) {
+                let discovered = !index.files.contains_key(&name);
+                if discovered {
                     // Written by another process since our scan.
                     index.total_bytes += text.len() as u64;
                     index.files.insert(
@@ -371,6 +738,9 @@ impl ArtifactStore {
                 }
                 index.touch(&name);
                 index.stats.disk_hits += 1;
+                if discovered {
+                    self.commit_manifest(&mut index);
+                }
                 Some(planned)
             }
             Ok(_) => {
@@ -384,8 +754,8 @@ impl ArtifactStore {
                 index.stats.version_rejected += 1;
                 index.stats.disk_misses += 1;
                 index.remove(&name);
-                drop(index);
                 let _ = fs::remove_file(&path);
+                self.commit_manifest(&mut index);
                 None
             }
             Err(_) => {
@@ -397,12 +767,16 @@ impl ArtifactStore {
                 if *strikes >= QUARANTINE_STRIKES {
                     index.quarantined.insert(name.clone());
                     index.stats.quarantined = index.quarantined.len();
-                    drop(index);
                     let _ = fs::rename(&path, self.dir.join(format!("{name}{QUARANTINE_SUFFIX}")));
+                    // Crash boundary: file renamed to quarantine, manifest
+                    // still lists the live name.
+                    if let Some(f) = &self.faults {
+                        f.at(faults::POINT_STORE_QUARANTINE);
+                    }
                 } else {
-                    drop(index);
                     let _ = fs::remove_file(&path);
                 }
+                self.commit_manifest(&mut index);
                 None
             }
         }
@@ -456,10 +830,19 @@ impl ArtifactStore {
                 std::process::id(),
                 TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
             ));
-            match fs::write(&tmp, payload.as_bytes())
-                .and_then(|()| fs::rename(&tmp, self.dir.join(&name)))
-            {
+            match fs::write(&tmp, payload.as_bytes()).and_then(|()| {
+                // Crash boundary: temp bytes durable, rename pending.
+                if let Some(f) = &self.faults {
+                    f.at(faults::POINT_STORE_WRITE_TMP);
+                }
+                fs::rename(&tmp, self.dir.join(&name))
+            }) {
                 Ok(()) => {
+                    // Crash boundary: artifact in place, manifest stale —
+                    // the exact window fsck repairs as an orphan.
+                    if let Some(f) = &self.faults {
+                        f.at(faults::POINT_STORE_WRITE_RENAME);
+                    }
                     written = true;
                     break;
                 }
@@ -484,6 +867,7 @@ impl ArtifactStore {
             );
             index.stats.writes += 1;
             self.evict_over_budget(&mut index);
+            self.commit_manifest(&mut index);
         } else {
             index.stats.write_errors += 1;
         }
@@ -504,6 +888,14 @@ impl ArtifactStore {
             index.remove(name);
             index.stats.evictions += 1;
             let _ = fs::remove_file(self.dir.join(name));
+            // Crash boundary: file gone, manifest still lists it — fsck
+            // drops the entry as missing.
+            if let Some(f) = &self.faults {
+                f.at(faults::POINT_STORE_EVICT);
+            }
+        }
+        if !victims.is_empty() {
+            self.commit_manifest(&mut index);
         }
         victims.len()
     }
@@ -520,6 +912,22 @@ impl ArtifactStore {
             index.remove(&victim);
             index.stats.evictions += 1;
             let _ = fs::remove_file(self.dir.join(&victim));
+            // Crash boundary: same unlink-before-commit window as evict.
+            if let Some(f) = &self.faults {
+                f.at(faults::POINT_STORE_EVICT);
+            }
+        }
+    }
+}
+
+impl Drop for ArtifactStore {
+    /// Flushes touch-only LRU drift as a final manifest generation, so a
+    /// cleanly closed store reopens with exact recency. Best-effort: a
+    /// crash skips this and `fsck` recovers from the last commit instead.
+    fn drop(&mut self) {
+        let mut index = lock_recover(&self.index);
+        if index.dirty {
+            self.commit_manifest(&mut index);
         }
     }
 }
@@ -760,6 +1168,218 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.read_retries, 1);
         assert_eq!(stats.disk_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_document_round_trips_and_rejects_corruption() {
+        let mut index = StoreIndex {
+            clock: 9,
+            total_bytes: 30,
+            ..Default::default()
+        };
+        for (name, bytes, used) in [("b.art.json", 10, 3), ("a.art.json", 20, 9)] {
+            index.files.insert(
+                name.to_string(),
+                FileEntry {
+                    bytes,
+                    last_used: used,
+                },
+            );
+        }
+        index.quarantined.insert("q.art.json".to_string());
+        let doc = render_manifest(7, &index);
+        let data = parse_manifest(&doc).expect("rendered manifest parses");
+        assert_eq!(data.generation, 7);
+        assert_eq!(data.clock, 9);
+        assert_eq!(
+            data.entries,
+            vec![
+                ("a.art.json".to_string(), 20, 9),
+                ("b.art.json".to_string(), 10, 3)
+            ],
+            "entries sorted by name"
+        );
+        assert_eq!(data.quarantined, vec!["q.art.json".to_string()]);
+        assert!(
+            parse_manifest(&doc.replace("\"used\":3", "\"used\":4")).is_none(),
+            "checksum catches payload mutation"
+        );
+        assert!(parse_manifest(&doc.replace("\"version\":1", "\"version\":2")).is_none());
+        assert!(parse_manifest("{").is_none());
+    }
+
+    #[test]
+    fn clean_reopen_reports_clean_recovery_and_exact_accounting() {
+        let dir = tmp_dir("clean-reopen");
+        let pipeline = quick_pipeline();
+        let graphs = [generators::path(6), generators::cycle(7)];
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            assert!(store.recovery().is_clean(), "fresh empty dir is clean");
+            for g in &graphs {
+                store.save(
+                    key_for(&pipeline, g),
+                    &pipeline.partition(g).plan_leaves().unwrap(),
+                );
+            }
+        }
+        let store = ArtifactStore::open(&dir).unwrap();
+        let report = store.recovery();
+        assert!(report.manifest_found);
+        assert!(
+            report.is_clean(),
+            "clean shutdown reconciles cleanly: {report:?}"
+        );
+        assert_eq!(report.entries_expected, 2);
+        let disk_bytes: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(SUFFIX))
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert_eq!(
+            store.total_bytes(),
+            disk_bytes,
+            "accounting matches a directory walk"
+        );
+        assert_eq!(report.recovered_bytes, disk_bytes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_repairs_orphans_missing_torn_and_stale_generations() {
+        let dir = tmp_dir("fsck");
+        let pipeline = quick_pipeline();
+        let g1 = generators::path(6);
+        let g2 = generators::cycle(7);
+        let (k1, k2) = (key_for(&pipeline, &g1), key_for(&pipeline, &g2));
+        let name1 = ArtifactStore::file_name(k1, exact_graph_hash(&g1));
+        let name2 = ArtifactStore::file_name(k2, exact_graph_hash(&g2));
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.save(k1, &pipeline.partition(&g1).plan_leaves().unwrap());
+            store.save(k2, &pipeline.partition(&g2).plan_leaves().unwrap());
+        }
+        // Crash after rename, before commit: a whole artifact the manifest
+        // does not know about.
+        let orphan = format!("{:016x}-{:016x}-{:016x}{SUFFIX}", 1u64, 2u64, 3u64);
+        fs::copy(dir.join(&name1), dir.join(&orphan)).unwrap();
+        // Crash after unlink, before commit: manifest entry, no file.
+        fs::remove_file(dir.join(&name2)).unwrap();
+        // Torn write that bypassed the tmp+rename path: size disagrees.
+        let text = fs::read_to_string(dir.join(&name1)).unwrap();
+        fs::write(dir.join(&name1), &text[..text.len() / 2]).unwrap();
+        // Crash leftovers: an orphan tmp and a torn manifest generation.
+        fs::write(dir.join(".tmp-1234-0"), "half").unwrap();
+        fs::write(dir.join(manifest_file_name(u64::MAX)), "{\"format\":").unwrap();
+
+        let store = ArtifactStore::open(&dir).unwrap();
+        let report = store.recovery();
+        assert!(report.manifest_found);
+        assert_eq!(report.orphans_reindexed, 1, "{report:?}");
+        assert_eq!(report.missing_dropped, 1);
+        assert_eq!(report.torn_quarantined, 1);
+        assert_eq!(report.stale_manifests_deleted, 1);
+        assert_eq!(report.tmp_swept, 1);
+        assert!(!report.is_clean());
+        assert_eq!(store.len(), 1, "only the orphan survives");
+        assert_eq!(store.total_bytes(), text.len() as u64);
+        assert!(
+            dir.join(format!("{name1}{QUARANTINE_SUFFIX}")).exists(),
+            "torn file quarantined, not served"
+        );
+        assert!(!dir.join(manifest_file_name(u64::MAX)).exists());
+
+        // The repair converged: a second pass and a fresh open are clean.
+        assert!(store.fsck().unwrap().is_clean());
+        drop(store);
+        let reopened = ArtifactStore::open(&dir).unwrap();
+        assert!(reopened.recovery().is_clean(), "{:?}", reopened.recovery());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_preserves_lru_order_across_reopen_despite_mtime_ties() {
+        let dir = tmp_dir("lru-reopen");
+        let pipeline = quick_pipeline();
+        let graphs = [
+            generators::path(6),
+            generators::cycle(7),
+            generators::tree(8, 2),
+        ];
+        let keys: Vec<CacheKey> = graphs.iter().map(|g| key_for(&pipeline, g)).collect();
+        let names: Vec<String> = graphs
+            .iter()
+            .zip(&keys)
+            .map(|(g, &k)| ArtifactStore::file_name(k, exact_graph_hash(g)))
+            .collect();
+        let one = {
+            let store = ArtifactStore::open(&dir).unwrap();
+            for (g, &k) in graphs.iter().zip(&keys) {
+                store.save(k, &pipeline.partition(g).plan_leaves().unwrap());
+            }
+            // Touch #0 and #1 so #1's file is most recent and #2 is LRU —
+            // an order no mtime or name sort can reproduce by accident.
+            assert!(store.load(keys[0], &graphs[0], &pipeline).is_some());
+            assert!(store.load(keys[1], &graphs[1], &pipeline).is_some());
+            store.total_bytes() / 3
+        };
+        // Collapse every mtime to one second: the coarse-granularity tie.
+        let when = SystemTime::UNIX_EPOCH + Duration::from_secs(1_600_000_000);
+        for name in &names {
+            fs::File::options()
+                .write(true)
+                .open(dir.join(name))
+                .unwrap()
+                .set_modified(when)
+                .unwrap();
+        }
+        // A budget for two artifacts forces one eviction at open; the
+        // manifest's clocks say #2 is least recently used.
+        let store = ArtifactStore::open_with_budget(&dir, one * 2 + one / 2).unwrap();
+        assert!(
+            store.load(keys[2], &graphs[2], &pipeline).is_none(),
+            "manifest recency evicted the true LRU entry"
+        );
+        assert!(store.load(keys[0], &graphs[0], &pipeline).is_some());
+        assert!(store.load(keys[1], &graphs[1], &pipeline).is_some());
+        drop(store);
+
+        // Fallback path: no manifest at all, tied mtimes — eviction must
+        // pick the lexicographically smallest name, deterministically.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry
+                .as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .into_owned();
+            if manifest_generation(&name).is_some() {
+                fs::remove_file(entry.unwrap().path()).unwrap();
+            }
+        }
+        let survivors: Vec<&String> = {
+            let mut sorted: Vec<&String> = names.iter().filter(|n| dir.join(n).exists()).collect();
+            sorted.sort();
+            sorted
+        };
+        assert_eq!(survivors.len(), 2);
+        for name in &survivors {
+            fs::File::options()
+                .write(true)
+                .open(dir.join(name))
+                .unwrap()
+                .set_modified(when)
+                .unwrap();
+        }
+        let store = ArtifactStore::open_with_budget(&dir, one + one / 2).unwrap();
+        assert!(
+            !dir.join(survivors[0]).exists(),
+            "mtime tie broken by name order: smallest evicted first"
+        );
+        assert!(dir.join(survivors[1]).exists());
+        assert_eq!(store.len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -93,22 +93,37 @@ impl FamilyKind {
         )
     }
 
+    /// The largest size-grid entry the family can represent, if bounded
+    /// below `usize::MAX` (a hypercube dimension must fit in `u32`).
+    /// [`CorpusSpec::from_json`] enforces this bound with a structured
+    /// [`SpecError::SizeTooLarge`], so parsed specs always build.
+    pub fn size_limit(&self) -> Option<usize> {
+        match self {
+            FamilyKind::Hypercube => Some(u32::MAX as usize),
+            _ => None,
+        }
+    }
+
     /// Builds the instance graph for one `(size, seed)` grid point.
     ///
     /// # Panics
     ///
     /// Propagates the generators' parameter assertions (e.g. a
-    /// Watts–Strogatz grid whose `neighbors ≥ size`); see
-    /// [`epgs_graph::generators`].
+    /// Watts–Strogatz grid whose `neighbors ≥ size`, or a size beyond
+    /// [`FamilyKind::size_limit`]); see [`epgs_graph::generators`].
     pub fn build(&self, size: usize, seed: u64) -> Graph {
         let mut rng = StdRng::seed_from_u64(seed);
         match *self {
             FamilyKind::RandomRegular { degree } => {
                 generators::random_regular(size, degree, &mut rng)
             }
-            FamilyKind::Hypercube => generators::hypercube(
-                u32::try_from(size).expect("hypercube dimension must fit in u32"),
-            ),
+            FamilyKind::Hypercube => {
+                assert!(
+                    size <= u32::MAX as usize,
+                    "hypercube dimension must fit in u32 (got {size})"
+                );
+                generators::hypercube(size as u32)
+            }
             FamilyKind::HeavyHex { rows } => generators::heavy_hex(rows, size),
             FamilyKind::BarabasiAlbert { attach } => {
                 generators::barabasi_albert(size, attach, &mut rng)
@@ -325,6 +340,14 @@ pub enum SpecError {
     /// A seed exceeds 2^53 ([`crate::json::MAX_SAFE_INT`]) and would not
     /// survive the `f64`-backed JSON layer faithfully.
     SeedTooLarge,
+    /// A size-grid entry exceeds the family's representable range (e.g. a
+    /// hypercube dimension that does not fit in `u32`).
+    SizeTooLarge {
+        /// The family whose grid is out of range.
+        family: &'static str,
+        /// The offending size entry.
+        size: usize,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -343,6 +366,9 @@ impl std::fmt::Display for SpecError {
                     f,
                     "seeds above 2^53 are not faithfully representable in JSON"
                 )
+            }
+            SpecError::SizeTooLarge { family, size } => {
+                write!(f, "family '{family}': size {size} is out of range")
             }
         }
     }
@@ -509,8 +535,10 @@ impl CorpusSpec {
     ///
     /// [`SpecError::Json`] on malformed JSON, [`SpecError::Missing`] /
     /// [`SpecError::UnknownFamily`] / [`SpecError::UnknownHardware`] on
-    /// schema violations, and [`SpecError::SeedTooLarge`] for seeds above
-    /// 2^53 (whose `f64` JSON representation is already imprecise).
+    /// schema violations, [`SpecError::SeedTooLarge`] for seeds above
+    /// 2^53 (whose `f64` JSON representation is already imprecise), and
+    /// [`SpecError::SizeTooLarge`] for a size grid beyond the family's
+    /// representable range ([`FamilyKind::size_limit`]).
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let doc = Value::parse(text)?;
         let name = doc
@@ -542,6 +570,14 @@ impl CorpusSpec {
                 .iter()
                 .map(|s| s.as_usize().ok_or(SpecError::Missing("sizes")))
                 .collect::<Result<Vec<_>, _>>()?;
+            if let Some(limit) = kind.size_limit() {
+                if let Some(&size) = sizes.iter().find(|&&s| s > limit) {
+                    return Err(SpecError::SizeTooLarge {
+                        family: kind.name(),
+                        size,
+                    });
+                }
+            }
             let seeds = match fam.get("seeds") {
                 None => vec![1],
                 Some(list) => list
@@ -674,6 +710,28 @@ mod tests {
                 "{beyond}"
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_hypercube_dimensions_are_rejected_structurally() {
+        // A dimension beyond u32 would previously panic inside
+        // `FamilyKind::build`; the parser now refuses it up front.
+        let beyond = u32::MAX as usize + 1;
+        let text = format!(
+            r#"{{"name": "x", "families": [{{"family": "hypercube", "sizes": [3, {beyond}]}}]}}"#
+        );
+        assert_eq!(
+            CorpusSpec::from_json(&text),
+            Err(SpecError::SizeTooLarge {
+                family: "hypercube",
+                size: beyond,
+            })
+        );
+        // The limit itself is accepted by the parser (building it is the
+        // caller's memory problem, not a representability one).
+        assert_eq!(FamilyKind::Hypercube.size_limit(), Some(u32::MAX as usize));
+        // Unbounded families are unaffected.
+        assert_eq!(FamilyKind::Tree { arity: 2 }.size_limit(), None);
     }
 
     #[test]

@@ -279,6 +279,13 @@ impl ServeEngine {
         dropped
     }
 
+    /// Drops `graph`'s artifacts from the in-memory cache only, leaving the
+    /// disk store intact; returns how many entries were removed. The next
+    /// request for the graph exercises the disk-read path end to end.
+    pub fn evict_memory(&self, graph: &Graph) -> usize {
+        self.batch.evict(graph)
+    }
+
     /// Tallies a finished request's error/degradation counters (shared by
     /// the leader and waiter paths; outcome counters are tallied
     /// separately because shed requests have none).
@@ -352,7 +359,8 @@ impl ServeEngine {
                 Some(FaultKind::Panic) => panic!("injected fault: serve.compile"),
                 Some(FaultKind::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
                 Some(FaultKind::Fail | FaultKind::IoError) => return None,
-                Some(FaultKind::BitFlip) | None => {}
+                // Crash aborts inside the probe; BitFlip has no bytes here.
+                Some(FaultKind::BitFlip | FaultKind::Crash) | None => {}
             }
             Some(self.batch.compile_instance_ctx(
                 &format!("{canonical:016x}"),

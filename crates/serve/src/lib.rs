@@ -37,9 +37,11 @@
 
 pub mod engine;
 pub mod protocol;
+pub mod supervise;
 
 pub use engine::{ServeEngine, ServeError, ServeErrorKind, ServeOutcome, ServeReply, ServeStats};
 pub use protocol::Request;
+pub use supervise::SupervisorOptions;
 
 /// The daemon's framework configuration — the corpus-bench settings
 /// (mirrors `epgs_bench::corpus_framework`, which this crate cannot depend

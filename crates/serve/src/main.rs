@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! usage: epgs-serve [--store DIR] [--store-budget-mb MB] [--threads N]
-//!                   [--deadline-ms MS] [--queue-limit N]
+//!                   [--deadline-ms MS] [--queue-limit N] [--supervise]
 //! ```
 //!
 //! `--deadline-ms` bounds every compile request (expired requests get a
@@ -19,6 +19,13 @@
 //! with an `overloaded` error instead of building unbounded latency. The
 //! `EPGS_FAULT_PLAN` environment variable arms deterministic fault
 //! injection for chaos testing (see `epgs::faults` for the grammar).
+//!
+//! `--supervise` runs the process as a supervisor instead: it spawns this
+//! same binary (minus the flag) as a worker, proxies the protocol, and
+//! warm-restarts the worker after a crash with capped exponential backoff,
+//! replaying unanswered requests and tripping a per-graph circuit breaker
+//! for requests that repeatedly crash the worker (see
+//! `epgs_serve::supervise`).
 //!
 //! See `epgs_serve::protocol` for the request/response grammar.
 
@@ -38,7 +45,7 @@ use epgs_serve::{default_config, ServeEngine};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: epgs-serve [--store DIR] [--store-budget-mb MB] [--threads N] \
-         [--deadline-ms MS] [--queue-limit N]"
+         [--deadline-ms MS] [--queue-limit N] [--supervise]"
     );
     ExitCode::FAILURE
 }
@@ -101,12 +108,35 @@ fn write_line(stdout: &Mutex<io::Stdout>, response: &str) {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--supervise") {
+        // Supervisor mode: re-invoke this binary (minus the flag) as the
+        // worker; all other arguments are validated by the worker itself.
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot resolve own executable path: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut worker_cmd = vec![exe.to_string_lossy().into_owned()];
+        worker_cmd.extend(argv.iter().filter(|a| *a != "--supervise").cloned());
+        return epgs_serve::supervise::run(epgs_serve::SupervisorOptions {
+            worker_cmd,
+            ..Default::default()
+        });
+    }
+    // A supervised worker reports its restart count through `health`.
+    let restarts: Option<u64> = std::env::var("EPGS_WORKER_RESTARTS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
     let mut store_dir: Option<String> = None;
     let mut budget_mb: Option<u64> = None;
     let mut threads = 4usize;
     let mut deadline_ms: Option<u64> = None;
     let mut queue_limit = 1024usize;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--store" => match args.next() {
@@ -213,8 +243,20 @@ fn main() -> ExitCode {
                     }
                     Ok(Request::Status { id }) => (protocol::render_status(&id, &engine), false),
                     Ok(Request::Stats { id }) => (protocol::render_stats(&id, &engine), false),
-                    Ok(Request::Evict { id, graph }) => {
-                        (protocol::render_evict(&id, engine.evict(&graph)), false)
+                    Ok(Request::Health { id }) => {
+                        (protocol::render_health(&id, &engine, restarts), false)
+                    }
+                    Ok(Request::Evict {
+                        id,
+                        graph,
+                        memory_only,
+                    }) => {
+                        let dropped = if memory_only {
+                            engine.evict_memory(&graph)
+                        } else {
+                            engine.evict(&graph)
+                        };
+                        (protocol::render_evict(&id, dropped), false)
                     }
                     Ok(Request::Shutdown { id }) => (protocol::render_shutdown(&id), true),
                 };

@@ -6,14 +6,22 @@
 //! responses (the daemon serves requests on a worker pool). The grammar:
 //!
 //! ```text
-//! request  := compile | status | stats | evict | shutdown
+//! request  := compile | status | stats | health | evict | shutdown
 //! compile  := {"op":"compile", "id":<json>, "graph":GRAPH, "qasm":bool?}
 //! status   := {"op":"status", "id":<json>}
 //! stats    := {"op":"stats", "id":<json>}
-//! evict    := {"op":"evict", "id":<json>, "graph":GRAPH}
+//! health   := {"op":"health", "id":<json>}
+//! evict    := {"op":"evict", "id":<json>, "graph":GRAPH, "layer":"all"|"memory"?}
 //! shutdown := {"op":"shutdown", "id":<json>}
 //! GRAPH    := {"n":uint, "edges":[[uint,uint],...]}
 //! ```
+//!
+//! `health` reports the crash-recovery view: a `state` of `ready` or
+//! `degraded` (quarantined artifacts or a dirty `fsck` pass), the store's
+//! [`RecoveryReport`](epgs::RecoveryReport) counters, and — when the daemon
+//! runs under `--supervise` — the supervisor annotates the response with its
+//! own restart and circuit-breaker counters (state `recovering` while a
+//! crashed worker is being respawned).
 //!
 //! A successful response always carries `"ok":true` and repeats the `op`;
 //! failures carry `"ok":false`, an `"error"` string, and a machine-readable
@@ -55,12 +63,20 @@ pub enum Request {
         /// Echo id.
         id: Value,
     },
-    /// Drop one graph's artifacts from every cache layer.
+    /// Crash-recovery view: readiness state plus fsck/restart counters.
+    Health {
+        /// Echo id.
+        id: Value,
+    },
+    /// Drop one graph's artifacts from the caches.
     Evict {
         /// Echo id.
         id: Value,
         /// The graph whose artifacts to drop.
         graph: Graph,
+        /// Drop only the in-memory layer, leaving the disk store intact
+        /// (wire field `"layer":"memory"`; the default `"all"` drops both).
+        memory_only: bool,
     },
     /// Acknowledge and stop the daemon.
     Shutdown {
@@ -76,6 +92,7 @@ impl Request {
             Request::Compile { id, .. }
             | Request::Status { id }
             | Request::Stats { id }
+            | Request::Health { id }
             | Request::Evict { id, .. }
             | Request::Shutdown { id } => id,
         }
@@ -132,12 +149,26 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
         }
         "status" => Ok(Request::Status { id }),
         "stats" => Ok(Request::Stats { id }),
+        "health" => Ok(Request::Health { id }),
         "evict" => {
             let graph_val = doc
                 .get("graph")
                 .ok_or_else(|| fail("evict needs a 'graph'".to_string()))?;
             let graph = parse_graph(graph_val).map_err(&fail)?;
-            Ok(Request::Evict { id, graph })
+            let memory_only = match doc.get("layer").and_then(Value::as_str) {
+                None | Some("all") => false,
+                Some("memory") => true,
+                Some(other) => {
+                    return Err(fail(format!(
+                        "unknown evict layer '{other}' (expected 'all' or 'memory')"
+                    )))
+                }
+            };
+            Ok(Request::Evict {
+                id,
+                graph,
+                memory_only,
+            })
         }
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(fail(format!("unknown op '{other}'"))),
@@ -269,7 +300,51 @@ pub fn render_stats(id: &Value, engine: &ServeEngine) -> String {
         w.field_uint("tmp_swept", s.tmp_swept as u64);
         w.field_uint("read_retries", s.read_retries as u64);
         w.field_uint("write_retries", s.write_retries as u64);
+        w.field_uint("manifest_commits", s.manifest_commits as u64);
+        write_recovery(&mut w, &store.recovery());
         w.end_obj();
+    }
+    w.end_obj();
+    w.finish()
+}
+
+fn write_recovery(w: &mut Writer, r: &epgs::RecoveryReport) {
+    w.key("recovery");
+    w.begin_obj();
+    w.field_bool("clean", r.is_clean());
+    w.field_bool("manifest_found", r.manifest_found);
+    w.field_hex("manifest_generation", r.manifest_generation);
+    w.field_uint("stale_manifests_deleted", r.stale_manifests_deleted as u64);
+    w.field_uint("entries_expected", r.entries_expected as u64);
+    w.field_uint("orphans_reindexed", r.orphans_reindexed as u64);
+    w.field_uint("orphans_discarded", r.orphans_discarded as u64);
+    w.field_uint("missing_dropped", r.missing_dropped as u64);
+    w.field_uint("torn_quarantined", r.torn_quarantined as u64);
+    w.field_uint("tmp_swept", r.tmp_swept as u64);
+    w.field_uint("recovered_bytes", r.recovered_bytes);
+    w.end_obj();
+}
+
+/// Renders the response to a health request: the worker's readiness state
+/// (`ready`, or `degraded` when artifacts sit in quarantine or the last
+/// `fsck` pass had to repair something) plus the store's recovery
+/// counters. `restarts` is the supervisor-provided respawn count the
+/// worker was launched with (`None` when unsupervised); the supervising
+/// process additionally annotates the response in flight with breaker and
+/// backoff counters, and answers `recovering` itself while no worker is
+/// alive.
+pub fn render_health(id: &Value, engine: &ServeEngine, restarts: Option<u64>) -> String {
+    let mut w = begin_response(id, true);
+    w.field_str("op", "health");
+    let store = engine.batch().store();
+    let degraded = store
+        .as_ref()
+        .is_some_and(|s| !s.recovery().is_clean() || s.stats().quarantined > 0);
+    w.field_str("state", if degraded { "degraded" } else { "ready" });
+    w.field_bool("supervised", restarts.is_some());
+    w.field_uint("restarts", restarts.unwrap_or(0));
+    if let Some(store) = store {
+        write_recovery(&mut w, &store.recovery());
     }
     w.end_obj();
     w.finish()

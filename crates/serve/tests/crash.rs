@@ -1,0 +1,580 @@
+//! Crash-consistency harness: the real `epgs-serve` binary killed at
+//! every armed crash point, then audited.
+//!
+//! Each matrix leg spawns the daemon with a seeded `crash` fault plan
+//! (`EPGS_FAULT_PLAN`, see `epgs::faults`), lets `std::process::abort()`
+//! fire at one store boundary — tmp written, artifact renamed, manifest
+//! mid-commit, eviction mid-unlink, quarantine mid-rename — and then
+//! asserts the crash-consistency contract from `ARCHITECTURE.md`:
+//!
+//! * reopening the store runs `fsck` and repairs the damage (the repair
+//!   shows up in the expected [`RecoveryReport`] counter);
+//! * a second `fsck` pass is clean, and LRU byte accounting matches an
+//!   independent directory walk;
+//! * a fresh daemon on the recovered store serves the full default corpus
+//!   with QASM byte-identical to the hashes pinned in
+//!   `tests/data/flat_qasm_fnv.txt` — no torn or stale artifact is ever
+//!   served.
+//!
+//! The supervision legs drive `epgs-serve --supervise`: a mid-corpus
+//! worker crash is warm-restarted and the pending request replayed to a
+//! successful answer, while a poison-pill request (one that crashes the
+//! worker every time) trips the per-graph circuit breaker into a
+//! structured `compile_failed` instead of a crash loop.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use epgs::{ArtifactStore, RecoveryReport};
+use epgs_corpus::json::Value;
+use epgs_corpus::CorpusSpec;
+use epgs_graph::{generators, Graph};
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn_full(args: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_epgs-serve"))
+            .args(args)
+            .envs(envs.iter().copied())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn epgs-serve");
+        let stdin = child.stdin.take().expect("child stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+    }
+
+    /// Like [`Daemon::send`], but tolerates a daemon that has already
+    /// crashed (the pipe write fails instead of panicking the test).
+    fn try_send(&mut self, line: &str) {
+        let _ = writeln!(self.stdin, "{line}").and_then(|()| self.stdin.flush());
+    }
+
+    fn read_response(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed stdout unexpectedly");
+        Value::parse(line.trim()).expect("response is JSON")
+    }
+
+    /// Waits for the process to die and asserts it did NOT exit cleanly —
+    /// the injected `crash` fault must abort, not return. Responses that
+    /// raced out before the abort are discarded.
+    fn wait_crashed(self) {
+        let Daemon {
+            mut child,
+            stdin,
+            mut stdout,
+        } = self;
+        drop(stdin);
+        loop {
+            let mut line = String::new();
+            match stdout.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let status = child.wait().expect("daemon exit");
+        assert!(!status.success(), "daemon must abort at the crash point");
+    }
+
+    fn shutdown(mut self) {
+        self.send("{\"op\":\"shutdown\",\"id\":999}");
+        let ack = self.read_response();
+        assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true), "{ack}");
+        assert_eq!(ack.get("op").and_then(Value::as_str), Some("shutdown"));
+        let status = self.child.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+fn graph_json(g: &Graph) -> String {
+    let edges: Vec<String> = g.edges().map(|(a, b)| format!("[{a},{b}]")).collect();
+    format!(
+        "{{\"n\":{},\"edges\":[{}]}}",
+        g.vertex_count(),
+        edges.join(",")
+    )
+}
+
+fn compile_req(id: u64, g: &Graph) -> String {
+    format!(
+        "{{\"op\":\"compile\",\"id\":{id},\"graph\":{},\"qasm\":true}}",
+        graph_json(g)
+    )
+}
+
+/// FNV-1a, 64 bit — matches `tests/data/flat_qasm_fnv.txt`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn pinned_hashes() -> BTreeMap<String, u64> {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/flat_qasm_fnv.txt"
+    ))
+    .expect("pinned hash file must exist");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let (label, hash) = l.split_once(' ').expect("LABEL HASH lines");
+            (
+                label.to_string(),
+                u64::from_str_radix(hash.trim(), 16).expect("hex hash"),
+            )
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("epgs-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sums the live artifact bytes by walking the directory — the ground
+/// truth the store's in-memory accounting must match after recovery.
+fn disk_accounting(dir: &Path) -> (usize, u64) {
+    let mut files = 0usize;
+    let mut bytes = 0u64;
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".art.json") {
+            files += 1;
+            bytes += entry.metadata().expect("metadata").len();
+        }
+    }
+    (files, bytes)
+}
+
+/// Reopens the crashed store, audits the recovery pass, and asserts the
+/// post-conditions every kill point shares: the expected repair fired, a
+/// second `fsck` is clean, and accounting matches the directory walk.
+fn audit_recovery(dir: &Path, point: &str, expected_repair: fn(&RecoveryReport) -> bool) {
+    let store = ArtifactStore::open(dir).expect("reopen crashed store");
+    let report = store.recovery();
+    assert!(
+        expected_repair(&report),
+        "{point}: recovery pass missed the expected repair: {report:?}"
+    );
+    let second = store.fsck().expect("second fsck");
+    assert!(
+        second.is_clean(),
+        "{point}: store dirty after recovery: {second:?}"
+    );
+    let (files, bytes) = disk_accounting(dir);
+    assert_eq!(store.len(), files, "{point}: file accounting drifted");
+    assert_eq!(
+        store.total_bytes(),
+        bytes,
+        "{point}: byte accounting drifted"
+    );
+}
+
+/// One kill-point matrix row: fault point, armed crash plan, and the
+/// repair the recovery report must show after reopening.
+type KillPoint = (&'static str, &'static str, fn(&RecoveryReport) -> bool);
+
+/// The kill-point matrix: abort the daemon inside each store write
+/// boundary, audit the recovery, then prove a fresh daemon serves the
+/// whole corpus byte-identical to the pinned QASM.
+#[test]
+fn every_write_kill_point_recovers_to_a_byte_identical_corpus() {
+    let instances = CorpusSpec::default_corpus().instances();
+    let pinned = pinned_hashes();
+    let matrix: [KillPoint; 3] = [
+        // Crash with the artifact tmp written but never renamed: the tmp
+        // is swept, the entry was never visible.
+        ("store.write.tmp", "store.write.tmp:crash#0", |r| {
+            r.tmp_swept >= 1
+        }),
+        // Crash after the artifact rename, before the manifest commit:
+        // the whole artifact is re-indexed as an orphan.
+        ("store.write.rename", "store.write.rename:crash#0", |r| {
+            r.orphans_reindexed >= 1
+        }),
+        // Crash with the manifest tmp written but never renamed (#1: the
+        // open itself commits generation 1 first): the stale tmp is swept
+        // and the artifact behind it re-indexed.
+        ("store.manifest", "store.manifest:crash#1", |r| {
+            r.tmp_swept >= 1
+        }),
+    ];
+
+    for (point, plan, expected_repair) in matrix {
+        let dir = temp_dir(&point.replace('.', "-"));
+        let dir_str = dir.to_str().expect("utf-8 path").to_string();
+
+        let mut daemon = Daemon::spawn_full(
+            &["--store", &dir_str, "--threads", "1"],
+            &[("EPGS_FAULT_PLAN", plan)],
+        );
+        for (i, inst) in instances.iter().enumerate() {
+            daemon.try_send(&compile_req(i as u64, &inst.graph));
+        }
+        daemon.wait_crashed();
+
+        audit_recovery(&dir, point, expected_repair);
+
+        // A fresh daemon on the recovered store serves the full corpus —
+        // and every answer is byte-identical to the pinned QASM, so no
+        // torn or stale artifact survived into service.
+        let mut daemon = Daemon::spawn_full(&["--store", &dir_str, "--threads", "2"], &[]);
+        for (i, inst) in instances.iter().enumerate() {
+            daemon.send(&compile_req(i as u64, &inst.graph));
+        }
+        for _ in 0..instances.len() {
+            let r = daemon.read_response();
+            let id = r.get("id").and_then(Value::as_u64).expect("numeric id") as usize;
+            assert_eq!(
+                r.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "{point}: corpus-{} failed after recovery: {r}",
+                instances[id].id
+            );
+            let qasm = r.get("qasm").and_then(Value::as_str).expect("qasm");
+            let label = format!("corpus-{}", instances[id].id);
+            assert_eq!(
+                fnv1a64(qasm.as_bytes()),
+                pinned[&label],
+                "{point}: {label}: QASM drifted across the crash"
+            );
+        }
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash mid-eviction: the file is unlinked but the manifest still
+/// expects it. Recovery drops the phantom entry and accounting heals.
+#[test]
+fn a_crash_between_unlink_and_manifest_commit_drops_the_phantom_entry() {
+    let dir = temp_dir("evict");
+    let dir_str = dir.to_str().expect("utf-8 path").to_string();
+    let g = generators::cycle(9);
+
+    let mut daemon = Daemon::spawn_full(&["--store", &dir_str, "--threads", "1"], &[]);
+    daemon.send(&compile_req(1, &g));
+    assert_eq!(
+        daemon.read_response().get("ok").and_then(Value::as_bool),
+        Some(true)
+    );
+    daemon.shutdown();
+
+    let mut daemon = Daemon::spawn_full(
+        &["--store", &dir_str, "--threads", "1"],
+        &[("EPGS_FAULT_PLAN", "store.evict:crash#0")],
+    );
+    daemon.try_send(&format!(
+        "{{\"op\":\"evict\",\"id\":2,\"graph\":{}}}",
+        graph_json(&g)
+    ));
+    daemon.wait_crashed();
+
+    audit_recovery(&dir, "store.evict", |r| r.missing_dropped >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash mid-quarantine: the corrupt entry was renamed to its
+/// `.quarantine` marker but the manifest never heard. Recovery keeps the
+/// quarantine (the marker wins) and the entry is never served again.
+#[test]
+fn a_crash_during_quarantine_keeps_the_entry_quarantined_after_recovery() {
+    let dir = temp_dir("quarantine");
+    let dir_str = dir.to_str().expect("utf-8 path").to_string();
+    let g = generators::cycle(9);
+
+    // Lifetime 1: persist the artifact cleanly.
+    let mut daemon = Daemon::spawn_full(&["--store", &dir_str, "--threads", "1"], &[]);
+    daemon.send(&compile_req(1, &g));
+    assert_eq!(
+        daemon.read_response().get("ok").and_then(Value::as_bool),
+        Some(true)
+    );
+    daemon.shutdown();
+
+    // Lifetime 2: every disk read is bit-flipped; the second strike on
+    // the same entry triggers the quarantine rename, which crashes.
+    let mut daemon = Daemon::spawn_full(
+        &["--store", &dir_str, "--threads", "1"],
+        &[(
+            "EPGS_FAULT_PLAN",
+            "store.read:bitflip;store.quarantine:crash#0",
+        )],
+    );
+    // Strike 1: corrupt read → discard → recompile → rewrite.
+    daemon.send(&compile_req(2, &g));
+    assert_eq!(
+        daemon.read_response().get("ok").and_then(Value::as_bool),
+        Some(true)
+    );
+    // Drop only the memory layer so the next request reads disk again.
+    daemon.send(&format!(
+        "{{\"op\":\"evict\",\"id\":3,\"graph\":{},\"layer\":\"memory\"}}",
+        graph_json(&g)
+    ));
+    assert!(
+        daemon
+            .read_response()
+            .get("dropped")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
+    // Strike 2: the quarantine rename fires the crash point.
+    daemon.try_send(&compile_req(4, &g));
+    daemon.wait_crashed();
+
+    assert!(
+        std::fs::read_dir(&dir)
+            .expect("read store dir")
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".quarantine")),
+        "quarantine marker must exist on disk"
+    );
+    // The manifest still lists the entry; the file behind it is now the
+    // quarantine marker, so recovery reports it missing — and keeps it
+    // out of the index for good.
+    audit_recovery(&dir, "store.quarantine", |r| r.missing_dropped >= 1);
+
+    // A fresh daemon never serves the quarantined artifact: the request
+    // recompiles (and the quarantine marker survives).
+    let mut daemon = Daemon::spawn_full(&["--store", &dir_str, "--threads", "1"], &[]);
+    daemon.send(&compile_req(5, &g));
+    let r = daemon.read_response();
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r}");
+    assert_eq!(
+        r.get("outcome").and_then(Value::as_str),
+        Some("compiled"),
+        "a quarantined entry must never be served from disk: {r}"
+    );
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Supervised warm restart: the worker crashes mid-corpus, the supervisor
+/// respawns it and replays the unanswered request to a successful answer,
+/// and `health` reports the restart on the wire.
+#[test]
+fn a_supervised_daemon_warm_restarts_and_replays_the_pending_request() {
+    let dir = temp_dir("supervise");
+    let dir_str = dir.to_str().expect("utf-8 path").to_string();
+    let graphs = [
+        generators::path(6),
+        generators::cycle(7),
+        generators::tree(9, 2),
+    ];
+
+    // The third artifact write crashes the worker (after the rename, so
+    // the artifact is on disk and the replay lands as a disk hit).
+    let mut daemon = Daemon::spawn_full(
+        &["--supervise", "--store", &dir_str, "--threads", "1"],
+        &[("EPGS_FAULT_PLAN", "store.write.rename:crash#2")],
+    );
+    for (i, g) in graphs.iter().enumerate() {
+        daemon.send(&compile_req(i as u64, g));
+        let r = daemon.read_response();
+        assert_eq!(
+            r.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "request {i} must succeed (replayed after the crash if needed): {r}"
+        );
+        assert_eq!(r.get("id").and_then(Value::as_u64), Some(i as u64));
+    }
+
+    // The crash is visible in health: the worker was relaunched once and
+    // reports its restart count; the supervisor annotates its own view.
+    daemon.send("{\"op\":\"health\",\"id\":10}");
+    let health = daemon.read_response();
+    assert_eq!(health.get("op").and_then(Value::as_str), Some("health"));
+    assert_eq!(
+        health.get("supervised").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(health.get("restarts").and_then(Value::as_u64), Some(1));
+    let sup = health.get("supervisor").expect("supervisor annotation");
+    assert_eq!(sup.get("state").and_then(Value::as_str), Some("ready"));
+    assert_eq!(sup.get("restarts").and_then(Value::as_u64), Some(1));
+    assert_eq!(sup.get("breaker_open").and_then(Value::as_u64), Some(0));
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Poison pill: a request that crashes the worker on every attempt trips
+/// the per-graph circuit breaker — a structured `compile_failed`, not a
+/// crash loop — while other protocol traffic keeps flowing.
+#[test]
+fn a_poison_pill_request_trips_the_circuit_breaker() {
+    let g = generators::lattice(3, 3);
+    let mut daemon = Daemon::spawn_full(
+        &["--supervise", "--threads", "1"],
+        &[("EPGS_FAULT_PLAN", "batch.compile:crash")],
+    );
+
+    // Attempt 1 crashes the worker (strike 1); the replay crashes again
+    // (strike 2) and the breaker opens with a structured error.
+    daemon.send(&compile_req(1, &g));
+    let r = daemon.read_response();
+    assert_eq!(r.get("id").and_then(Value::as_u64), Some(1));
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false), "{r}");
+    assert_eq!(
+        r.get("error_kind").and_then(Value::as_str),
+        Some("compile_failed"),
+        "{r}"
+    );
+    assert!(
+        r.get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("circuit breaker")),
+        "{r}"
+    );
+
+    // The open breaker answers immediately — the worker is never asked.
+    daemon.send(&compile_req(2, &g));
+    let r = daemon.read_response();
+    assert_eq!(r.get("id").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        r.get("error_kind").and_then(Value::as_str),
+        Some("compile_failed"),
+        "{r}"
+    );
+
+    // Healthy traffic still flows through the respawned worker, and the
+    // supervisor reports the open breaker.
+    daemon.send("{\"op\":\"status\",\"id\":3}");
+    let status = daemon.read_response();
+    assert_eq!(status.get("ok").and_then(Value::as_bool), Some(true));
+    daemon.send("{\"op\":\"health\",\"id\":4}");
+    let health = daemon.read_response();
+    let sup = health.get("supervisor").expect("supervisor annotation");
+    assert_eq!(sup.get("restarts").and_then(Value::as_u64), Some(2));
+    assert_eq!(sup.get("breaker_open").and_then(Value::as_u64), Some(1));
+
+    daemon.shutdown();
+}
+
+/// S4: every recovery, manifest, and health counter is visible over the
+/// wire — and reflects the fsck repairs after a hard kill plus manual
+/// damage, across a daemon restart.
+#[test]
+fn stats_and_health_expose_recovery_counters_across_a_hard_restart() {
+    let dir = temp_dir("wire");
+    let dir_str = dir.to_str().expect("utf-8 path").to_string();
+    let graphs = [generators::path(6), generators::cycle(7)];
+
+    let mut daemon = Daemon::spawn_full(&["--store", &dir_str, "--threads", "1"], &[]);
+    for (i, g) in graphs.iter().enumerate() {
+        daemon.send(&compile_req(i as u64, g));
+        daemon.read_response();
+    }
+    daemon.send("{\"op\":\"stats\",\"id\":20}");
+    let stats = daemon.read_response();
+    let store = stats.get("store").expect("store block");
+    // Open commits generation 1; each save commits another.
+    assert!(
+        store
+            .get("manifest_commits")
+            .and_then(Value::as_u64)
+            .expect("manifest_commits on the wire")
+            >= 3,
+        "{stats}"
+    );
+    let recovery = store.get("recovery").expect("recovery block");
+    for key in [
+        "stale_manifests_deleted",
+        "entries_expected",
+        "orphans_reindexed",
+        "orphans_discarded",
+        "missing_dropped",
+        "torn_quarantined",
+        "tmp_swept",
+        "recovered_bytes",
+    ] {
+        assert!(
+            recovery.get(key).and_then(Value::as_u64).is_some(),
+            "recovery counter '{key}' missing from the wire: {recovery}"
+        );
+    }
+    assert_eq!(recovery.get("clean").and_then(Value::as_bool), Some(true));
+    // The very first open had no manifest to find.
+    assert_eq!(
+        recovery.get("manifest_found").and_then(Value::as_bool),
+        Some(false)
+    );
+    daemon.send("{\"op\":\"health\",\"id\":21}");
+    let health = daemon.read_response();
+    assert_eq!(health.get("state").and_then(Value::as_str), Some("ready"));
+    assert_eq!(
+        health.get("supervised").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(health.get("restarts").and_then(Value::as_u64), Some(0));
+    assert!(health.get("recovery").is_some());
+
+    // Hard kill (no shutdown handshake), then damage the store: one
+    // artifact vanishes behind the manifest's back.
+    daemon.child.kill().expect("kill daemon");
+    let _ = daemon.child.wait();
+    let victim = std::fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().ends_with(".art.json"))
+        .expect("an artifact to delete");
+    std::fs::remove_file(victim.path()).expect("delete artifact");
+
+    // The restarted daemon's fsck repairs the damage and says so.
+    let mut daemon = Daemon::spawn_full(&["--store", &dir_str, "--threads", "1"], &[]);
+    daemon.send("{\"op\":\"health\",\"id\":22}");
+    let health = daemon.read_response();
+    assert_eq!(
+        health.get("state").and_then(Value::as_str),
+        Some("degraded"),
+        "a repaired store must report degraded: {health}"
+    );
+    let recovery = health.get("recovery").expect("recovery block");
+    assert_eq!(
+        recovery.get("manifest_found").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(recovery.get("clean").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        recovery.get("missing_dropped").and_then(Value::as_u64),
+        Some(1),
+        "{recovery}"
+    );
+    // The dropped artifact recompiles; service is unaffected.
+    daemon.send(&compile_req(30, &graphs[0]));
+    daemon.send(&compile_req(31, &graphs[1]));
+    for _ in 0..2 {
+        let r = daemon.read_response();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r}");
+    }
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
